@@ -1,0 +1,63 @@
+// Extension: online batch-size adaptation vs fixed batch sizes.
+//
+// The controller should converge near the knee the paper found offline
+// (Fig. 7): large enough that reordering is rare. Compared against fixed
+// batches under both mild and heavy core interference.
+#include <iostream>
+
+#include "experiment/scenario.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace mflow;
+
+namespace {
+
+exp::ScenarioResult run_one(bool adaptive, std::uint32_t batch,
+                            sim::Time interference, sim::Time measure) {
+  exp::ScenarioConfig cfg;
+  cfg.mode = exp::Mode::kMflow;
+  cfg.protocol = net::Ipv4Header::kProtoTcp;
+  cfg.message_size = 65536;
+  cfg.measure = measure;
+  cfg.warmup = sim::ms(5);
+  cfg.interference.mean_interval = interference;
+  auto mcfg = core::udp_device_scaling_config();
+  mcfg.tcp_in_reader = true;
+  mcfg.batch_size = batch;
+  cfg.mflow = mcfg;
+  cfg.adaptive_batch = adaptive;
+  return exp::run_scenario(cfg);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const auto measure = sim::ms(cli.get_double("measure-ms", 40));
+
+  for (sim::Time interval : {sim::us(50), sim::us(15)}) {
+    util::Table table(
+        {"policy", "goodput", "ooo arrivals", "final batch"});
+    for (std::uint32_t batch : {16u, 256u}) {
+      const auto res = run_one(false, batch, interval, measure);
+      table.add({"fixed " + std::to_string(batch),
+                 util::fmt_gbps(res.goodput_gbps),
+                 static_cast<unsigned long long>(res.ooo_arrivals),
+                 static_cast<int>(res.final_batch)});
+    }
+    const auto res = run_one(true, 16, interval, measure);
+    table.add({"adaptive (start 16)", util::fmt_gbps(res.goodput_gbps),
+               static_cast<unsigned long long>(res.ooo_arrivals),
+               static_cast<int>(res.final_batch)});
+    table.print(std::cout,
+                std::string("Extension: adaptive batch sizing, "
+                            "interference every ~") +
+                    std::to_string(interval / 1000) + "us");
+    std::cout << "\n";
+  }
+  std::cout << "Expected: starting from a deliberately bad batch (16), the "
+               "controller grows the batch\nuntil reordering stops, ending "
+               "near the fixed-256 operating point.\n";
+  return 0;
+}

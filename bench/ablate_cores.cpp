@@ -1,0 +1,54 @@
+// Ablation: number of splitting cores (paper §III-A: "the performance
+// benefit may diminish as the core number increases").
+//
+// Expected shape: 1 -> 2 splitting cores is the big win (the paper's
+// default); beyond that, returns diminish because a different resource (the
+// copy thread / the clients) becomes the bottleneck.
+#include <iostream>
+
+#include "experiment/scenario.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace mflow;
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const auto measure = sim::ms(cli.get_double("measure-ms", 25));
+
+  for (std::uint8_t proto :
+       {net::Ipv4Header::kProtoTcp, net::Ipv4Header::kProtoUdp}) {
+    const bool is_tcp = proto == net::Ipv4Header::kProtoTcp;
+    util::Table table({"splitting cores", "goodput", "max core util",
+                       "bottleneck"});
+    for (int cores = 1; cores <= 6; ++cores) {
+      exp::ScenarioConfig cfg;
+      cfg.mode = exp::Mode::kMflow;
+      cfg.protocol = proto;
+      cfg.message_size = 65536;
+      cfg.measure = measure;
+      core::MflowConfig mcfg = is_tcp ? core::tcp_full_path_config()
+                                      : core::udp_device_scaling_config();
+      mcfg.pipeline_pairs.clear();  // isolate the core-count effect
+      mcfg.splitting_cores.clear();
+      for (int c = 0; c < cores; ++c) mcfg.splitting_cores.push_back(2 + c);
+      cfg.mflow = mcfg;
+      const auto res = exp::run_scenario(cfg);
+
+      int busiest = 0;
+      double best = 0;
+      for (const auto& c : res.cores)
+        if (c.total > best) {
+          best = c.total;
+          busiest = c.core_id;
+        }
+      table.add({cores, util::fmt_gbps(res.goodput_gbps),
+                 util::fmt_pct(res.max_core_utilization()),
+                 std::string("core ") + std::to_string(busiest)});
+    }
+    table.print(std::cout, std::string("Ablation: splitting cores, ") +
+                               (is_tcp ? "TCP" : "UDP") + " 64KB");
+    std::cout << "\n";
+  }
+  return 0;
+}

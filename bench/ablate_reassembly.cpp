@@ -1,0 +1,66 @@
+// Ablation: batch-based reassembly vs the kernel's per-packet out-of-order
+// queue (paper §III-B: "'re-ordered' on a per-batch basis ... extremely
+// efficient, especially compared to the kernel's existing per-packet
+// reordering mechanism").
+//
+// Variant (a): MFLOW as designed — merge before TCP via the reassembler.
+// Variant (b): splitting WITHOUT the reassembler — micro-flows land in the
+// softirq TCP stage in whatever order the cores finish, and the kernel ofo
+// queue pays tcp_ofo_insert per reordered packet.
+#include <iostream>
+
+#include "experiment/scenario.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace mflow;
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const auto measure = sim::ms(cli.get_double("measure-ms", 25));
+
+  util::Table table({"variant", "batch", "goodput", "p99 latency (us)"});
+
+  for (std::uint32_t batch : {16u, 256u}) {
+    // (a) batch-based reassembling (merge before the stateful layer).
+    {
+      exp::ScenarioConfig cfg;
+      cfg.mode = exp::Mode::kMflow;
+      cfg.protocol = net::Ipv4Header::kProtoTcp;
+      cfg.message_size = 65536;
+      cfg.measure = measure;
+      auto mcfg = core::udp_device_scaling_config();
+      mcfg.tcp_in_reader = true;
+      mcfg.batch_size = batch;
+      cfg.mflow = mcfg;
+      const auto res = exp::run_scenario(cfg);
+      table.add({"batch-based reassembler", static_cast<int>(batch),
+                 util::fmt_gbps(res.goodput_gbps),
+                 util::Table::Cell(res.p99_latency_us(), 1)});
+    }
+    // (b) kernel per-packet ofo queue: split, but no merge buffer — the
+    //     softirq TCP stage absorbs the reordering.
+    {
+      exp::ScenarioConfig cfg;
+      cfg.mode = exp::Mode::kMflow;
+      cfg.protocol = net::Ipv4Header::kProtoTcp;
+      cfg.message_size = 65536;
+      cfg.measure = measure;
+      auto mcfg = core::udp_device_scaling_config();
+      mcfg.tcp_in_reader = false;  // TCP stays in softirq context
+      mcfg.batch_size = batch;
+      cfg.mflow = mcfg;
+      cfg.mflow_reassembler = false;  // the ofo queue absorbs reordering
+      const auto res = exp::run_scenario(cfg);
+      table.add({"kernel per-packet ofo queue", static_cast<int>(batch),
+                 util::fmt_gbps(res.goodput_gbps),
+                 util::Table::Cell(res.p99_latency_us(), 1)});
+    }
+  }
+  table.print(std::cout,
+              "Ablation: reassembly mechanism (TCP 64KB, device split)");
+  std::cout << "\nExpected: the reassembler matches or beats the ofo queue, "
+               "most visibly at small batch sizes where reordering is "
+               "frequent.\n";
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Cost-model report: prints the calibrated per-stage cost table and the
+// capacities it implies, next to the paper anchors it was fitted to — the
+// executable form of DESIGN.md's calibration section. Run after editing
+// stack/costs.hpp to see what moved.
+#include <iostream>
+
+#include "experiment/scenario.hpp"
+#include "util/table.hpp"
+
+using namespace mflow;
+
+int main() {
+  const stack::CostModel c = stack::default_costs();
+
+  util::Table stages({"stage", "cost", "unit"});
+  stages.add({"IRQ top half", static_cast<long>(c.irq), "ns/interrupt"});
+  stages.add({"driver poll", static_cast<long>(c.driver_poll_per_pkt),
+              "ns/pkt"});
+  stages.add({"skb alloc", static_cast<long>(c.skb_alloc), "ns/pkt"});
+  stages.add({"GRO", static_cast<long>(c.gro_per_seg), "ns/segment"});
+  stages.add({"IP rx", static_cast<long>(c.ip_rx_per_skb), "ns/skb"});
+  stages.add({"VXLAN decap", static_cast<long>(c.vxlan_per_skb), "ns/skb"});
+  stages.add({"VXLAN per-seg", static_cast<long>(c.vxlan_per_seg),
+              "ns/segment"});
+  stages.add({"bridge", static_cast<long>(c.bridge_per_skb), "ns/skb"});
+  stages.add({"veth", static_cast<long>(c.veth_per_skb), "ns/skb"});
+  stages.add({"TCP rx", static_cast<long>(c.tcp_rx_per_skb), "ns/skb"});
+  stages.add({"TCP rx per-seg", static_cast<long>(c.tcp_rx_per_seg),
+              "ns/segment"});
+  stages.add({"TCP ofo insert", static_cast<long>(c.tcp_ofo_insert),
+              "ns/pkt"});
+  stages.add({"UDP rx", static_cast<long>(c.udp_rx_per_pkt), "ns/pkt"});
+  stages.add({"copy", util::Table::Cell(c.copy_per_byte, 2), "ns/byte"});
+  stages.add({"cross-core handoff", static_cast<long>(c.remote_enqueue),
+              "ns/skb"});
+  stages.add({"MFLOW split", static_cast<long>(c.mflow_split_per_pkt),
+              "ns/pkt"});
+  stages.add({"MFLOW batch dispatch",
+              static_cast<long>(c.mflow_dispatch_per_batch), "ns/batch"});
+  stages.add({"MFLOW merge", static_cast<long>(c.mflow_merge_per_skb),
+              "ns/skb"});
+  stages.print(std::cout, "Calibrated per-stage costs (stack/costs.hpp)");
+  std::cout << "\n";
+
+  // Derived single-core capacities the calibration implies.
+  util::Table derived({"quantity", "value", "paper anchor"});
+  const double copy_gbps = 8.0 / c.copy_per_byte;  // ns/B -> Gbps
+  derived.add({"copy-thread ceiling (1 core)",
+               util::fmt_gbps(copy_gbps / 1.35),  // + per-skb TCP work
+               "~29.8 Gbps (Fig 8b)"});
+  const double native_pkt = static_cast<double>(
+      c.driver_poll_per_pkt + c.skb_alloc + c.gro_per_seg +
+      c.tcp_rx_per_seg + (c.ip_rx_per_skb + c.tcp_rx_per_skb) / 44);
+  derived.add({"native TCP core-1 path",
+               util::Table::Cell(native_pkt, 0).text + " ns/pkt",
+               "26.6 Gbps => ~430 ns/pkt"});
+  derived.add({"VXLAN vs other devices",
+               util::Table::Cell(
+                   static_cast<double>(c.vxlan_per_skb) /
+                       static_cast<double>(c.bridge_per_skb + c.veth_per_skb),
+                   1)
+                       .text +
+                   "x heavier",
+               "the heavyweight device (Fig 4b)"});
+  derived.print(std::cout, "Derived quantities");
+
+  // And the measured anchors, one quick run each.
+  std::cout << "\nMeasured (quick runs):\n";
+  for (exp::Mode mode : {exp::Mode::kNative, exp::Mode::kVanilla,
+                         exp::Mode::kMflow}) {
+    exp::ScenarioConfig cfg;
+    cfg.mode = mode;
+    cfg.protocol = net::Ipv4Header::kProtoTcp;
+    cfg.measure = sim::ms(15);
+    const auto res = exp::run_scenario(cfg);
+    std::cout << "  TCP 64KB " << res.mode << ": "
+              << util::fmt_gbps(res.goodput_gbps) << "\n";
+  }
+  return 0;
+}

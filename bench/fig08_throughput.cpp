@@ -1,0 +1,95 @@
+// Figure 8 reproduction: single-flow throughput across modes (8a) and
+// MFLOW's flow-splitting layout with per-core CPU breakdown (8b).
+//
+//   8a: TCP and UDP goodput for native / vanilla overlay / RPS / FALCON /
+//       MFLOW at message sizes 16B, 4KB, 64KB.
+//   8b: per-core utilization for MFLOW at 64KB (TCP full-path scaling,
+//       UDP single-device scaling).
+//
+// Paper anchors checked: TCP 64KB — MFLOW ~1.81x vanilla, above native
+// (29.8 vs 26.6 Gbps); UDP 64KB — MFLOW ~2.39x vanilla, ~1.2x FALCON,
+// below native (clients throttled by the overlay TX path).
+#include <iostream>
+#include <map>
+
+#include "experiment/report.hpp"
+#include "experiment/scenario.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace mflow;
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const auto measure = sim::ms(cli.get_double("measure-ms", 40));
+  const bool csv = cli.get_bool("csv", false);
+  const bool cpu = cli.get_bool("cpu", true);
+
+  const std::vector<std::uint32_t> sizes = {16, 4096, 65536};
+  std::map<std::pair<std::string, std::uint32_t>, double> tcp_gbps, udp_gbps;
+
+  for (std::uint8_t proto :
+       {net::Ipv4Header::kProtoTcp, net::Ipv4Header::kProtoUdp}) {
+    const bool is_tcp = proto == net::Ipv4Header::kProtoTcp;
+    util::Table table({"mode", "msg=16B", "msg=4KB", "msg=64KB"});
+    for (exp::Mode mode : exp::evaluation_modes()) {
+      std::vector<std::string> row{std::string(exp::mode_name(mode))};
+      for (std::uint32_t size : sizes) {
+        exp::ScenarioConfig cfg;
+        cfg.mode = mode;
+        cfg.protocol = proto;
+        cfg.message_size = size;
+        cfg.measure = measure;
+        const auto res = exp::run_scenario(cfg);
+        row.push_back(util::fmt_gbps(res.goodput_gbps));
+        auto& store = is_tcp ? tcp_gbps : udp_gbps;
+        store[{res.mode, size}] = res.goodput_gbps;
+
+        if (cpu && mode == exp::Mode::kMflow && size == 65536) {
+          exp::print_core_breakdown(
+              std::cout,
+              std::string("Fig 8b: MFLOW per-core CPU, ") +
+                  (is_tcp ? "TCP (full path scaling)"
+                          : "UDP (device scaling)"),
+              res);
+          std::cout << "  split batches merged: " << res.batches_merged
+                    << ", merge-point ooo arrivals: " << res.ooo_arrivals
+                    << "\n\n";
+        }
+      }
+      table.add_row(std::move(row));
+    }
+    if (csv)
+      table.print_csv(std::cout);
+    else
+      table.print(std::cout, std::string("Fig 8a single-flow throughput, ") +
+                                 (is_tcp ? "TCP" : "UDP"));
+    std::cout << "\n";
+  }
+
+  // Shape checks against the paper's headline numbers.
+  const double t_van = tcp_gbps[{"vanilla-overlay", 65536}];
+  const double t_nat = tcp_gbps[{"native", 65536}];
+  const double t_mf = tcp_gbps[{"mflow", 65536}];
+  const double t_fal = tcp_gbps[{"falcon-fun", 65536}];
+  const double u_van = udp_gbps[{"vanilla-overlay", 65536}];
+  const double u_nat = udp_gbps[{"native", 65536}];
+  const double u_mf = udp_gbps[{"mflow", 65536}];
+  const double u_fal = udp_gbps[{"falcon-fun", 65536}];
+
+  exp::print_expectations(
+      std::cout, "Fig 8 shape checks (64KB)",
+      {
+          {"TCP mflow/vanilla", 1.81, t_van > 0 ? t_mf / t_van : 0, 0.30},
+          {"TCP mflow vs native (>1)", 1.12, t_nat > 0 ? t_mf / t_nat : 0,
+           0.25},
+          {"TCP mflow/falcon", 1.22, t_fal > 0 ? t_mf / t_fal : 0, 0.30},
+          {"TCP vanilla/native", 0.60, t_nat > 0 ? t_van / t_nat : 0, 0.25},
+          {"UDP mflow/vanilla", 2.39, u_van > 0 ? u_mf / u_van : 0, 0.35},
+          {"UDP mflow/falcon", 1.21, u_fal > 0 ? u_mf / u_fal : 0, 0.30},
+          {"UDP mflow < native", 1.0,
+           u_nat > 0 ? (u_mf < u_nat ? 1.0 : 0.0) : 0, 0.01},
+          {"UDP vanilla/native", 0.25, u_nat > 0 ? u_van / u_nat : 0, 0.60},
+      });
+  return 0;
+}

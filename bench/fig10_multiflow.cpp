@@ -1,0 +1,99 @@
+// Figure 10 reproduction: multi-flow TCP throughput.
+//
+// Setup per the paper: 5 dedicated application cores, 10 dedicated kernel
+// packet-processing cores; 1..20 concurrent TCP flows at 16B / 4KB / 64KB.
+//
+// Paper shape: 16B scales linearly everywhere (clients are the bottleneck);
+// at 4KB/64KB MFLOW leads vanilla by ~24% at 5 flows, shrinking to ~5% at
+// 20 flows as spare CPU to scale onto disappears; MFLOW ~5% over FALCON at
+// 10 flows, equal at 20.
+#include <iostream>
+
+#include "experiment/report.hpp"
+#include "experiment/scenario.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace mflow;
+
+namespace {
+
+exp::ScenarioConfig multiflow_config(exp::Mode mode, int flows,
+                                     std::uint32_t size, sim::Time measure) {
+  exp::ScenarioConfig cfg;
+  cfg.mode = mode;
+  cfg.protocol = net::Ipv4Header::kProtoTcp;
+  cfg.message_size = size;
+  cfg.num_flows = flows;
+  cfg.measure = measure;
+  // Paper layout: 5 app cores (0-4), 10 kernel cores (5-14).
+  cfg.server_cores = 15;
+  cfg.app_cores = 5;
+  cfg.first_kernel_core = 5;
+  cfg.kernel_cores = 10;
+  cfg.nic_queues = 10;  // RSS spreads flows over all kernel cores
+
+  if (mode == exp::Mode::kMflow) {
+    // Device scaling with merge-before-TCP: with many flows there is no
+    // room for per-branch pipelining, exactly the regime the paper studies.
+    core::MflowConfig mcfg = core::udp_device_scaling_config();
+    mcfg.tcp_in_reader = true;
+    mcfg.splitting_cores.clear();
+    for (int c = 5; c < 15; ++c) mcfg.splitting_cores.push_back(c);
+    cfg.mflow = mcfg;
+  }
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const auto measure = sim::ms(cli.get_double("measure-ms", 25));
+
+  const std::vector<int> flow_counts = {1, 2, 5, 10, 15, 20};
+  const std::vector<exp::Mode> modes = {exp::Mode::kVanilla,
+                                        exp::Mode::kFalconDev,
+                                        exp::Mode::kMflow};
+  std::map<std::tuple<std::string, int, std::uint32_t>, double> gbps;
+
+  for (std::uint32_t size : {16u, 4096u, 65536u}) {
+    std::vector<std::string> headers = {"mode"};
+    for (int f : flow_counts) headers.push_back(std::to_string(f) + " flows");
+    util::Table table(std::move(headers));
+    for (exp::Mode mode : modes) {
+      std::vector<std::string> row{std::string(exp::mode_name(mode))};
+      for (int flows : flow_counts) {
+        const auto res =
+            exp::run_scenario(multiflow_config(mode, flows, size, measure));
+        gbps[{res.mode, flows, size}] = res.goodput_gbps;
+        row.push_back(util::Table::Cell(res.goodput_gbps, 2).text);
+      }
+      table.add_row(std::move(row));
+    }
+    table.print(std::cout, "Fig 10 multi-flow TCP throughput (Gbps), msg=" +
+                               std::to_string(size) + "B");
+    std::cout << "\n";
+  }
+
+  auto ratio = [&](const char* a, const char* b, int flows,
+                   std::uint32_t size) {
+    const double den = gbps[{b, flows, size}];
+    return den > 0 ? gbps[{a, flows, size}] / den : 0.0;
+  };
+  exp::print_expectations(
+      std::cout, "Fig 10 shape checks",
+      {
+          {"4KB mflow/vanilla @5 flows", 1.24, ratio("mflow", "vanilla-overlay", 5, 4096), 0.35},
+          {"4KB mflow/vanilla @10 flows", 1.11, ratio("mflow", "vanilla-overlay", 10, 4096), 0.30},
+          {"4KB mflow/vanilla @20 flows", 1.05, ratio("mflow", "vanilla-overlay", 20, 4096), 0.30},
+          {"64KB mflow/falcon @10 flows", 1.05, ratio("mflow", "falcon-dev", 10, 65536), 0.30},
+          {"64KB mflow/falcon @20 flows", 1.00, ratio("mflow", "falcon-dev", 20, 65536), 0.30},
+          {"16B scales with flows (20/5)", 4.0,
+           gbps[{"mflow", 5, 16}] > 0
+               ? gbps[{"mflow", 20, 16}] / gbps[{"mflow", 5, 16}]
+               : 0,
+           0.40},
+      });
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Figure 11 reproduction: CloudSuite-style Web Serving with 200 users,
+// comparing vanilla overlay / FALCON / MFLOW on the web host.
+//
+//   11a: successful operations per second, per operation type;
+//   11b: average response time per operation type;
+//   11c: average delay (response - target) per operation type.
+//
+// Paper anchors: MFLOW improves the success rate 2.3x-7.5x over vanilla and
+// 1.5x-3.6x over FALCON; response time drops 35-65% vs vanilla; delay drops
+// up to 75% vs vanilla.
+#include <iostream>
+
+#include "experiment/report.hpp"
+#include "experiment/webserving.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace mflow;
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+
+  std::vector<exp::WebservingResult> results;
+  for (exp::Mode mode :
+       {exp::Mode::kVanilla, exp::Mode::kFalconDev, exp::Mode::kMflow}) {
+    exp::WebservingConfig cfg;
+    cfg.mode = mode;
+    cfg.users = static_cast<int>(cli.get_int("users", 200));
+    cfg.measure = sim::ms(cli.get_double("measure-ms", 50));
+    results.push_back(exp::run_webserving(cfg));
+  }
+
+  util::Table ops11a({"operation", "vanilla (ops/s)", "falcon (ops/s)",
+                      "mflow (ops/s)", "mflow/vanilla", "mflow/falcon"});
+  util::Table resp11b({"operation", "vanilla (us)", "falcon (us)",
+                       "mflow (us)"});
+  util::Table delay11c({"operation", "vanilla (us)", "falcon (us)",
+                        "mflow (us)"});
+  for (std::size_t i = 0; i < results[0].per_op.size(); ++i) {
+    const auto& v = results[0].per_op[i];
+    const auto& f = results[1].per_op[i];
+    const auto& m = results[2].per_op[i];
+    ops11a.add({v.name, util::Table::Cell(v.success_per_sec, 0),
+                util::Table::Cell(f.success_per_sec, 0),
+                util::Table::Cell(m.success_per_sec, 0),
+                util::Table::Cell(v.success_per_sec > 0
+                                      ? m.success_per_sec / v.success_per_sec
+                                      : 0.0,
+                                  2),
+                util::Table::Cell(f.success_per_sec > 0
+                                      ? m.success_per_sec / f.success_per_sec
+                                      : 0.0,
+                                  2)});
+    resp11b.add({v.name, util::Table::Cell(v.response_us.mean(), 0),
+                 util::Table::Cell(f.response_us.mean(), 0),
+                 util::Table::Cell(m.response_us.mean(), 0)});
+    delay11c.add({v.name, util::Table::Cell(v.delay_us.mean(), 0),
+                  util::Table::Cell(f.delay_us.mean(), 0),
+                  util::Table::Cell(m.delay_us.mean(), 0)});
+  }
+  ops11a.print(std::cout, "Fig 11a: successful operation rate (200 users)");
+  std::cout << "\n";
+  resp11b.print(std::cout, "Fig 11b: average response time");
+  std::cout << "\n";
+  delay11c.print(std::cout, "Fig 11c: average delay time");
+  std::cout << "\n";
+
+  util::Table totals({"mode", "success ops/s", "all ops/s", "success frac",
+                      "avg resp (us)", "backend Gbps"});
+  for (const auto& r : results)
+    totals.add({r.mode, util::Table::Cell(r.success_per_sec, 0),
+                util::Table::Cell(r.ops_per_sec, 0),
+                util::fmt_pct(r.success_fraction),
+                util::Table::Cell(r.avg_response_us, 0),
+                util::Table::Cell(r.backend_goodput_gbps, 2)});
+  totals.print(std::cout, "Aggregate");
+  std::cout << "\n";
+
+  const auto& van = results[0];
+  const auto& fal = results[1];
+  const auto& mfl = results[2];
+  exp::print_expectations(
+      std::cout, "Fig 11 shape checks",
+      {
+          {"success rate mflow/vanilla (2.3x-7.5x)", 4.0,
+           van.success_per_sec > 0
+               ? mfl.success_per_sec / van.success_per_sec
+               : 99.0,
+           0.9},
+          {"success rate mflow/falcon (1.5x-3.6x)", 2.5,
+           fal.success_per_sec > 0
+               ? mfl.success_per_sec / fal.success_per_sec
+               : 99.0,
+           0.9},
+          {"avg response mflow/vanilla (0.35-0.65)", 0.50,
+           van.avg_response_us > 0
+               ? mfl.avg_response_us / van.avg_response_us
+               : 0.0,
+           0.7},
+          {"avg delay mflow/vanilla (<=0.65)", 0.35,
+           van.avg_delay_us > 0 ? mfl.avg_delay_us / van.avg_delay_us : 0.0,
+           1.2},
+      });
+  return 0;
+}

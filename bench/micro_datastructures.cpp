@@ -1,0 +1,98 @@
+// google-benchmark micro-benchmarks for the hot data structures: flow hash,
+// header codecs, checksum, RX ring, GRO, histogram.
+#include <benchmark/benchmark.h>
+
+#include "net/checksum.hpp"
+#include "net/gro.hpp"
+#include "net/nic.hpp"
+#include "util/histogram.hpp"
+#include "util/rng.hpp"
+
+using namespace mflow;
+
+static void BM_FlowHash(benchmark::State& state) {
+  net::FlowKey key{net::Ipv4Addr(10, 0, 0, 1), net::Ipv4Addr(10, 0, 0, 2),
+                   1234, 80, net::Ipv4Header::kProtoTcp};
+  for (auto _ : state) {
+    key.src_port++;
+    benchmark::DoNotOptimize(net::flow_hash(key));
+  }
+}
+BENCHMARK(BM_FlowHash);
+
+static void BM_Ipv4EncodeVerify(benchmark::State& state) {
+  net::Ipv4Header h;
+  h.src = net::Ipv4Addr(10, 0, 0, 1);
+  h.dst = net::Ipv4Addr(10, 0, 0, 2);
+  std::array<std::uint8_t, net::Ipv4Header::kSize> buf{};
+  for (auto _ : state) {
+    h.identification++;
+    h.encode(buf);
+    benchmark::DoNotOptimize(net::Ipv4Header::verify(buf));
+  }
+}
+BENCHMARK(BM_Ipv4EncodeVerify);
+
+static void BM_Checksum(benchmark::State& state) {
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)));
+  util::Rng rng(1);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.uniform(256));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(net::internet_checksum(data));
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Checksum)->Arg(64)->Arg(1500);
+
+static void BM_VxlanEncapDecap(benchmark::State& state) {
+  const net::FlowKey flow{net::Ipv4Addr(10, 0, 1, 2),
+                          net::Ipv4Addr(10, 0, 1, 3), 40000, 5001,
+                          net::Ipv4Header::kProtoTcp};
+  for (auto _ : state) {
+    auto pkt = net::make_tcp_segment(flow, 0, 1448);
+    net::vxlan_encap(*pkt, net::Ipv4Addr(192, 168, 1, 2),
+                     net::Ipv4Addr(192, 168, 1, 3), 42);
+    benchmark::DoNotOptimize(net::vxlan_decap(*pkt).ok);
+  }
+}
+BENCHMARK(BM_VxlanEncapDecap);
+
+static void BM_RxRingPushPop(benchmark::State& state) {
+  net::RxRing ring(4096);
+  const net::FlowKey flow{net::Ipv4Addr(1, 1, 1, 1),
+                          net::Ipv4Addr(2, 2, 2, 2), 1, 2,
+                          net::Ipv4Header::kProtoUdp};
+  for (auto _ : state) {
+    ring.push(net::make_udp_datagram(flow, 100));
+    benchmark::DoNotOptimize(ring.pop());
+  }
+}
+BENCHMARK(BM_RxRingPushPop);
+
+static void BM_GroMergeBatch(benchmark::State& state) {
+  const net::FlowKey flow{net::Ipv4Addr(1, 1, 1, 1),
+                          net::Ipv4Addr(2, 2, 2, 2), 1, 2,
+                          net::Ipv4Header::kProtoTcp};
+  for (auto _ : state) {
+    net::GroEngine gro({.max_segs = 44});
+    int emitted = 0;
+    auto sink = [&emitted](net::PacketPtr) { ++emitted; };
+    for (int i = 0; i < 44; ++i) {
+      auto p = net::make_tcp_segment(
+          flow, static_cast<std::uint64_t>(i) * 1448, 1448);
+      p->flow_id = 1;
+      gro.add(std::move(p), sink);
+    }
+    gro.flush(sink);
+    benchmark::DoNotOptimize(emitted);
+  }
+  state.SetItemsProcessed(state.iterations() * 44);
+}
+BENCHMARK(BM_GroMergeBatch);
+
+static void BM_HistogramRecord(benchmark::State& state) {
+  util::Histogram h;
+  util::Rng rng(2);
+  for (auto _ : state) h.record(rng.uniform(10'000'000));
+  benchmark::DoNotOptimize(h.p99());
+}
+BENCHMARK(BM_HistogramRecord);

@@ -1,0 +1,64 @@
+// google-benchmark micro-benchmarks for MFLOW's own mechanisms: the batch
+// assigner, the reassembler's deposit/merge cycle, and the simulator.
+#include <benchmark/benchmark.h>
+
+#include "core/reassembler.hpp"
+#include "core/splitter.hpp"
+#include "sim/simulator.hpp"
+
+using namespace mflow;
+
+static void BM_BatchAssigner(benchmark::State& state) {
+  core::MflowConfig cfg;
+  cfg.batch_size = static_cast<std::uint32_t>(state.range(0));
+  core::BatchAssigner assigner(cfg);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(assigner.assign(1, 1).target_core);
+}
+BENCHMARK(BM_BatchAssigner)->Arg(8)->Arg(256);
+
+static void BM_ReassemblerCycle(benchmark::State& state) {
+  const auto batch = static_cast<std::uint32_t>(state.range(0));
+  stack::CostModel costs;
+  const net::FlowKey flow{net::Ipv4Addr(1, 1, 1, 1),
+                          net::Ipv4Addr(2, 2, 2, 2), 1, 2,
+                          net::Ipv4Header::kProtoUdp};
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::Reassembler ra(costs);
+    std::vector<net::PacketPtr> pkts;
+    std::uint64_t b = 0;
+    for (std::uint32_t i = 0; i < 1024; ++i) {
+      if (i % batch == 0) {
+        ++b;
+        ra.note_batch_open(1, b);
+      }
+      ra.note_dispatch(1, b, 1);
+      auto p = net::make_udp_datagram(flow, 100);
+      p->flow_id = 1;
+      p->wire_seq = i;
+      p->microflow_id = b;
+      pkts.push_back(std::move(p));
+    }
+    state.ResumeTiming();
+    for (auto& p : pkts) ra.deposit(std::move(p), 2);
+    std::uint64_t n = 0;
+    while (auto p = ra.pop_ready()) ++n;
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_ReassemblerCycle)->Arg(8)->Arg(64)->Arg(256);
+
+static void BM_SimulatorEventLoop(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::uint64_t fired = 0;
+    for (int i = 0; i < 1000; ++i)
+      sim.at(i, [&fired] { ++fired; });
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorEventLoop);

@@ -1,0 +1,58 @@
+// google-benchmark for the real-thread engine: lock-free ring throughput
+// and the full split/process/merge pipeline at various worker counts.
+//
+// NOTE: on a single-CPU host the multi-worker configurations time-slice, so
+// packets/sec does not show parallel speedup here; the numbers demonstrate
+// overhead and correctness, not scaling.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "rt/engine.hpp"
+
+using namespace mflow::rt;
+
+static void BM_SpscRingRoundTrip(benchmark::State& state) {
+  SpscRing<std::uint64_t> ring(1024);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    ring.try_push(i++);
+    benchmark::DoNotOptimize(ring.try_pop());
+  }
+}
+BENCHMARK(BM_SpscRingRoundTrip);
+
+static void BM_SpscRingCrossThread(benchmark::State& state) {
+  for (auto _ : state) {
+    SpscRing<std::uint64_t> ring(1024);
+    constexpr std::uint64_t kN = 100000;
+    std::jthread producer([&] {
+      for (std::uint64_t i = 0; i < kN; ++i)
+        while (!ring.try_push(i)) std::this_thread::yield();
+    });
+    std::uint64_t got = 0;
+    while (got < kN) {
+      if (ring.try_pop()) ++got;
+      else std::this_thread::yield();
+    }
+    benchmark::DoNotOptimize(got);
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_SpscRingCrossThread)->Unit(benchmark::kMillisecond);
+
+static void BM_RtEnginePipeline(benchmark::State& state) {
+  EngineConfig cfg;
+  cfg.workers = static_cast<std::size_t>(state.range(0));
+  cfg.batch_size = 256;
+  cfg.cost_ns_per_packet = 200;
+  for (auto _ : state) {
+    Engine engine(cfg);
+    const auto res = engine.run(20000);
+    if (!res.in_order) state.SkipWithError("order violated");
+    benchmark::DoNotOptimize(res.packets);
+  }
+  state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_RtEnginePipeline)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);

@@ -1,0 +1,61 @@
+// Scenario: tuning MFLOW for a deployment. Sweeps the three parameters the
+// paper identifies (§III-A "Parameters for packet-level parallelism"):
+// batch size, splitting-core count, and split point — and prints the
+// throughput / reordering / latency trade-off so an operator can pick a
+// configuration. Demonstrates building custom MflowConfig objects against
+// the public API.
+//
+//   $ ./example_batch_tuning [--proto=tcp|udp]
+#include <iostream>
+
+#include "experiment/scenario.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mflow;
+  util::Cli cli(argc, argv);
+  const bool tcp = cli.get("proto", "tcp") == "tcp";
+
+  exp::ScenarioConfig base;
+  base.mode = exp::Mode::kMflow;
+  base.protocol =
+      tcp ? net::Ipv4Header::kProtoTcp : net::Ipv4Header::kProtoUdp;
+  base.message_size = 65536;
+  base.measure = sim::ms(15);
+
+  util::Table table({"split point", "cores", "batch", "goodput",
+                     "ooo arrivals", "p99 (us)"});
+  for (core::SplitPoint split :
+       {core::SplitPoint::kBeforeStage, core::SplitPoint::kIrq}) {
+    for (int cores : {2, 4}) {
+      for (std::uint32_t batch : {32u, 256u}) {
+        core::MflowConfig mcfg;
+        mcfg.split_point = split;
+        mcfg.split_before = stack::StageId::kVxlan;
+        mcfg.tcp_in_reader = tcp;
+        mcfg.batch_size = batch;
+        mcfg.splitting_cores.clear();
+        for (int c = 0; c < cores; ++c)
+          mcfg.splitting_cores.push_back(2 + c);
+        auto cfg = base;
+        cfg.mflow = mcfg;
+        const auto res = exp::run_scenario(cfg);
+        table.add({split == core::SplitPoint::kIrq ? "IRQ (full path)"
+                                                   : "before VXLAN",
+                   cores, static_cast<int>(batch),
+                   util::fmt_gbps(res.goodput_gbps),
+                   static_cast<unsigned long long>(res.ooo_arrivals),
+                   util::Table::Cell(res.p99_latency_us(), 1)});
+      }
+    }
+  }
+  table.print(std::cout,
+              std::string("MFLOW parameter sweep (") +
+                  (tcp ? "TCP" : "UDP") + " 64KB elephant flow)");
+  std::cout << "\nRules of thumb (matching the paper): batch>=256 makes "
+               "order preservation free;\ntwo splitting cores already beat "
+               "the native host network; IRQ splitting is the\nonly way to "
+               "scale skb allocation itself.\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Scenario: the MFLOW split/process/merge structure on REAL threads — the
+// rt engine processes packets with calibrated busy-work, splitting
+// micro-flow batches round-robin over worker threads through lock-free SPSC
+// rings and merging them back in order with the batch-based reassembler.
+//
+// On a multi-core host the 2- and 4-worker rows show wall-clock speedup; on
+// a single-CPU machine they demonstrate correctness under time-slicing.
+//
+//   $ ./example_rt_pipeline [--packets=100000] [--cost-ns=300]
+#include <iostream>
+
+#include "rt/engine.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mflow;
+  util::Cli cli(argc, argv);
+  const auto packets =
+      static_cast<std::uint64_t>(cli.get_int("packets", 100000));
+  const auto cost =
+      static_cast<std::uint32_t>(cli.get_int("cost-ns", 300));
+
+  std::cout << "Real-thread MFLOW pipeline: " << packets << " packets, "
+            << cost << "ns of work each, batch size 256.\n"
+            << "(hardware threads available: "
+            << std::thread::hardware_concurrency() << ")\n\n";
+
+  util::Table table({"workers", "packets/s", "batches merged", "in order",
+                     "wall (ms)"});
+  double base_rate = 0;
+  for (std::size_t workers : {1u, 2u, 4u}) {
+    rt::EngineConfig cfg;
+    cfg.workers = workers;
+    cfg.batch_size = 256;
+    cfg.cost_ns_per_packet = cost;
+    const auto res = rt::Engine(cfg).run(packets);
+    if (workers == 1) base_rate = res.packets_per_second();
+    table.add({static_cast<int>(workers),
+               util::Table::Cell(res.packets_per_second(), 0),
+               static_cast<unsigned long long>(res.batches_merged),
+               res.in_order ? "yes" : "NO (bug!)",
+               util::Table::Cell(res.wall_seconds * 1000.0, 1)});
+  }
+  table.print(std::cout, "Split/process/merge on real threads");
+  if (base_rate > 0)
+    std::cout << "\nEvery row must say 'in order: yes' — the batch-based "
+                 "reassembler preserves the\noriginal sequence no matter "
+                 "how the OS schedules the workers.\n";
+  return 0;
+}

@@ -1,0 +1,38 @@
+#include "core/adaptive.hpp"
+
+namespace mflow::core {
+
+AdaptiveBatchController::AdaptiveBatchController(sim::Simulator& sim,
+                                                 MflowEngine& engine,
+                                                 AdaptiveBatchParams params)
+    : sim_(sim), engine_(engine), params_(params) {}
+
+std::uint32_t AdaptiveBatchController::current_batch() const {
+  return engine_.config().batch_size;
+}
+
+void AdaptiveBatchController::start() {
+  if (started_) return;
+  started_ = true;
+  last_ooo_ = engine_.ooo_arrivals();
+  sim_.after(params_.interval, [this] { tick(); });
+}
+
+void AdaptiveBatchController::tick() {
+  const std::uint64_t now_ooo = engine_.ooo_arrivals();
+  const double rate = static_cast<double>(now_ooo - last_ooo_) /
+                      sim::to_seconds(params_.interval);
+  last_ooo_ = now_ooo;
+
+  std::uint32_t& batch = engine_.mutable_config().batch_size;
+  if (rate > params_.hi_ooo_per_sec && batch < params_.max_batch) {
+    batch = std::min(params_.max_batch, batch * 2);
+    ++adjustments_;
+  } else if (rate == 0.0 && batch > params_.min_batch) {
+    batch = std::max(params_.min_batch, batch / 2);
+    ++adjustments_;
+  }
+  sim_.after(params_.interval, [this] { tick(); });
+}
+
+}  // namespace mflow::core

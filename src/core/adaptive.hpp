@@ -1,0 +1,57 @@
+// Adaptive micro-flow batch sizing (extension).
+//
+// The paper picks batch size 256 by offline measurement (Fig. 7): large
+// enough that merge-point reordering is rare, small enough to spread load.
+// The right value depends on core-speed skew and interference, so this
+// controller tunes it online: every control interval it reads the
+// reassembler's out-of-order arrival rate and
+//   - doubles the batch when reordering exceeds `hi_ooo_per_sec`,
+//   - halves it when an interval is completely reorder-free (probing for
+//     the smallest batch that still merges cheaply, which minimizes
+//     batching latency and maximizes load-balancing granularity).
+// Changes take effect at the next micro-flow boundary (BatchAssigner reads
+// the config live); in-flight batches are unaffected, so ordering
+// guarantees are untouched.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "core/mflow.hpp"
+#include "sim/simulator.hpp"
+
+namespace mflow::core {
+
+struct AdaptiveBatchParams {
+  sim::Time interval = sim::ms(1);
+  std::uint32_t min_batch = 16;
+  std::uint32_t max_batch = 4096;
+  double hi_ooo_per_sec = 5000.0;  // grow above this reorder rate
+};
+
+class AdaptiveBatchController {
+ public:
+  /// The controller mutates `config.batch_size` in place; `config` must be
+  /// the instance the engine was built with (MflowEngine holds it by
+  /// value — pass engine.mutable_config()).
+  AdaptiveBatchController(sim::Simulator& sim, MflowEngine& engine,
+                          AdaptiveBatchParams params = {});
+
+  /// Begin periodic control (idempotent).
+  void start();
+
+  std::uint32_t current_batch() const;
+  std::uint32_t adjustments() const { return adjustments_; }
+
+ private:
+  void tick();
+
+  sim::Simulator& sim_;
+  MflowEngine& engine_;
+  AdaptiveBatchParams params_;
+  bool started_ = false;
+  std::uint64_t last_ooo_ = 0;
+  std::uint32_t adjustments_ = 0;
+};
+
+}  // namespace mflow::core

@@ -1,0 +1,41 @@
+#include "core/config.hpp"
+
+#include <sstream>
+
+namespace mflow::core {
+
+std::string MflowConfig::describe() const {
+  std::ostringstream os;
+  os << "mflow{batch=" << batch_size << ", cores=[";
+  for (std::size_t i = 0; i < splitting_cores.size(); ++i) {
+    if (i) os << ",";
+    os << splitting_cores[i];
+  }
+  os << "], split="
+     << (split_point == SplitPoint::kIrq
+             ? "irq"
+             : std::string(stack::stage_name(split_before)))
+     << (pipeline_pairs.empty() ? "" : ", per-branch-pipeline")
+     << (tcp_in_reader ? ", merge-before-tcp" : "") << "}";
+  return os.str();
+}
+
+MflowConfig tcp_full_path_config() {
+  MflowConfig cfg;
+  cfg.split_point = SplitPoint::kIrq;
+  cfg.splitting_cores = {2, 3};
+  cfg.pipeline_pairs = {{2, 4}, {3, 5}};
+  cfg.tcp_in_reader = true;
+  return cfg;
+}
+
+MflowConfig udp_device_scaling_config() {
+  MflowConfig cfg;
+  cfg.split_point = SplitPoint::kBeforeStage;
+  cfg.split_before = stack::StageId::kVxlan;
+  cfg.splitting_cores = {2, 3};
+  cfg.tcp_in_reader = false;
+  return cfg;
+}
+
+}  // namespace mflow::core

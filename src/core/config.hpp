@@ -1,0 +1,61 @@
+// MFLOW configuration (paper §III: parameters for packet-level parallelism).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "stack/stage.hpp"
+
+namespace mflow::core {
+
+/// Where the flow is split.
+enum class SplitPoint {
+  /// IRQ-splitting function: split raw packet *requests* before skb
+  /// allocation — the earliest software point (full path scaling).
+  kIrq,
+  /// Flow-splitting function: split skbs at the transition into
+  /// `split_before` (single heavyweight-device scaling, e.g. VXLAN).
+  kBeforeStage,
+};
+
+struct MflowConfig {
+  /// Micro-flow batch size. Paper default 256: large enough that order
+  /// preservation costs almost nothing (Fig. 7), small enough to spread.
+  std::uint32_t batch_size = 256;
+
+  /// Cores that process micro-flows in parallel. Paper default: two.
+  std::vector<int> splitting_cores = {2, 3};
+
+  SplitPoint split_point = SplitPoint::kBeforeStage;
+  stack::StageId split_before = stack::StageId::kVxlan;
+
+  /// Per-branch pipelining (paper §V TCP full-path layout): each splitting
+  /// core only runs skb allocation and hands the rest of its branch to a
+  /// partner core (2->4, 3->5). `pipeline_at` is the stage whose transition
+  /// applies the mapping (the first stage after the splitting cores' work).
+  std::unordered_map<int, int> pipeline_pairs = {};
+  stack::StageId pipeline_at = stack::StageId::kGro;
+
+  /// Defer stateful TCP processing to the packet-delivery thread, after the
+  /// merge ("merging occurred before packets entered the stateful TCP
+  /// transport layer"). UDP always merges at the socket (late merging).
+  bool tcp_in_reader = true;
+
+  /// Only flows classified as elephants are split; others pass through
+  /// untouched. 0 = split everything (micro-benchmarks).
+  std::uint64_t elephant_threshold_pkts = 0;
+
+  std::string describe() const;
+};
+
+/// Paper defaults for TCP: full-path scaling (IRQ split, cores 2&3 for skb
+/// allocation, partners 4&5 for the remaining stages, merge before TCP).
+MflowConfig tcp_full_path_config();
+
+/// Paper defaults for UDP: single-device scaling around VXLAN with late
+/// merging at the socket.
+MflowConfig udp_device_scaling_config();
+
+}  // namespace mflow::core

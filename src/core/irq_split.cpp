@@ -1,0 +1,130 @@
+#include "core/irq_split.hpp"
+
+namespace mflow::core {
+
+/// Second half: skb allocation on a splitting core, feeding the path.
+class IrqSplitter::SecondHalf final : public sim::Pollable {
+ public:
+  SecondHalf(IrqSplitter& owner, net::RxRing& ring, int core_id)
+      : owner_(owner), ring_(ring), core_id_(core_id) {}
+
+  bool poll(sim::Core& core, int budget) override {
+    stack::Machine& m = owner_.machine_;
+    const stack::CostModel& costs = m.costs();
+    int n = 0;
+    while (n < budget) {
+      net::PacketPtr pkt = ring_.pop();
+      if (!pkt) break;
+      core.charge(sim::Tag::kSkbAlloc, costs.skb_alloc);
+      pkt->skb_allocated = true;
+      // Tell the driver its request slot is reusable — batched to limit
+      // cross-core contention on the driver ring (paper: every ~128).
+      if (++since_release_ >= costs.release_batch) {
+        since_release_ = 0;
+        core.charge(sim::Tag::kDriver, costs.driver_release_update);
+      }
+      m.inject_into_path(0, core_id_, std::move(pkt));
+      ++n;
+    }
+    return !ring_.empty();
+  }
+
+  std::string_view poll_name() const override { return "irq-split-2nd"; }
+
+ private:
+  IrqSplitter& owner_;
+  net::RxRing& ring_;
+  int core_id_;
+  int since_release_ = 0;
+};
+
+/// First half: request location + dispatch on the IRQ core.
+class IrqSplitter::FirstHalf final : public sim::Pollable {
+ public:
+  explicit FirstHalf(IrqSplitter& owner) : owner_(owner) {}
+
+  bool poll(sim::Core& core, int budget) override {
+    IrqSplitter& o = owner_;
+    stack::Machine& m = o.machine_;
+    const stack::CostModel& costs = m.costs();
+    int n = 0;
+    while (n < budget) {
+      net::PacketPtr pkt = o.driver_ring_.pop();
+      if (!pkt) break;
+      ++n;
+      core.charge(sim::Tag::kDriver, costs.driver_poll_per_pkt);
+      const auto a = o.assigner_.assign(pkt->flow_id, 1);
+      if (a.microflow_id == 0) {
+        // Mouse flow: do the whole stage 1 here, as the stock driver would.
+        core.charge(sim::Tag::kSkbAlloc, costs.skb_alloc);
+        pkt->skb_allocated = true;
+        m.inject_into_path(0, o.irq_core_, std::move(pkt));
+        continue;
+      }
+      pkt->microflow_id = a.microflow_id;
+      Reassembler* ra = o.lookup_(*pkt);
+      if (a.new_batch) {
+        core.charge(sim::Tag::kSteer, costs.mflow_dispatch_per_batch);
+        if (ra != nullptr) ra->note_batch_open(pkt->flow_id, a.microflow_id);
+      }
+      if (ra != nullptr) ra->note_dispatch(pkt->flow_id, a.microflow_id, 1);
+      core.charge(sim::Tag::kSteer, costs.mflow_split_per_pkt);
+
+      const std::size_t slot = o.core_slot(a.target_core);
+      net::RxRing& ring = *o.request_rings_[slot];
+      const std::uint64_t flow = pkt->flow_id;
+      const std::uint64_t batch = a.microflow_id;
+      if (ring.push(std::move(pkt))) {
+        ++o.dispatched_;
+        m.core(a.target_core).raise(*o.second_halves_[slot], /*remote=*/true);
+      } else if (ra != nullptr) {
+        // Request-ring overrun: retract the dispatch so merging never waits
+        // for a packet that will not arrive.
+        ra->note_drop(flow, batch, 1);
+      }
+    }
+    return !o.driver_ring_.empty();
+  }
+
+  std::string_view poll_name() const override { return "irq-split-1st"; }
+
+ private:
+  IrqSplitter& owner_;
+};
+
+IrqSplitter::IrqSplitter(stack::Machine& machine, const MflowConfig& config,
+                         net::RxRing& driver_ring, int irq_core,
+                         FlowSplitter::ReassemblerLookup lookup)
+    : machine_(machine),
+      config_(config),
+      driver_ring_(driver_ring),
+      irq_core_(irq_core),
+      assigner_(config),
+      lookup_(std::move(lookup)) {
+  for (int core_id : config_.splitting_cores) {
+    request_rings_.push_back(std::make_unique<net::RxRing>(8192));
+    second_halves_.push_back(std::make_unique<SecondHalf>(
+        *this, *request_rings_.back(), core_id));
+  }
+  first_half_ = std::make_unique<FirstHalf>(*this);
+}
+
+IrqSplitter::~IrqSplitter() = default;
+
+std::size_t IrqSplitter::core_slot(int core_id) const {
+  for (std::size_t i = 0; i < config_.splitting_cores.size(); ++i)
+    if (config_.splitting_cores[i] == core_id) return i;
+  throw std::out_of_range("not a splitting core");
+}
+
+void IrqSplitter::install(int queue) {
+  machine_.override_driver(queue, first_half_.get(), irq_core_);
+}
+
+std::uint64_t IrqSplitter::request_ring_drops() const {
+  std::uint64_t total = 0;
+  for (const auto& r : request_rings_) total += r->drops();
+  return total;
+}
+
+}  // namespace mflow::core

@@ -1,0 +1,70 @@
+#include "core/mflow.hpp"
+
+namespace mflow::core {
+
+MflowEngine::MflowEngine(stack::Machine& machine, MflowConfig config)
+    : machine_(machine), config_(std::move(config)) {}
+
+MflowEngine::~MflowEngine() = default;
+
+void MflowEngine::attach_socket(std::uint16_t port, stack::Socket& socket) {
+  auto ra = std::make_unique<Reassembler>(machine_.costs());
+  socket.set_merge_buffer(ra.get());
+  reassemblers_[port] = std::move(ra);
+}
+
+Reassembler* MflowEngine::reassembler_for_port(std::uint16_t port) {
+  const auto it = reassemblers_.find(port);
+  return it == reassemblers_.end() ? nullptr : it->second.get();
+}
+
+void MflowEngine::install() {
+  auto lookup = [this](const net::Packet& pkt) {
+    return reassembler_for_port(pkt.flow.dst_port);
+  };
+
+  switch (config_.split_point) {
+    case SplitPoint::kBeforeStage: {
+      const std::size_t idx = machine_.stage_index(config_.split_before);
+      splitter_ =
+          std::make_unique<FlowSplitter>(machine_, config_, lookup);
+      machine_.set_transition_hook(idx, splitter_.get());
+      break;
+    }
+    case SplitPoint::kIrq: {
+      for (int q = 0; q < machine_.nic().num_queues(); ++q) {
+        const auto& affinity = machine_.params().irq_affinity;
+        const int irq_core =
+            affinity[static_cast<std::size_t>(q) % affinity.size()];
+        irq_splitters_.push_back(std::make_unique<IrqSplitter>(
+            machine_, config_, machine_.nic().queue(q), irq_core, lookup));
+        irq_splitters_.back()->install(q);
+      }
+      break;
+    }
+  }
+}
+
+std::uint64_t MflowEngine::ooo_arrivals() const {
+  std::uint64_t total = 0;
+  for (const auto& [_, ra] : reassemblers_) total += ra->ooo_arrivals();
+  return total;
+}
+
+std::uint64_t MflowEngine::batches_merged() const {
+  std::uint64_t total = 0;
+  for (const auto& [_, ra] : reassemblers_) total += ra->batches_merged();
+  return total;
+}
+
+std::uint64_t MflowEngine::packets_merged() const {
+  std::uint64_t total = 0;
+  for (const auto& [_, ra] : reassemblers_) total += ra->packets_merged();
+  return total;
+}
+
+void MflowEngine::reset_stats() {
+  for (auto& [_, ra] : reassemblers_) ra->reset_stats();
+}
+
+}  // namespace mflow::core

@@ -1,0 +1,58 @@
+// MflowEngine: installs MFLOW onto a Machine.
+//
+// Ties together the three mechanisms:
+//   splitting   — FlowSplitter hook at a stage transition, or IrqSplitter
+//                 replacing the driver poll (per MflowConfig::split_point);
+//   steering    — per-core splitting queues + optional per-branch pipeline
+//                 (the caller installs steer::PairedPipelineSteering);
+//   reassembling— a Reassembler per socket, plugged into the socket's
+//                 packet-delivery thread (merge at recvmsg).
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/irq_split.hpp"
+#include "core/splitter.hpp"
+
+namespace mflow::core {
+
+class MflowEngine {
+ public:
+  MflowEngine(stack::Machine& machine, MflowConfig config);
+  ~MflowEngine();
+
+  const MflowConfig& config() const { return config_; }
+
+  /// Live-tunable configuration: the splitters hold a reference to this
+  /// instance, so changes (e.g. batch_size from the adaptive controller)
+  /// apply from the next micro-flow boundary onward.
+  MflowConfig& mutable_config() { return config_; }
+
+  /// Create this socket's reassembler and plug it into the socket's reader.
+  /// Must be called for every socket receiving split traffic.
+  void attach_socket(std::uint16_t port, stack::Socket& socket);
+
+  /// Install the configured splitting mechanism. Call after Machine::start()
+  /// and after all attach_socket() calls.
+  void install();
+
+  Reassembler* reassembler_for_port(std::uint16_t port);
+
+  // --- aggregate statistics ------------------------------------------------
+  std::uint64_t ooo_arrivals() const;
+  std::uint64_t batches_merged() const;
+  std::uint64_t packets_merged() const;
+  void reset_stats();
+
+ private:
+  stack::Machine& machine_;
+  MflowConfig config_;
+  std::unordered_map<std::uint16_t, std::unique_ptr<Reassembler>>
+      reassemblers_;
+  std::unique_ptr<FlowSplitter> splitter_;
+  std::vector<std::unique_ptr<IrqSplitter>> irq_splitters_;
+};
+
+}  // namespace mflow::core

@@ -1,0 +1,145 @@
+#include "core/reassembler.hpp"
+
+#include <algorithm>
+
+namespace mflow::core {
+namespace {
+
+std::uint32_t lookup(const std::map<std::uint64_t, std::uint32_t>& m,
+                     std::uint64_t key) {
+  const auto it = m.find(key);
+  return it == m.end() ? 0 : it->second;
+}
+
+}  // namespace
+
+void Reassembler::note_dispatch(net::FlowId flow, std::uint64_t batch_id,
+                                std::uint32_t segs) {
+  auto [it, inserted] = flows_.try_emplace(flow);
+  if (inserted) flow_order_.push_back(flow);
+  it->second.dispatched[batch_id] += segs;
+}
+
+void Reassembler::note_batch_open(net::FlowId flow, std::uint64_t batch_id) {
+  auto [it, inserted] = flows_.try_emplace(flow);
+  if (inserted) flow_order_.push_back(flow);
+  it->second.open_batch = std::max(it->second.open_batch, batch_id);
+}
+
+void Reassembler::note_drop(net::FlowId flow, std::uint64_t batch_id,
+                            std::uint32_t segs) {
+  auto it = flows_.find(flow);
+  if (it == flows_.end()) return;
+  auto dit = it->second.dispatched.find(batch_id);
+  if (dit == it->second.dispatched.end()) return;
+  dit->second = dit->second > segs ? dit->second - segs : 0;
+}
+
+void Reassembler::deposit(net::PacketPtr pkt, int /*from_core*/) {
+  ++buffered_;
+  max_buffered_ = std::max(max_buffered_, buffered_);
+  if (pkt->microflow_id == 0) {
+    passthrough_.push_back(std::move(pkt));
+    return;
+  }
+  auto [it, inserted] = flows_.try_emplace(pkt->flow_id);
+  if (inserted) flow_order_.push_back(pkt->flow_id);
+  FlowMerge& fm = it->second;
+  // Out-of-order arrival metric (Figure 7): a packet whose per-flow wire
+  // index is below one already seen here would be delivered out of order
+  // were it not for the reassembler.
+  if (fm.any_seen && pkt->wire_seq < fm.max_wire_seen) ++ooo_arrivals_;
+  fm.max_wire_seen = std::max(fm.max_wire_seen, pkt->wire_seq);
+  fm.any_seen = true;
+  fm.queues[pkt->microflow_id].push_back(std::move(pkt));
+}
+
+net::PacketPtr Reassembler::try_pop_flow(FlowMerge& fm, bool charge) {
+  while (true) {
+    auto qit = fm.queues.find(fm.merge_counter);
+    if (qit != fm.queues.end() && !qit->second.empty()) {
+      net::PacketPtr pkt = std::move(qit->second.front());
+      qit->second.pop_front();
+      fm.consumed[fm.merge_counter] += pkt->gro_segs;
+      if (charge) {
+        pending_charge_ += costs_.mflow_merge_per_skb;
+        ++packets_merged_;
+        --buffered_;
+      }
+      return pkt;
+    }
+    // Current batch's queue is dry: advance only when the batch is closed
+    // (the splitter moved past it) and fully consumed.
+    const std::uint32_t disp = lookup(fm.dispatched, fm.merge_counter);
+    const std::uint32_t cons = lookup(fm.consumed, fm.merge_counter);
+    if (cons == disp && fm.open_batch > fm.merge_counter) {
+      fm.dispatched.erase(fm.merge_counter);
+      fm.consumed.erase(fm.merge_counter);
+      fm.queues.erase(fm.merge_counter);
+      ++fm.merge_counter;
+      if (charge) {
+        pending_charge_ += costs_.mflow_merge_per_batch;
+        ++batches_merged_;
+      }
+      continue;
+    }
+    return nullptr;
+  }
+}
+
+bool Reassembler::flow_has_ready(const FlowMerge& fm) const {
+  std::uint64_t counter = fm.merge_counter;
+  while (true) {
+    const auto qit = fm.queues.find(counter);
+    if (qit != fm.queues.end() && !qit->second.empty()) return true;
+    if (lookup(fm.consumed, counter) == lookup(fm.dispatched, counter) &&
+        fm.open_batch > counter) {
+      ++counter;
+      continue;
+    }
+    return false;
+  }
+}
+
+net::PacketPtr Reassembler::pop_ready() {
+  if (!passthrough_.empty()) {
+    net::PacketPtr pkt = std::move(passthrough_.front());
+    passthrough_.pop_front();
+    --buffered_;
+    return pkt;
+  }
+  const std::size_t n = flow_order_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t idx = (rr_ + i) % n;
+    FlowMerge& fm = flows_[flow_order_[idx]];
+    if (net::PacketPtr pkt = try_pop_flow(fm, /*charge=*/true)) {
+      rr_ = (idx + 1) % n;
+      return pkt;
+    }
+  }
+  return nullptr;
+}
+
+bool Reassembler::pop_ready_available() const {
+  if (!passthrough_.empty()) return true;
+  for (const auto& [_, fm] : flows_)
+    if (flow_has_ready(fm)) return true;
+  return false;
+}
+
+bool Reassembler::has_buffered() const { return buffered_ > 0; }
+
+sim::Time Reassembler::take_pending_charge() {
+  const sim::Time t = pending_charge_;
+  pending_charge_ = 0;
+  return t;
+}
+
+void Reassembler::reset_stats() {
+  ooo_arrivals_ = 0;
+  batches_merged_ = 0;
+  packets_merged_ = 0;
+  max_buffered_ = buffered_;
+}
+
+}  // namespace mflow::core

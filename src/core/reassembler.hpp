@@ -1,0 +1,93 @@
+// Batch-based flow reassembling (paper §III-B).
+//
+// Packets of each micro-flow arrive FIFO into that micro-flow's buffer
+// queue; a global (per-flow) *merging counter* tracks which micro-flow is
+// currently being merged. The reader keeps consuming the current queue until
+// the batch is exhausted, then advances the counter — re-ordering at batch
+// granularity, which is why it is so much cheaper than the kernel's
+// per-packet out-of-order queue.
+//
+// Batch completion: the splitter registers every dispatch (note_dispatch)
+// and the currently-open batch (note_batch_open); a batch is complete when
+// its consumed segment count matches dispatched segments AND the splitter
+// has moved past it. Everything already dispatched is always consumable in
+// order, so merging never stalls behind a partially-filled batch.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "stack/costs.hpp"
+#include "stack/socket.hpp"
+
+namespace mflow::core {
+
+class Reassembler final : public stack::MergeBuffer {
+ public:
+  explicit Reassembler(const stack::CostModel& costs) : costs_(costs) {}
+
+  // --- splitter side ---------------------------------------------------------
+  /// A packet carrying `segs` wire segments was dispatched into `batch_id`.
+  void note_dispatch(net::FlowId flow, std::uint64_t batch_id,
+                     std::uint32_t segs);
+  /// The splitter opened `batch_id` (all batches below it are closed).
+  void note_batch_open(net::FlowId flow, std::uint64_t batch_id);
+
+  /// A dispatched packet was lost before reaching the merge point (e.g.
+  /// request-ring overrun): retract it so merging does not stall.
+  void note_drop(net::FlowId flow, std::uint64_t batch_id,
+                 std::uint32_t segs);
+
+  // --- stack::MergeBuffer ------------------------------------------------------
+  void deposit(net::PacketPtr pkt, int from_core) override;
+  net::PacketPtr pop_ready() override;
+  bool pop_ready_available() const override;
+  bool has_buffered() const override;
+  sim::Time take_pending_charge() override;
+
+  // --- statistics --------------------------------------------------------------
+  /// Packets that arrived at the merge point out of original flow order
+  /// (i.e. would have been delivered out of order without reassembly).
+  std::uint64_t ooo_arrivals() const { return ooo_arrivals_; }
+  std::uint64_t batches_merged() const { return batches_merged_; }
+  std::uint64_t packets_merged() const { return packets_merged_; }
+  std::size_t buffered_packets() const { return buffered_; }
+  std::size_t max_buffered_packets() const { return max_buffered_; }
+  void reset_stats();
+
+ private:
+  struct FlowMerge {
+    std::uint64_t merge_counter = 1;  // batch currently being merged
+    std::uint64_t open_batch = 0;     // splitter's current batch
+    std::map<std::uint64_t, std::uint32_t> dispatched;  // batch -> segs
+    std::map<std::uint64_t, std::uint32_t> consumed;
+    std::map<std::uint64_t, std::deque<net::PacketPtr>> queues;
+    std::uint64_t max_wire_seen = 0;
+    bool any_seen = false;
+  };
+
+  /// Try to pop the next in-order packet for one flow. Advances the merge
+  /// counter over completed batches.
+  net::PacketPtr try_pop_flow(FlowMerge& fm, bool charge);
+  bool flow_has_ready(const FlowMerge& fm) const;
+
+  const stack::CostModel& costs_;
+  std::unordered_map<net::FlowId, FlowMerge> flows_;
+  std::vector<net::FlowId> flow_order_;  // deterministic round-robin
+  std::size_t rr_ = 0;
+
+  /// Unsplit traffic (microflow_id == 0) passes straight through.
+  std::deque<net::PacketPtr> passthrough_;
+
+  sim::Time pending_charge_ = 0;
+  std::uint64_t ooo_arrivals_ = 0;
+  std::uint64_t batches_merged_ = 0;
+  std::uint64_t packets_merged_ = 0;
+  std::size_t buffered_ = 0;
+  std::size_t max_buffered_ = 0;
+};
+
+}  // namespace mflow::core

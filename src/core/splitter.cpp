@@ -1,0 +1,73 @@
+#include "core/splitter.hpp"
+
+#include <algorithm>
+
+namespace mflow::core {
+
+BatchAssigner::Assignment BatchAssigner::assign(net::FlowId flow,
+                                                std::uint32_t segs) {
+  auto [it, inserted] = flows_.try_emplace(flow);
+  PerFlow& st = it->second;
+  // Stagger the starting splitting core per flow so concurrent elephants
+  // spread their first micro-flows instead of piling onto the same core.
+  if (inserted)
+    st.rr = static_cast<std::size_t>(flow * 7919u) %
+            std::max<std::size_t>(1, config_.splitting_cores.size());
+  st.seen_segs += segs;
+  if (st.seen_segs <= config_.elephant_threshold_pkts)
+    return {};  // still a mouse: leave on the default path
+
+  Assignment out;
+  if (st.batch == 0 || st.in_batch >= config_.batch_size) {
+    // Open the next micro-flow and pick its splitting core round-robin —
+    // equal-size batches spread evenly give similar per-core load (§III-A).
+    ++st.batch;
+    st.in_batch = 0;
+    st.target = config_.splitting_cores[st.rr % config_.splitting_cores.size()];
+    ++st.rr;
+    out.new_batch = true;
+  }
+  st.in_batch += segs;
+  out.microflow_id = st.batch;
+  out.target_core = st.target;
+  return out;
+}
+
+std::uint64_t BatchAssigner::observed(net::FlowId flow) const {
+  const auto it = flows_.find(flow);
+  return it == flows_.end() ? 0 : it->second.seen_segs;
+}
+
+void FlowSplitter::on_forward(net::PacketPtr pkt, std::size_t next_index,
+                              int from_core) {
+  const auto a = assigner_.assign(pkt->flow_id, pkt->gro_segs);
+  sim::Core& fc = machine_.core(from_core);
+  const stack::CostModel& costs = machine_.costs();
+
+  if (a.microflow_id == 0) {
+    // Mouse flow: fall through to the default transition (stay local under
+    // the machine's steering policy).
+    ++passed_;
+    fc.charge(sim::Tag::kSteer, costs.local_enqueue);
+    machine_.deliver_to_stage(next_index, from_core, from_core,
+                              std::move(pkt), /*charge_handoff=*/false);
+    return;
+  }
+
+  ++split_;
+  pkt->microflow_id = a.microflow_id;
+  Reassembler* ra = lookup_(*pkt);
+  if (a.new_batch) {
+    // Batch handoff + IPI are paid once per micro-flow, which is what makes
+    // MFLOW's steering cheaper per packet than FALCON's per-skb handoff.
+    fc.charge(sim::Tag::kSteer, costs.mflow_dispatch_per_batch);
+    if (ra != nullptr) ra->note_batch_open(pkt->flow_id, a.microflow_id);
+  }
+  if (ra != nullptr)
+    ra->note_dispatch(pkt->flow_id, a.microflow_id, pkt->gro_segs);
+  fc.charge(sim::Tag::kSteer, costs.mflow_split_per_pkt);
+  machine_.deliver_to_stage(next_index, a.target_core, from_core,
+                            std::move(pkt), /*charge_handoff=*/false);
+}
+
+}  // namespace mflow::core

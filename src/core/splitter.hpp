@@ -1,0 +1,84 @@
+// Flow splitting (paper §III-A).
+//
+// BatchAssigner implements the micro-flow policy shared by both splitting
+// mechanisms: consecutive runs of `batch_size` packets form micro-flows,
+// each micro-flow is assigned a splitting core round-robin, and the
+// micro-flow ID (its position in the original flow) rides in the skb.
+//
+// FlowSplitter is the stage-transition mechanism: installed as the
+// TransitionHook on the edge *into* a heavyweight device (e.g. VXLAN), it
+// re-purposes the transition function to enqueue each micro-flow onto its
+// target core's per-core, per-device splitting queue and raise a softirq
+// there via IPI — instead of the default same-core enqueue.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/config.hpp"
+#include "core/reassembler.hpp"
+#include "stack/machine.hpp"
+
+namespace mflow::core {
+
+class BatchAssigner {
+ public:
+  explicit BatchAssigner(const MflowConfig& config) : config_(config) {}
+
+  struct Assignment {
+    std::uint64_t microflow_id = 0;  // 0 => flow not split (mouse flow)
+    int target_core = -1;
+    bool new_batch = false;  // first packet of its micro-flow
+  };
+
+  /// Classify + assign one packet of `flow`. `segs` counts the wire
+  /// segments the skb carries (1 before GRO).
+  Assignment assign(net::FlowId flow, std::uint32_t segs);
+
+  /// Packets observed for a flow so far (elephant classification input).
+  std::uint64_t observed(net::FlowId flow) const;
+
+ private:
+  struct PerFlow {
+    std::uint64_t seen_segs = 0;
+    std::uint64_t batch = 0;       // current micro-flow id (1-based)
+    std::uint32_t in_batch = 0;    // segments already placed in it
+    std::size_t rr = 0;            // next splitting-core index
+    int target = -1;
+  };
+
+  const MflowConfig& config_;
+  std::unordered_map<net::FlowId, PerFlow> flows_;
+};
+
+class FlowSplitter final : public stack::TransitionHook {
+ public:
+  /// `reassembler_for` maps a packet to the reassembler of its destination
+  /// socket (so dispatch bookkeeping lands where merging happens).
+  using ReassemblerLookup =
+      std::function<Reassembler*(const net::Packet&)>;
+
+  FlowSplitter(stack::Machine& machine, const MflowConfig& config,
+               ReassemblerLookup lookup)
+      : machine_(machine),
+        config_(config),
+        assigner_(config_),
+        lookup_(std::move(lookup)) {}
+
+  void on_forward(net::PacketPtr pkt, std::size_t next_index,
+                  int from_core) override;
+
+  std::uint64_t packets_split() const { return split_; }
+  std::uint64_t packets_passed() const { return passed_; }
+  const BatchAssigner& assigner() const { return assigner_; }
+
+ private:
+  stack::Machine& machine_;
+  const MflowConfig& config_;
+  BatchAssigner assigner_;
+  ReassemblerLookup lookup_;
+  std::uint64_t split_ = 0;
+  std::uint64_t passed_ = 0;
+};
+
+}  // namespace mflow::core

@@ -1,0 +1,47 @@
+#include "experiment/datacaching.hpp"
+
+namespace mflow::exp {
+
+DataCachingResult run_datacaching(const DataCachingConfig& cfg) {
+  ScenarioConfig sc;
+  sc.mode = cfg.mode;
+  sc.protocol = net::Ipv4Header::kProtoTcp;
+  sc.message_size = cfg.object_bytes;
+  sc.num_flows = cfg.clients;
+  sc.warmup = cfg.warmup;
+  sc.measure = cfg.measure;
+  sc.seed = cfg.seed;
+  sc.costs = cfg.costs;
+  sc.interference = cfg.interference;
+  // Same receiver layout as the multi-flow experiments: 5 application cores
+  // (memcached worker threads' side), 10 kernel packet-processing cores.
+  sc.server_cores = 15;
+  sc.app_cores = 5;
+  sc.first_kernel_core = 5;
+  sc.kernel_cores = 10;
+  sc.nic_queues = 10;
+  sc.pace_per_message =
+      static_cast<sim::Time>(1e9 / cfg.requests_per_client);
+
+  if (cfg.mode == Mode::kMflow) {
+    core::MflowConfig mcfg = core::tcp_full_path_config();
+    mcfg.pipeline_pairs.clear();
+    mcfg.splitting_cores.clear();
+    for (int c = 5; c < 15; ++c) mcfg.splitting_cores.push_back(c);
+    sc.mflow = mcfg;
+  }
+
+  const ScenarioResult r = run_scenario(sc);
+  DataCachingResult res;
+  res.mode = r.mode;
+  res.clients = cfg.clients;
+  res.achieved_rps =
+      static_cast<double>(r.messages) / sim::to_seconds(cfg.measure);
+  const double service_us = sim::to_us(cfg.service_time);
+  res.avg_latency_us = r.mean_latency_us() + service_us;
+  res.p50_latency_us = r.p50_latency_us() + service_us;
+  res.p99_latency_us = r.p99_latency_us() + service_us;
+  return res;
+}
+
+}  // namespace mflow::exp

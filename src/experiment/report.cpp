@@ -1,0 +1,62 @@
+#include "experiment/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+namespace mflow::exp {
+
+bool Expectation::holds() const {
+  if (expected == 0.0) return std::abs(measured) <= tolerance;
+  return std::abs(measured - expected) <= tolerance * std::abs(expected);
+}
+
+void print_expectations(std::ostream& os, const std::string& title,
+                        const std::vector<Expectation>& exps) {
+  util::Table t({"check", "paper", "measured", "tol", "verdict"});
+  for (const auto& e : exps) {
+    t.add({e.label, util::Table::Cell(e.expected, 2),
+           util::Table::Cell(e.measured, 2),
+           util::Table::Cell(e.tolerance * 100.0, 0),
+           e.holds() ? "OK" : "DEVIATES"});
+  }
+  t.print(os, title);
+}
+
+void print_core_breakdown(std::ostream& os, const std::string& title,
+                          const ScenarioResult& result, int max_cores,
+                          double min_total) {
+  util::Table t({"core", "total", "dominant work (util%)"});
+  int shown = 0;
+  for (const auto& c : result.cores) {
+    if (c.total < min_total) continue;
+    if (shown++ >= max_cores) break;
+    // List tags above 1% of the window, largest first.
+    std::vector<std::pair<double, std::size_t>> tags;
+    for (std::size_t i = 0; i < c.by_tag.size(); ++i)
+      if (c.by_tag[i] >= 0.01) tags.emplace_back(c.by_tag[i], i);
+    std::sort(tags.rbegin(), tags.rend());
+    std::ostringstream detail;
+    for (std::size_t i = 0; i < tags.size(); ++i) {
+      if (i) detail << " ";
+      detail << sim::tag_name(static_cast<sim::Tag>(tags[i].second)) << "="
+             << static_cast<int>(tags[i].first * 100.0 + 0.5) << "%";
+    }
+    t.add({c.core_id, util::fmt_pct(c.total), detail.str()});
+  }
+  t.print(os, title);
+}
+
+std::string throughput_row(const ScenarioResult& r) {
+  std::ostringstream os;
+  os << r.mode << ": " << util::fmt_gbps(r.goodput_gbps)
+     << " (offered " << util::fmt_gbps(r.offered_gbps) << ", "
+     << r.messages << " msgs, p50 " << r.p50_latency_us() << "us, p99 "
+     << r.p99_latency_us() << "us)";
+  return os.str();
+}
+
+}  // namespace mflow::exp

@@ -1,0 +1,34 @@
+// Paper-vs-measured reporting used by every bench binary.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "experiment/scenario.hpp"
+#include "util/table.hpp"
+
+namespace mflow::exp {
+
+/// One expectation from the paper ("MFLOW/vanilla TCP throughput ~ 1.81x").
+struct Expectation {
+  std::string label;
+  double expected;   // the paper's value (ratio or absolute)
+  double measured;
+  double tolerance;  // fractional tolerance considered "shape holds"
+  bool holds() const;
+};
+
+/// Prints an expectation table with OK / DEVIATES flags.
+void print_expectations(std::ostream& os, const std::string& title,
+                        const std::vector<Expectation>& exps);
+
+/// Per-core CPU breakdown table (Figures 4b / 8b / 12).
+void print_core_breakdown(std::ostream& os, const std::string& title,
+                          const ScenarioResult& result, int max_cores = 16,
+                          double min_total = 0.005);
+
+/// Convenience CSV-ish line for sweep outputs.
+std::string throughput_row(const ScenarioResult& r);
+
+}  // namespace mflow::exp

@@ -1,0 +1,332 @@
+#include "experiment/scenario.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+#include "core/adaptive.hpp"
+#include "core/mflow.hpp"
+#include "overlay/topology.hpp"
+#include "sim/simulator.hpp"
+#include "stack/machine.hpp"
+#include "steering/modes.hpp"
+#include "util/stats.hpp"
+#include "workload/sender.hpp"
+
+namespace mflow::exp {
+
+std::string_view mode_name(Mode mode) {
+  switch (mode) {
+    case Mode::kNative: return "native";
+    case Mode::kVanilla: return "vanilla-overlay";
+    case Mode::kRps: return "rps";
+    case Mode::kFalconDev: return "falcon-dev";
+    case Mode::kFalconFun: return "falcon-fun";
+    case Mode::kMflow: return "mflow";
+  }
+  return "?";
+}
+
+std::vector<Mode> evaluation_modes() {
+  return {Mode::kNative, Mode::kVanilla, Mode::kRps, Mode::kFalconFun,
+          Mode::kMflow};
+}
+
+std::vector<Mode> motivation_modes() {
+  return {Mode::kNative, Mode::kVanilla, Mode::kRps, Mode::kFalconDev,
+          Mode::kFalconFun};
+}
+
+double ScenarioResult::max_core_utilization() const {
+  double best = 0.0;
+  for (const auto& c : cores) best = std::max(best, c.total);
+  return best;
+}
+
+double ScenarioResult::utilization_stddev_pct(int first_core,
+                                              int count) const {
+  util::RunningStats s;
+  for (const auto& c : cores)
+    if (c.core_id >= first_core && c.core_id < first_core + count)
+      s.add(c.total * 100.0);
+  return s.stddev();
+}
+
+namespace {
+
+constexpr std::uint16_t kBasePort = 5000;
+constexpr std::uint32_t kVni = 42;
+
+const net::Ipv4Addr kHostA{192, 168, 1, 2};   // client (sender) host
+const net::Ipv4Addr kHostB{192, 168, 1, 3};   // server (receiver) host
+const net::Ipv4Addr kContainerA{10, 0, 1, 2};  // client-side container
+const net::Ipv4Addr kContainerB{10, 0, 1, 3};  // server-side container
+
+struct FlowPlan {
+  net::FlowKey flow;
+  net::FlowId id;
+  std::uint16_t port;
+  int app_core;
+  int client_core;
+};
+
+}  // namespace
+
+ScenarioResult run_scenario(const ScenarioConfig& cfg) {
+  const bool overlay = cfg.mode != Mode::kNative;
+  const bool is_tcp = cfg.protocol == net::Ipv4Header::kProtoTcp;
+  const bool use_mflow = cfg.mode == Mode::kMflow;
+
+  core::MflowConfig mcfg =
+      cfg.mflow.value_or(is_tcp ? core::tcp_full_path_config()
+                                : core::udp_device_scaling_config());
+
+  sim::Simulator sim(cfg.seed);
+
+  // --- receiver machine -----------------------------------------------------
+  overlay::PathSpec spec;
+  spec.overlay = overlay;
+  spec.protocol = cfg.protocol;
+  spec.vni = kVni;
+  spec.tcp_in_reader = use_mflow && is_tcp && mcfg.tcp_in_reader;
+
+  stack::MachineParams mp;
+  mp.num_cores = cfg.server_cores;
+  mp.costs = cfg.costs;
+  mp.nic.num_queues = cfg.nic_queues;
+  for (int q = 0; q < cfg.nic_queues; ++q)
+    mp.irq_affinity.push_back(cfg.first_kernel_core + q % cfg.kernel_cores);
+
+  stack::Machine server(sim, mp);
+  server.set_path(overlay::build_rx_path(server.costs(), spec));
+
+  // Kernel cores not used as IRQ cores: targets for RPS / FALCON pipelines.
+  // When every kernel core handles a NIC queue (multi-flow setups), the
+  // pipelines share the full kernel-core set instead.
+  std::vector<int> helper_cores;
+  for (int c = cfg.first_kernel_core + cfg.nic_queues;
+       c < cfg.first_kernel_core + cfg.kernel_cores && c < cfg.server_cores;
+       ++c)
+    helper_cores.push_back(c);
+  if (helper_cores.empty()) {
+    for (int c = cfg.first_kernel_core;
+         c < cfg.first_kernel_core + cfg.kernel_cores && c < cfg.server_cores;
+         ++c)
+      helper_cores.push_back(c);
+  }
+
+  switch (cfg.mode) {
+    case Mode::kNative:
+    case Mode::kVanilla:
+      server.set_steering(steer::make_vanilla());
+      break;
+    case Mode::kRps:
+      server.set_steering(steer::make_rps(helper_cores, overlay,
+                                          cfg.costs.rps_hash_per_pkt));
+      break;
+    case Mode::kFalconDev:
+      server.set_steering(steer::make_falcon(
+          steer::FalconSteering::Level::kDevice, helper_cores, overlay));
+      break;
+    case Mode::kFalconFun:
+      server.set_steering(steer::make_falcon(
+          steer::FalconSteering::Level::kFunction, helper_cores, overlay));
+      break;
+    case Mode::kMflow:
+      if (!mcfg.pipeline_pairs.empty()) {
+        server.set_steering(std::make_unique<steer::PairedPipelineSteering>(
+            std::unordered_map<int, int>(mcfg.pipeline_pairs.begin(),
+                                         mcfg.pipeline_pairs.end()),
+            mcfg.pipeline_at));
+      } else {
+        server.set_steering(steer::make_vanilla());
+      }
+      break;
+  }
+
+  // --- flows & sockets --------------------------------------------------------
+  const net::Ipv4Addr src_ip = overlay ? kContainerA : kHostA;
+  const net::Ipv4Addr dst_ip = overlay ? kContainerB : kHostB;
+  std::vector<FlowPlan> plans;
+  if (is_tcp) {
+    for (int i = 0; i < cfg.num_flows; ++i) {
+      FlowPlan p;
+      p.flow = net::FlowKey{src_ip, dst_ip,
+                            static_cast<std::uint16_t>(40000 + i),
+                            static_cast<std::uint16_t>(kBasePort + i),
+                            net::Ipv4Header::kProtoTcp};
+      p.id = static_cast<net::FlowId>(i + 1);
+      p.port = static_cast<std::uint16_t>(kBasePort + i);
+      p.app_core = i % cfg.app_cores;
+      p.client_core = i;
+      plans.push_back(p);
+    }
+  } else {
+    // The paper's UDP setup: three sockperf clients stress ONE UDP flow
+    // (same 5-tuple), so RSS/RPS cannot spread the load — the whole point
+    // of the motivation study. All clients share flow id 1.
+    for (int i = 0; i < cfg.udp_clients; ++i) {
+      FlowPlan p;
+      p.flow = net::FlowKey{src_ip, dst_ip, 41000, kBasePort,
+                            net::Ipv4Header::kProtoUdp};
+      p.id = 1;
+      p.port = kBasePort;
+      p.app_core = 0;
+      p.client_core = i;
+      plans.push_back(p);
+    }
+  }
+
+  std::vector<std::uint16_t> socket_ports;
+  for (const auto& p : plans) {
+    if (!socket_ports.empty() && socket_ports.back() == p.port) continue;
+    stack::SocketConfig sc;
+    sc.protocol = cfg.protocol;
+    sc.app_core = p.app_core;
+    sc.message_size = cfg.message_size;
+    sc.tcp_in_reader = spec.tcp_in_reader;
+    sc.extra_reader_cores = cfg.extra_reader_cores;
+    server.add_socket(p.port, sc);
+    socket_ports.push_back(p.port);
+  }
+
+  // --- MFLOW -------------------------------------------------------------------
+  std::unique_ptr<core::MflowEngine> engine;
+  server.start();
+  std::unique_ptr<core::AdaptiveBatchController> adaptive;
+  if (use_mflow) {
+    engine = std::make_unique<core::MflowEngine>(server, mcfg);
+    if (cfg.mflow_reassembler) {
+      for (std::uint16_t port : socket_ports)
+        engine->attach_socket(port, server.socket(port));
+    }
+    engine->install();
+    if (cfg.adaptive_batch) {
+      adaptive =
+          std::make_unique<core::AdaptiveBatchController>(sim, *engine);
+      adaptive->start();
+    }
+  }
+
+  // --- interference on kernel cores ---------------------------------------------
+  sim::Interference interference(sim, cfg.interference, cfg.seed ^ 0xABCD);
+  for (int c = cfg.first_kernel_core;
+       c < cfg.first_kernel_core + cfg.kernel_cores && c < cfg.server_cores;
+       ++c)
+    interference.attach(server.core(c));
+
+  // --- clients ---------------------------------------------------------------------
+  workload::ClientHost clients(sim, static_cast<int>(plans.size()),
+                               cfg.costs);
+  workload::WireLink wire(sim, server, cfg.costs.wire_latency);
+
+  std::vector<std::unique_ptr<workload::TcpSender>> tcp_senders;
+  std::vector<std::unique_ptr<workload::UdpSender>> udp_senders;
+  std::unordered_map<net::FlowId, workload::TcpSender*> sender_by_flow;
+
+  for (const auto& p : plans) {
+    workload::SenderParams sp;
+    sp.flow = p.flow;
+    sp.flow_id = p.id;
+    sp.overlay = overlay;
+    sp.outer_src = kHostA;
+    sp.outer_dst = kHostB;
+    sp.vni = kVni;
+    sp.message_size = cfg.message_size;
+    // Fair-share windows: real concurrent TCP flows converge (via congestion
+    // control) to sharing the bottleneck, keeping aggregate inflight within
+    // buffering. Static division reproduces that steady state.
+    sp.window_bytes = cfg.num_flows > 1
+                          ? std::max<std::uint64_t>(
+                                128ull * net::kTcpMss,
+                                cfg.window_bytes /
+                                    static_cast<std::uint64_t>(cfg.num_flows))
+                          : cfg.window_bytes;
+    sp.pace_per_message = cfg.pace_per_message;
+    if (is_tcp) {
+      tcp_senders.push_back(std::make_unique<workload::TcpSender>(
+          clients, p.client_core, sp, wire));
+      sender_by_flow[p.id] = tcp_senders.back().get();
+    } else {
+      sp.message_id_start = static_cast<std::uint64_t>(p.client_core);
+      sp.message_id_stride = static_cast<std::uint64_t>(cfg.udp_clients);
+      udp_senders.push_back(std::make_unique<workload::UdpSender>(
+          clients, p.client_core, sp, wire));
+    }
+  }
+
+  // ACK path: receiver-side TCP -> (wire latency) -> client sender.
+  if (is_tcp) {
+    const sim::Time ack_latency = cfg.costs.wire_latency;
+    auto ack_cb = [&sim, &sender_by_flow,
+                   ack_latency](net::FlowId flow, std::uint64_t bytes) {
+      const auto it = sender_by_flow.find(flow);
+      if (it == sender_by_flow.end()) return;
+      workload::TcpSender* snd = it->second;
+      sim.after(ack_latency, [snd, bytes] { snd->on_ack(bytes); });
+    };
+    if (spec.tcp_in_reader) {
+      for (std::uint16_t port : socket_ports)
+        server.socket(port).tcp_receiver().set_ack_callback(ack_cb);
+    } else if (auto* rx = overlay::find_softirq_tcp_receiver(server)) {
+      rx->set_ack_callback(ack_cb);
+    }
+  }
+
+  for (auto& s : tcp_senders) s->start();
+  for (auto& s : udp_senders) s->start();
+
+  // --- run ---------------------------------------------------------------------------
+  std::uint64_t events = sim.run_until(cfg.warmup);
+  server.reset_measurement();
+  if (engine) engine->reset_stats();
+  const std::uint64_t drops0 = server.nic().total_drops();
+  std::uint64_t offered0 = 0;
+  for (const auto& s : tcp_senders) offered0 += s->bytes_sent();
+  for (const auto& s : udp_senders) offered0 += s->bytes_sent();
+
+  events += sim.run_until(cfg.warmup + cfg.measure);
+
+  // --- collect --------------------------------------------------------------------------
+  ScenarioResult res;
+  res.mode = std::string(mode_name(cfg.mode));
+  res.events = events;
+  const double secs = sim::to_seconds(cfg.measure);
+
+  std::uint64_t bytes = 0;
+  for (std::uint16_t port : socket_ports) {
+    const auto& st = server.socket(port).stats();
+    bytes += st.payload_bytes;
+    res.messages += st.messages;
+    res.latency.merge(st.latency);
+  }
+  res.goodput_gbps = static_cast<double>(bytes) * 8.0 / secs / 1e9;
+
+  std::uint64_t offered1 = 0;
+  for (const auto& s : tcp_senders) offered1 += s->bytes_sent();
+  for (const auto& s : udp_senders) offered1 += s->bytes_sent();
+  res.offered_gbps =
+      static_cast<double>(offered1 - offered0) * 8.0 / secs / 1e9;
+
+  res.nic_drops = server.nic().total_drops() - drops0;
+  if (engine) {
+    res.ooo_arrivals = engine->ooo_arrivals();
+    res.batches_merged = engine->batches_merged();
+    res.final_batch = engine->config().batch_size;
+  }
+
+  for (int c = 0; c < server.num_cores(); ++c) {
+    CoreUsage u;
+    u.core_id = c;
+    const auto& core = server.core(c);
+    for (std::size_t t = 0; t < sim::kTagCount; ++t)
+      u.by_tag[t] =
+          static_cast<double>(core.busy_ns(static_cast<sim::Tag>(t))) /
+          static_cast<double>(cfg.measure);
+    u.total = core.utilization(cfg.measure);
+    res.cores.push_back(u);
+  }
+  return res;
+}
+
+}  // namespace mflow::exp

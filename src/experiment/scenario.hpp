@@ -1,0 +1,112 @@
+// Scenario runner: assembles one complete experiment — receiver machine,
+// RX path, steering mode, optional MFLOW, client hosts, interference — runs
+// it with a warmup, and collects the metrics the paper's figures report.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "sim/interference.hpp"
+#include "stack/costs.hpp"
+#include "util/histogram.hpp"
+
+namespace mflow::exp {
+
+enum class Mode { kNative, kVanilla, kRps, kFalconDev, kFalconFun, kMflow };
+
+std::string_view mode_name(Mode mode);
+/// The five comparison cases of the paper's evaluation (Figure 8) plus the
+/// two FALCON variants of the motivation study (Figure 4).
+std::vector<Mode> evaluation_modes();
+std::vector<Mode> motivation_modes();
+
+struct ScenarioConfig {
+  Mode mode = Mode::kVanilla;
+  std::uint8_t protocol = net::Ipv4Header::kProtoTcp;
+  std::uint32_t message_size = 65536;
+
+  int num_flows = 1;    // concurrent TCP flows (each its own socket+sender)
+  int udp_clients = 3;  // paper: three sockperf clients stress one UDP flow
+                        // each (i.e. udp_clients flows into one socket)
+
+  // Receiver machine layout.
+  int server_cores = 16;
+  int app_cores = 1;          // reader threads spread over cores [0, n)
+  int first_kernel_core = 1;  // kernel packet-processing cores start here
+  int kernel_cores = 15;
+  int nic_queues = 1;
+
+  // Measurement windows.
+  sim::Time warmup = sim::ms(10);
+  sim::Time measure = sim::ms(40);
+  std::uint64_t seed = 42;
+
+  stack::CostModel costs = stack::default_costs();
+  sim::InterferenceParams interference{};
+
+  /// Override MFLOW's configuration (default: the per-protocol paper
+  /// defaults from core/config.hpp).
+  std::optional<core::MflowConfig> mflow;
+
+  /// Ablation switch: when false, MFLOW splits but does NOT install its
+  /// reassembler — reordering is left to the kernel's per-packet TCP
+  /// out-of-order queue (bench/ablate_reassembly).
+  bool mflow_reassembler = true;
+
+  /// Extra data-copy (reader) threads per socket on these cores — the
+  /// receiver-side future-work extension (bench/ablate_copy_scaling).
+  std::vector<int> extra_reader_cores = {};
+
+  /// Enable the online batch-size controller (core/adaptive.hpp); the
+  /// configured batch_size is then only the starting point.
+  bool adaptive_batch = false;
+
+  /// TCP sender window (bytes in flight).
+  std::uint64_t window_bytes = 3000ull * net::kTcpMss;
+
+  /// 0 = drive to saturation; otherwise one message per sender per this
+  /// interval (latency-under-controlled-load runs).
+  sim::Time pace_per_message = 0;
+};
+
+struct CoreUsage {
+  int core_id = 0;
+  double total = 0.0;  // busy fraction of the measurement window
+  std::array<double, sim::kTagCount> by_tag{};
+};
+
+struct ScenarioResult {
+  std::string mode;
+  double goodput_gbps = 0.0;   // application payload received
+  double offered_gbps = 0.0;   // client payload transmitted
+  std::uint64_t messages = 0;
+  util::Histogram latency{6};  // per-message latency (ns)
+  std::vector<CoreUsage> cores;  // receiver cores, measurement window
+  std::uint64_t nic_drops = 0;
+  std::uint64_t ooo_arrivals = 0;   // MFLOW merge-point reordering events
+  std::uint64_t batches_merged = 0;
+  std::uint64_t events = 0;         // simulator events (diagnostics)
+  std::uint32_t final_batch = 0;    // batch size at run end (adaptive mode)
+
+  double mean_latency_us() const { return latency.mean() / 1000.0; }
+  double p50_latency_us() const {
+    return static_cast<double>(latency.p50()) / 1000.0;
+  }
+  double p99_latency_us() const {
+    return static_cast<double>(latency.p99()) / 1000.0;
+  }
+  /// Busy fraction of the busiest receiver core.
+  double max_core_utilization() const;
+  /// Std deviation of utilization across the given receiver cores
+  /// (percent points, as the paper reports for Figure 12).
+  double utilization_stddev_pct(int first_core, int count) const;
+};
+
+/// Run one scenario to completion and collect metrics.
+ScenarioResult run_scenario(const ScenarioConfig& cfg);
+
+}  // namespace mflow::exp

@@ -1,0 +1,299 @@
+#include "experiment/webserving.hpp"
+
+#include <memory>
+#include <unordered_map>
+
+#include "core/mflow.hpp"
+#include "overlay/topology.hpp"
+#include "sim/simulator.hpp"
+#include "stack/machine.hpp"
+#include "steering/modes.hpp"
+#include "workload/injector.hpp"
+
+namespace mflow::exp {
+
+std::vector<WebOpType> default_web_ops() {
+  using sim::us;
+  return {
+      {"login", 512, 131072, us(800), sim::ms(4), 0.05},
+      {"browse", 512, 98304, us(600), sim::ms(3), 0.30},
+      {"update_activity", 512, 24576, us(300), sim::us(1500), 0.20},
+      {"post_wall", 512, 16384, us(250), sim::us(1200), 0.15},
+      {"send_chat", 512, 8192, us(200), sim::ms(1), 0.20},
+      {"add_friend", 512, 4096, us(150), sim::ms(1), 0.10},
+  };
+}
+
+namespace {
+
+constexpr std::uint16_t kClientPortBase = 6000;
+constexpr std::uint16_t kBackendPortBase = 6100;
+constexpr std::uint32_t kVni = 42;
+
+const net::Ipv4Addr kWebHost{192, 168, 2, 3};
+const net::Ipv4Addr kClientHostIp{192, 168, 2, 2};
+const net::Ipv4Addr kBackendHostIp{192, 168, 2, 4};
+const net::Ipv4Addr kNginx{10, 0, 2, 3};
+const net::Ipv4Addr kClientTier{10, 0, 2, 2};
+const net::Ipv4Addr kBackendTier{10, 0, 2, 4};
+
+struct Op {
+  int type = 0;
+  int user = 0;
+  sim::Time start = 0;
+  bool counted = false;  // fired inside the measurement window
+  bool done = false;
+};
+
+}  // namespace
+
+WebservingResult run_webserving(const WebservingConfig& cfg) {
+  const bool use_mflow = cfg.mode == Mode::kMflow;
+  const bool overlay = cfg.mode != Mode::kNative;
+  sim::Simulator sim(cfg.seed);
+
+  // --- web host machine (5 app cores, 10 kernel cores, RSS everywhere) ----
+  stack::MachineParams mp;
+  mp.num_cores = 15;
+  mp.costs = cfg.costs;
+  mp.nic.num_queues = 10;
+  for (int q = 0; q < 10; ++q) mp.irq_affinity.push_back(5 + q);
+
+  core::MflowConfig mcfg = core::tcp_full_path_config();
+  mcfg.pipeline_pairs.clear();
+  mcfg.splitting_cores.clear();
+  for (int c = 5; c < 15; ++c) mcfg.splitting_cores.push_back(c);
+  // Only long-lived bulk (backend) flows qualify as elephants; request
+  // flows never cross this within the run and stay on the default path.
+  mcfg.elephant_threshold_pkts = 20000;
+
+  overlay::PathSpec spec;
+  spec.overlay = overlay;
+  spec.protocol = net::Ipv4Header::kProtoTcp;
+  spec.vni = kVni;
+  spec.tcp_in_reader = use_mflow && mcfg.tcp_in_reader;
+
+  stack::Machine server(sim, mp);
+  server.set_path(overlay::build_rx_path(server.costs(), spec));
+
+  std::vector<int> kernel_cores;
+  for (int c = 5; c < 15; ++c) kernel_cores.push_back(c);
+  switch (cfg.mode) {
+    case Mode::kNative:
+    case Mode::kVanilla:
+      server.set_steering(steer::make_vanilla());
+      break;
+    case Mode::kRps:
+      server.set_steering(
+          steer::make_rps(kernel_cores, overlay, cfg.costs.rps_hash_per_pkt));
+      break;
+    case Mode::kFalconDev:
+      server.set_steering(steer::make_falcon(
+          steer::FalconSteering::Level::kDevice, kernel_cores, overlay));
+      break;
+    case Mode::kFalconFun:
+      server.set_steering(steer::make_falcon(
+          steer::FalconSteering::Level::kFunction, kernel_cores, overlay));
+      break;
+    case Mode::kMflow:
+      server.set_steering(steer::make_vanilla());
+      break;
+  }
+
+  // --- sockets: request + backend connections ------------------------------------
+  std::vector<std::uint16_t> ports;
+  auto add_sock = [&](std::uint16_t port, int app_core) {
+    stack::SocketConfig sc;
+    sc.protocol = net::Ipv4Header::kProtoTcp;
+    sc.app_core = app_core;
+    sc.per_message_accounting = true;
+    sc.tcp_in_reader = spec.tcp_in_reader;
+    server.add_socket(port, sc);
+    ports.push_back(port);
+  };
+  for (int i = 0; i < cfg.client_flows; ++i)
+    add_sock(static_cast<std::uint16_t>(kClientPortBase + i), i % 5);
+  for (int i = 0; i < cfg.backend_flows; ++i)
+    add_sock(static_cast<std::uint16_t>(kBackendPortBase + i), i % 5);
+
+  server.start();
+  std::unique_ptr<core::MflowEngine> engine;
+  if (use_mflow) {
+    engine = std::make_unique<core::MflowEngine>(server, mcfg);
+    for (auto port : ports) engine->attach_socket(port, server.socket(port));
+    engine->install();
+  }
+
+  sim::Interference interference(sim, cfg.interference, cfg.seed ^ 0x5EB);
+  for (int c : kernel_cores) interference.attach(server.core(c));
+
+  // --- tier hosts & injectors ------------------------------------------------------
+  workload::ClientHost client_tier(sim, cfg.client_flows, cfg.costs);
+  workload::ClientHost backend_tier(sim, cfg.backend_flows, cfg.costs);
+  workload::WireLink client_wire(sim, server, cfg.costs.wire_latency);
+  workload::WireLink backend_wire(sim, server, cfg.costs.wire_latency);
+
+  std::vector<std::unique_ptr<workload::StreamInjector>> req_inj, back_inj;
+  for (int i = 0; i < cfg.client_flows; ++i) {
+    workload::SenderParams sp;
+    sp.flow = net::FlowKey{overlay ? kClientTier : kClientHostIp,
+                           overlay ? kNginx : kWebHost,
+                           static_cast<std::uint16_t>(52000 + i),
+                           static_cast<std::uint16_t>(kClientPortBase + i),
+                           net::Ipv4Header::kProtoTcp};
+    sp.flow_id = static_cast<net::FlowId>(100 + i);
+    sp.overlay = overlay;
+    sp.outer_src = kClientHostIp;
+    sp.outer_dst = kWebHost;
+    sp.vni = kVni;
+    req_inj.push_back(std::make_unique<workload::StreamInjector>(
+        client_tier, i, sp, client_wire));
+  }
+  for (int i = 0; i < cfg.backend_flows; ++i) {
+    workload::SenderParams sp;
+    sp.flow = net::FlowKey{overlay ? kBackendTier : kBackendHostIp,
+                           overlay ? kNginx : kWebHost,
+                           static_cast<std::uint16_t>(53000 + i),
+                           static_cast<std::uint16_t>(kBackendPortBase + i),
+                           net::Ipv4Header::kProtoTcp};
+    sp.flow_id = static_cast<net::FlowId>(200 + i);
+    sp.overlay = overlay;
+    sp.outer_src = kBackendHostIp;
+    sp.outer_dst = kWebHost;
+    sp.vni = kVni;
+    back_inj.push_back(std::make_unique<workload::StreamInjector>(
+        backend_tier, i, sp, backend_wire));
+  }
+
+  // --- closed-loop user state machine ---------------------------------------------
+  std::vector<Op> op_log;
+  op_log.reserve(65536);
+  // message id -> op index; ids are 2*op (request) and 2*op+1 (backend).
+  std::vector<WebOpStats> stats(cfg.ops.size());
+  for (std::size_t i = 0; i < cfg.ops.size(); ++i)
+    stats[i].name = cfg.ops[i].name;
+
+  util::Rng rng = sim.rng().fork();
+  const sim::Time t_open = cfg.warmup;
+  const sim::Time t_close = cfg.warmup + cfg.measure;
+
+  // Forward declarations via std::function for the recursive loop.
+  std::function<void(int)> user_think;
+
+  auto pick_op = [&rng, &cfg]() {
+    double x = rng.uniform01();
+    for (std::size_t i = 0; i < cfg.ops.size(); ++i) {
+      if (x < cfg.ops[i].weight) return static_cast<int>(i);
+      x -= cfg.ops[i].weight;
+    }
+    return static_cast<int>(cfg.ops.size()) - 1;
+  };
+
+  auto fire_op = [&](int user) {
+    const int type = pick_op();
+    const auto op_idx = static_cast<std::uint64_t>(op_log.size());
+    Op op;
+    op.type = type;
+    op.user = user;
+    op.start = sim.now();
+    op.counted = sim.now() >= t_open && sim.now() < t_close;
+    op_log.push_back(op);
+    if (op.counted) ++stats[static_cast<std::size_t>(type)].attempted;
+    req_inj[static_cast<std::size_t>(user % cfg.client_flows)]->send_message(
+        2 * op_idx, cfg.ops[static_cast<std::size_t>(type)].request_bytes);
+    // Liveness guard: a user whose op is stuck (e.g. packet loss) re-enters
+    // the pool after 10x the deadline; the op counts as failed.
+    sim.after(cfg.ops[static_cast<std::size_t>(type)].deadline * 10,
+              [&, op_idx, user] {
+                if (!op_log[op_idx].done) {
+                  op_log[op_idx].done = true;
+                  user_think(user);
+                }
+              });
+  };
+
+  user_think = [&](int user) {
+    const auto think = static_cast<sim::Time>(
+        rng.exponential(static_cast<double>(cfg.think_mean)));
+    sim.after(std::max<sim::Time>(1, think), [&, user] { fire_op(user); });
+  };
+
+  // Request completion -> backend query; backend completion -> op done.
+  auto on_message = [&](net::FlowId, std::uint64_t msg_id, sim::Time) {
+    const std::uint64_t op_idx = msg_id / 2;
+    if (op_idx >= op_log.size()) return;
+    Op& op = op_log[op_idx];
+    if (op.done) return;
+    const WebOpType& type = cfg.ops[static_cast<std::size_t>(op.type)];
+    if (msg_id % 2 == 0) {
+      // Request arrived at nginx: query the backend tier.
+      sim.after(cfg.backend_delay, [&, op_idx] {
+        const Op& o = op_log[op_idx];
+        if (o.done) return;
+        back_inj[static_cast<std::size_t>(o.user % cfg.backend_flows)]
+            ->send_message(2 * op_idx + 1,
+                           cfg.ops[static_cast<std::size_t>(o.type)]
+                               .backend_bytes);
+      });
+      return;
+    }
+    // Backend data arrived: render + respond.
+    op.done = true;
+    const sim::Time response = sim.now() - op.start + cfg.service_time;
+    if (op.counted) {
+      auto& s = stats[static_cast<std::size_t>(op.type)];
+      ++s.completed;
+      if (response <= type.deadline) ++s.succeeded;
+      s.response_us.add(sim::to_us(response));
+      s.delay_us.add(sim::to_us(std::max<sim::Time>(0, response - type.target)));
+    }
+    user_think(op.user);
+  };
+  for (auto port : ports)
+    server.socket(port).set_message_listener(on_message);
+
+  // Stagger user arrivals across one think interval.
+  for (int u = 0; u < cfg.users; ++u) {
+    sim.after(1 + rng.uniform(static_cast<std::uint64_t>(
+                      std::max<sim::Time>(1, cfg.think_mean))),
+              [&, u] { fire_op(u); });
+  }
+
+  sim.run_until(t_open);
+  server.reset_measurement();
+  std::uint64_t backend0 = 0;
+  for (const auto& b : back_inj) backend0 += b->bytes_sent();
+  sim.run_until(t_close);
+
+  // --- collect ---------------------------------------------------------------------
+  WebservingResult res;
+  res.mode = std::string(mode_name(cfg.mode));
+  const double secs = sim::to_seconds(cfg.measure);
+  util::RunningStats all_resp, all_delay;
+  std::uint64_t completed = 0, succeeded = 0;
+  for (auto& s : stats) {
+    s.success_per_sec = static_cast<double>(s.succeeded) / secs;
+    completed += s.completed;
+    succeeded += s.succeeded;
+    all_resp.merge(s.response_us);
+    all_delay.merge(s.delay_us);
+    res.per_op.push_back(s);
+  }
+  res.ops_per_sec = static_cast<double>(completed) / secs;
+  res.success_per_sec = static_cast<double>(succeeded) / secs;
+  std::uint64_t attempted = 0;
+  for (const auto& s : stats) attempted += s.attempted;
+  res.success_fraction =
+      attempted ? static_cast<double>(succeeded) /
+                      static_cast<double>(attempted)
+                : 0.0;
+  res.avg_response_us = all_resp.mean();
+  res.avg_delay_us = all_delay.mean();
+  std::uint64_t backend1 = 0;
+  for (const auto& b : back_inj) backend1 += b->bytes_sent();
+  res.backend_goodput_gbps =
+      static_cast<double>(backend1 - backend0) * 8.0 / secs / 1e9;
+  return res;
+}
+
+}  // namespace mflow::exp

@@ -1,0 +1,78 @@
+// CloudSuite-style Web Serving benchmark model (paper §V-B, Figure 11).
+//
+// The paper runs CloudSuite's Elgg stack (nginx + mysql + memcached + 200
+// user clients) in containers over the Docker overlay and reports, per
+// operation type: successful operations/sec, average response time, and
+// average delay (response minus target).
+//
+// We model the *web host's receive side* — the network path the paper's
+// optimizations act on. Each user operation triggers (a) a small request
+// message arriving from the client tier and (b) a bulk response arriving
+// from the database/cache tier, both crossing the overlay RX path. The
+// operation completes when both are delivered and the (fixed) application
+// service time elapses. Backend flows are long-lived elephants that MFLOW
+// splits; request flows stay below the elephant threshold and pass through
+// untouched. Operation mix and sizes are synthetic stand-ins for Elgg's
+// pages (documented in DESIGN.md); metrics and comparisons mirror Fig. 11.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "experiment/scenario.hpp"
+#include "util/stats.hpp"
+
+namespace mflow::exp {
+
+struct WebOpType {
+  std::string name;
+  std::uint32_t request_bytes;
+  std::uint32_t backend_bytes;
+  sim::Time target;    // unloaded response time (Fig 11c "delay" baseline)
+  sim::Time deadline;  // an op completing later counts as unsuccessful
+  double weight;       // share of the operation mix
+};
+
+/// The default operation mix (Elgg-like page weights/sizes).
+std::vector<WebOpType> default_web_ops();
+
+struct WebservingConfig {
+  Mode mode = Mode::kVanilla;
+  int users = 200;
+  sim::Time think_mean = sim::us(350);
+  int client_flows = 4;   // persistent client->nginx connections (aggregated)
+  int backend_flows = 4;  // persistent db/cache->nginx connections
+  sim::Time backend_delay = sim::us(50);   // tier hop + backend lookup
+  sim::Time service_time = sim::us(120);   // nginx/php render time
+  sim::Time warmup = sim::ms(15);
+  sim::Time measure = sim::ms(50);
+  std::uint64_t seed = 7;
+  stack::CostModel costs = stack::default_costs();
+  sim::InterferenceParams interference{};
+  std::vector<WebOpType> ops = default_web_ops();
+};
+
+struct WebOpStats {
+  std::string name;
+  std::uint64_t attempted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t succeeded = 0;  // completed within deadline
+  util::RunningStats response_us;
+  util::RunningStats delay_us;  // max(0, response - target)
+  double success_per_sec = 0.0;
+};
+
+struct WebservingResult {
+  std::string mode;
+  std::vector<WebOpStats> per_op;
+  double ops_per_sec = 0.0;          // all completions
+  double success_per_sec = 0.0;      // completions within deadline
+  double success_fraction = 0.0;
+  double avg_response_us = 0.0;
+  double avg_delay_us = 0.0;
+  double backend_goodput_gbps = 0.0;
+};
+
+WebservingResult run_webserving(const WebservingConfig& cfg);
+
+}  // namespace mflow::exp

@@ -1,0 +1,25 @@
+#include "net/checksum.hpp"
+
+namespace mflow::net {
+
+std::uint16_t checksum_fold(std::span<const std::uint8_t> data,
+                            std::uint32_t initial) {
+  std::uint64_t sum = initial;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2)
+    sum += (static_cast<std::uint32_t>(data[i]) << 8) | data[i + 1];
+  if (i < data.size()) sum += static_cast<std::uint32_t>(data[i]) << 8;
+  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+  return static_cast<std::uint16_t>(sum);
+}
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data,
+                                std::uint32_t initial) {
+  return static_cast<std::uint16_t>(~checksum_fold(data, initial));
+}
+
+bool checksum_ok(std::span<const std::uint8_t> data, std::uint32_t initial) {
+  return checksum_fold(data, initial) == 0xFFFF;
+}
+
+}  // namespace mflow::net

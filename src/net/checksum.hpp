@@ -1,0 +1,22 @@
+// RFC 1071 Internet checksum, used by the IPv4/UDP/TCP header codecs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace mflow::net {
+
+/// One's-complement sum of 16-bit words (odd trailing byte zero-padded),
+/// folded to 16 bits. Returns the raw sum, NOT inverted.
+std::uint16_t checksum_fold(std::span<const std::uint8_t> data,
+                            std::uint32_t initial = 0);
+
+/// Final inverted checksum as stored in headers.
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data,
+                                std::uint32_t initial = 0);
+
+/// Verify: summing a region that includes a correct checksum yields 0xFFFF.
+bool checksum_ok(std::span<const std::uint8_t> data,
+                 std::uint32_t initial = 0);
+
+}  // namespace mflow::net

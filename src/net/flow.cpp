@@ -1,0 +1,46 @@
+#include "net/flow.hpp"
+
+#include <sstream>
+
+namespace mflow::net {
+namespace {
+
+// Bob Jenkins' final mix, as used by the kernel's jhash for flow dissection.
+void jhash_mix(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c) {
+  auto rot = [](std::uint32_t x, int k) { return (x << k) | (x >> (32 - k)); };
+  c ^= b;
+  c -= rot(b, 14);
+  a ^= c;
+  a -= rot(c, 11);
+  b ^= a;
+  b -= rot(a, 25);
+  c ^= b;
+  c -= rot(b, 16);
+  a ^= c;
+  a -= rot(c, 4);
+  b ^= a;
+  b -= rot(a, 14);
+  c ^= b;
+  c -= rot(b, 24);
+}
+
+}  // namespace
+
+std::string FlowKey::to_string() const {
+  std::ostringstream os;
+  os << src.to_string() << ":" << src_port << "->" << dst.to_string() << ":"
+     << dst_port << (protocol == Ipv4Header::kProtoTcp ? "/tcp" : "/udp");
+  return os.str();
+}
+
+std::uint32_t flow_hash(const FlowKey& key, std::uint32_t seed) {
+  std::uint32_t a = 0xdeadbeef + seed;
+  std::uint32_t b = a + key.src.value;
+  std::uint32_t c = a + key.dst.value;
+  a += (static_cast<std::uint32_t>(key.src_port) << 16) | key.dst_port;
+  a += key.protocol;
+  jhash_mix(a, b, c);
+  return c;
+}
+
+}  // namespace mflow::net

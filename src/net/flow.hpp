@@ -1,0 +1,40 @@
+// Flow identification: 5-tuples and the hash used by RSS/RPS steering.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/headers.hpp"
+
+namespace mflow::net {
+
+/// Connection 5-tuple. Hardware RSS and kernel RPS both key on this; MFLOW's
+/// whole point is that steering on it cannot parallelize a single flow.
+struct FlowKey {
+  Ipv4Addr src;
+  Ipv4Addr dst;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t protocol = Ipv4Header::kProtoUdp;
+
+  auto operator<=>(const FlowKey&) const = default;
+  std::string to_string() const;
+};
+
+/// Deterministic flow hash (a jhash-style mix, stand-in for Toeplitz RSS).
+/// All steering policies share it so "same flow -> same core" holds across
+/// hardware (RSS) and software (RPS) steering, as in Linux.
+std::uint32_t flow_hash(const FlowKey& key, std::uint32_t seed = 0);
+
+/// Dense flow identifier assigned by workloads (not derived from the tuple).
+using FlowId = std::uint64_t;
+
+}  // namespace mflow::net
+
+template <>
+struct std::hash<mflow::net::FlowKey> {
+  std::size_t operator()(const mflow::net::FlowKey& k) const noexcept {
+    return mflow::net::flow_hash(k, 0x9747b28c);
+  }
+};

@@ -1,0 +1,63 @@
+#include "net/gro.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace mflow::net {
+
+bool GroEngine::can_merge(const Packet& held, const Packet& pkt) const {
+  if (pkt.flow.protocol != Ipv4Header::kProtoTcp) return false;
+  if (held.flow_id != pkt.flow_id) return false;
+  if (held.microflow_id != pkt.microflow_id) return false;  // don't merge
+  // across MFLOW batch boundaries: batches may diverge to different cores
+  if (held.tcp_seq + held.payload_len != pkt.tcp_seq) return false;  // gap
+  // Application senders set PSH on the last segment of a message, which
+  // terminates GRO aggregation; equivalently, never merge across message
+  // boundaries (this also keeps per-message accounting exact).
+  if (held.message_id != pkt.message_id) return false;
+  if (held.gro_segs + pkt.gro_segs > params_.max_segs) return false;
+  if (held.payload_len + pkt.payload_len > params_.max_bytes) return false;
+  return true;
+}
+
+void GroEngine::add(PacketPtr pkt, const Sink& sink) {
+  if (!params_.enabled || pkt->flow.protocol != Ipv4Header::kProtoTcp) {
+    ++emitted_;
+    sink(std::move(pkt));
+    return;
+  }
+  auto it = held_.find(pkt->flow_id);
+  if (it != held_.end()) {
+    Packet& held = *it->second;
+    if (can_merge(held, *pkt)) {
+      held.payload_len += pkt->payload_len;
+      held.gro_segs += pkt->gro_segs;
+      ++merged_;
+      return;  // segment absorbed; its buffer is released
+    }
+    // Not mergeable: flush the held super-skb first to keep flow order.
+    PacketPtr out = std::move(it->second);
+    held_.erase(it);
+    ++emitted_;
+    sink(std::move(out));
+  }
+  held_.emplace(pkt->flow_id, std::move(pkt));
+}
+
+void GroEngine::flush(const Sink& sink) {
+  // Deterministic flush order: ascending flow id (map iteration order of an
+  // unordered_map is implementation-defined; sort tiny snapshot instead).
+  if (held_.empty()) return;
+  std::vector<FlowId> ids;
+  ids.reserve(held_.size());
+  for (auto& [id, _] : held_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  for (FlowId id : ids) {
+    auto it = held_.find(id);
+    ++emitted_;
+    sink(std::move(it->second));
+    held_.erase(it);
+  }
+}
+
+}  // namespace mflow::net

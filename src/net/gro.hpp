@@ -1,0 +1,54 @@
+// Generic Receive Offload.
+//
+// Coalesces consecutive in-order TCP segments of one flow into a single
+// super-skb within a NAPI poll batch, so every later stage pays per-skb cost
+// once for many wire packets. The paper leans on two GRO facts we model:
+//  - GRO is effective for TCP but not UDP (paper footnote 2);
+//  - GRO itself is a heavyweight *function* that FALCON-fun moves to its own
+//    core and that MFLOW can split (it runs wherever the stage runs).
+// Aggregation is bounded by max_segs/max_bytes; for VXLAN-encapsulated
+// traffic the effective aggregation is much lower (inner-header parsing
+// limits it), which we expose as a per-path cap.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "net/packet.hpp"
+
+namespace mflow::net {
+
+struct GroParams {
+  std::uint32_t max_segs = 44;      // ~64KB / MSS
+  std::uint32_t max_bytes = 65536;  // kernel GRO size cap
+  bool enabled = true;
+};
+
+class GroEngine {
+ public:
+  using Sink = std::function<void(PacketPtr)>;
+
+  explicit GroEngine(GroParams params) : params_(params) {}
+
+  /// Offer a packet. Mergeable TCP segments are held; anything else (UDP,
+  /// out-of-order, full super-skb) is emitted — possibly after flushing the
+  /// held skb to preserve per-flow ordering.
+  void add(PacketPtr pkt, const Sink& sink);
+
+  /// End-of-batch flush (NAPI calls napi_gro_flush when the poll ends).
+  void flush(const Sink& sink);
+
+  std::uint64_t merged_segments() const { return merged_; }
+  std::uint64_t emitted_skbs() const { return emitted_; }
+
+ private:
+  bool can_merge(const Packet& held, const Packet& pkt) const;
+
+  GroParams params_;
+  std::unordered_map<FlowId, PacketPtr> held_;
+  std::uint64_t merged_ = 0;
+  std::uint64_t emitted_ = 0;
+};
+
+}  // namespace mflow::net

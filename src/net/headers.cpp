@@ -1,0 +1,182 @@
+#include "net/headers.hpp"
+
+#include <cassert>
+#include <cstring>
+
+#include "net/checksum.hpp"
+
+namespace mflow::net {
+namespace {
+
+void put16(std::span<std::uint8_t> out, std::size_t off, std::uint16_t v) {
+  out[off] = static_cast<std::uint8_t>(v >> 8);
+  out[off + 1] = static_cast<std::uint8_t>(v & 0xFF);
+}
+
+void put32(std::span<std::uint8_t> out, std::size_t off, std::uint32_t v) {
+  out[off] = static_cast<std::uint8_t>(v >> 24);
+  out[off + 1] = static_cast<std::uint8_t>((v >> 16) & 0xFF);
+  out[off + 2] = static_cast<std::uint8_t>((v >> 8) & 0xFF);
+  out[off + 3] = static_cast<std::uint8_t>(v & 0xFF);
+}
+
+std::uint16_t get16(std::span<const std::uint8_t> in, std::size_t off) {
+  return static_cast<std::uint16_t>((in[off] << 8) | in[off + 1]);
+}
+
+std::uint32_t get32(std::span<const std::uint8_t> in, std::size_t off) {
+  return (static_cast<std::uint32_t>(in[off]) << 24) |
+         (static_cast<std::uint32_t>(in[off + 1]) << 16) |
+         (static_cast<std::uint32_t>(in[off + 2]) << 8) |
+         static_cast<std::uint32_t>(in[off + 3]);
+}
+
+}  // namespace
+
+std::string Ipv4Addr::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (value >> 24) & 0xFF,
+                (value >> 16) & 0xFF, (value >> 8) & 0xFF, value & 0xFF);
+  return buf;
+}
+
+// --- Ethernet ----------------------------------------------------------------
+
+void EthernetHeader::encode(std::span<std::uint8_t> out) const {
+  assert(out.size() >= kSize);
+  std::memcpy(out.data(), dst.data(), 6);
+  std::memcpy(out.data() + 6, src.data(), 6);
+  put16(out, 12, ethertype);
+}
+
+EthernetHeader EthernetHeader::decode(std::span<const std::uint8_t> in) {
+  assert(in.size() >= kSize);
+  EthernetHeader h;
+  std::memcpy(h.dst.data(), in.data(), 6);
+  std::memcpy(h.src.data(), in.data() + 6, 6);
+  h.ethertype = get16(in, 12);
+  return h;
+}
+
+// --- IPv4 --------------------------------------------------------------------
+
+void Ipv4Header::encode(std::span<std::uint8_t> out) const {
+  assert(out.size() >= kSize);
+  out[0] = 0x45;  // version 4, IHL 5
+  out[1] = tos;
+  put16(out, 2, total_length);
+  put16(out, 4, identification);
+  std::uint16_t frag = fragment_offset & 0x1FFF;
+  if (dont_fragment) frag |= 0x4000;
+  if (more_fragments) frag |= 0x2000;
+  put16(out, 6, frag);
+  out[8] = ttl;
+  out[9] = protocol;
+  put16(out, 10, 0);  // checksum placeholder
+  put32(out, 12, src.value);
+  put32(out, 16, dst.value);
+  const std::uint16_t csum = internet_checksum(out.first(kSize));
+  put16(out, 10, csum);
+}
+
+Ipv4Header Ipv4Header::decode(std::span<const std::uint8_t> in) {
+  assert(in.size() >= kSize);
+  Ipv4Header h;
+  h.tos = in[1];
+  h.total_length = get16(in, 2);
+  h.identification = get16(in, 4);
+  const std::uint16_t frag = get16(in, 6);
+  h.dont_fragment = (frag & 0x4000) != 0;
+  h.more_fragments = (frag & 0x2000) != 0;
+  h.fragment_offset = frag & 0x1FFF;
+  h.ttl = in[8];
+  h.protocol = in[9];
+  h.src = Ipv4Addr(get32(in, 12));
+  h.dst = Ipv4Addr(get32(in, 16));
+  return h;
+}
+
+bool Ipv4Header::verify(std::span<const std::uint8_t> in) {
+  if (in.size() < kSize) return false;
+  if ((in[0] >> 4) != 4) return false;
+  return checksum_ok(in.first(kSize));
+}
+
+// --- UDP ---------------------------------------------------------------------
+
+void UdpHeader::encode(std::span<std::uint8_t> out) const {
+  assert(out.size() >= kSize);
+  put16(out, 0, src_port);
+  put16(out, 2, dst_port);
+  put16(out, 4, length);
+  put16(out, 6, 0);  // checksum 0 = not computed (valid for IPv4)
+}
+
+UdpHeader UdpHeader::decode(std::span<const std::uint8_t> in) {
+  assert(in.size() >= kSize);
+  UdpHeader h;
+  h.src_port = get16(in, 0);
+  h.dst_port = get16(in, 2);
+  h.length = get16(in, 4);
+  return h;
+}
+
+// --- TCP ---------------------------------------------------------------------
+
+void TcpHeader::encode(std::span<std::uint8_t> out) const {
+  assert(out.size() >= kSize);
+  put16(out, 0, src_port);
+  put16(out, 2, dst_port);
+  put32(out, 4, seq);
+  put32(out, 8, ack);
+  out[12] = (kSize / 4) << 4;  // data offset in 32-bit words
+  std::uint8_t flags = 0;
+  if (flag_fin) flags |= 0x01;
+  if (flag_syn) flags |= 0x02;
+  if (flag_psh) flags |= 0x08;
+  if (flag_ack) flags |= 0x10;
+  out[13] = flags;
+  put16(out, 14, window);
+  put16(out, 16, 0);  // checksum: offloaded
+  put16(out, 18, 0);  // urgent pointer
+}
+
+TcpHeader TcpHeader::decode(std::span<const std::uint8_t> in) {
+  assert(in.size() >= kSize);
+  TcpHeader h;
+  h.src_port = get16(in, 0);
+  h.dst_port = get16(in, 2);
+  h.seq = get32(in, 4);
+  h.ack = get32(in, 8);
+  const std::uint8_t flags = in[13];
+  h.flag_fin = flags & 0x01;
+  h.flag_syn = flags & 0x02;
+  h.flag_psh = flags & 0x08;
+  h.flag_ack = flags & 0x10;
+  h.window = get16(in, 14);
+  return h;
+}
+
+// --- VXLAN -------------------------------------------------------------------
+
+void VxlanHeader::encode(std::span<std::uint8_t> out) const {
+  assert(out.size() >= kSize);
+  out[0] = 0x08;  // I flag set
+  out[1] = out[2] = out[3] = 0;
+  put32(out, 4, (vni & 0xFFFFFF) << 8);
+}
+
+VxlanHeader VxlanHeader::decode(std::span<const std::uint8_t> in) {
+  assert(in.size() >= kSize);
+  VxlanHeader h;
+  h.vni = get32(in, 4) >> 8;
+  return h;
+}
+
+bool VxlanHeader::valid(std::span<const std::uint8_t> in) {
+  if (in.size() < kSize) return false;
+  return in[0] == 0x08 && in[1] == 0 && in[2] == 0 && in[3] == 0 &&
+         (in[7] == 0);
+}
+
+}  // namespace mflow::net

@@ -1,0 +1,125 @@
+// Byte-exact protocol header codecs: Ethernet, IPv4, UDP, TCP, VXLAN.
+//
+// The simulated data path carries real header bytes (payload bytes are
+// virtual — only their length is tracked), so encapsulation/decapsulation,
+// checksum verification, and header rewriting in the stack are genuine,
+// testable transformations, not bookkeeping.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace mflow::net {
+
+using MacAddr = std::array<std::uint8_t, 6>;
+
+/// IPv4 address in host byte order.
+struct Ipv4Addr {
+  std::uint32_t value = 0;
+
+  constexpr Ipv4Addr() = default;
+  constexpr explicit Ipv4Addr(std::uint32_t v) : value(v) {}
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                     std::uint8_t d)
+      : value((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+              (std::uint32_t{c} << 8) | d) {}
+
+  auto operator<=>(const Ipv4Addr&) const = default;
+  std::string to_string() const;
+};
+
+// --- Ethernet ---------------------------------------------------------------
+
+struct EthernetHeader {
+  static constexpr std::size_t kSize = 14;
+  static constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+
+  MacAddr dst{};
+  MacAddr src{};
+  std::uint16_t ethertype = kEtherTypeIpv4;
+
+  void encode(std::span<std::uint8_t> out) const;       // out.size() >= kSize
+  static EthernetHeader decode(std::span<const std::uint8_t> in);
+  bool operator==(const EthernetHeader&) const = default;
+};
+
+// --- IPv4 -------------------------------------------------------------------
+
+struct Ipv4Header {
+  static constexpr std::size_t kSize = 20;  // no options
+  static constexpr std::uint8_t kProtoTcp = 6;
+  static constexpr std::uint8_t kProtoUdp = 17;
+
+  std::uint8_t tos = 0;
+  std::uint16_t total_length = kSize;  // header + payload bytes
+  std::uint16_t identification = 0;
+  bool dont_fragment = true;
+  bool more_fragments = false;
+  std::uint16_t fragment_offset = 0;  // in 8-byte units
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = kProtoUdp;
+  Ipv4Addr src;
+  Ipv4Addr dst;
+
+  /// Encodes with a freshly computed header checksum.
+  void encode(std::span<std::uint8_t> out) const;
+  static Ipv4Header decode(std::span<const std::uint8_t> in);
+  /// Verify the checksum of an encoded header in place.
+  static bool verify(std::span<const std::uint8_t> in);
+  bool operator==(const Ipv4Header&) const = default;
+};
+
+// --- UDP --------------------------------------------------------------------
+
+struct UdpHeader {
+  static constexpr std::size_t kSize = 8;
+
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t length = kSize;  // header + payload
+
+  /// We encode checksum 0 (legal for IPv4 UDP; hardware offload computes
+  /// real ones on the paper's NIC anyway).
+  void encode(std::span<std::uint8_t> out) const;
+  static UdpHeader decode(std::span<const std::uint8_t> in);
+  bool operator==(const UdpHeader&) const = default;
+};
+
+// --- TCP --------------------------------------------------------------------
+
+struct TcpHeader {
+  static constexpr std::size_t kSize = 20;  // no options
+
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  bool flag_syn = false;
+  bool flag_ack = false;
+  bool flag_fin = false;
+  bool flag_psh = false;
+  std::uint16_t window = 0xFFFF;
+
+  void encode(std::span<std::uint8_t> out) const;
+  static TcpHeader decode(std::span<const std::uint8_t> in);
+  bool operator==(const TcpHeader&) const = default;
+};
+
+// --- VXLAN (RFC 7348) ---------------------------------------------------------
+
+struct VxlanHeader {
+  static constexpr std::size_t kSize = 8;
+  static constexpr std::uint16_t kUdpPort = 4789;
+
+  std::uint32_t vni = 0;  // 24-bit virtual network identifier
+
+  void encode(std::span<std::uint8_t> out) const;
+  static VxlanHeader decode(std::span<const std::uint8_t> in);
+  /// The I-flag must be set and reserved bits zero for a valid header.
+  static bool valid(std::span<const std::uint8_t> in);
+  bool operator==(const VxlanHeader&) const = default;
+};
+
+}  // namespace mflow::net

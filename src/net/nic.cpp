@@ -1,0 +1,34 @@
+#include "net/nic.hpp"
+
+namespace mflow::net {
+
+Nic::Nic(NicParams params) : params_(params) {
+  for (int i = 0; i < params_.num_queues; ++i)
+    rings_.emplace_back(params_.ring_capacity);
+}
+
+int Nic::rss_queue(const FlowKey& flow) const {
+  // The VXLAN outer UDP source port is derived from the inner flow hash
+  // (see vxlan_encap), so hashing the inner tuple here matches what hardware
+  // RSS computes on the outer tuple: one flow -> one queue, always.
+  return static_cast<int>(flow_hash(flow, params_.rss_seed) %
+                          static_cast<std::uint32_t>(rings_.size()));
+}
+
+void Nic::deliver(PacketPtr pkt, sim::Time now) {
+  pkt->t_wire = now;
+  pkt->wire_seq = flow_seq_[pkt->flow_id]++;
+  const int q = rss_queue(pkt->flow);
+  if (rings_[static_cast<std::size_t>(q)].push(std::move(pkt))) {
+    ++delivered_;
+    if (irq_) irq_(q);
+  }
+}
+
+std::uint64_t Nic::total_drops() const {
+  std::uint64_t total = 0;
+  for (const auto& r : rings_) total += r.drops();
+  return total;
+}
+
+}  // namespace mflow::net

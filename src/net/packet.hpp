@@ -1,0 +1,121 @@
+// The packet / skb model.
+//
+// A Packet carries REAL header bytes (so encap/decap/parse/verify are genuine
+// transformations) plus a VIRTUAL payload: only the payload length is
+// tracked, never its bytes — at simulated 100GbE rates materializing payloads
+// would dominate runtime without changing any result the paper reports.
+//
+// A Packet plays the role of both the raw DMA buffer (before skb allocation)
+// and the skb (after): `skb_allocated` flips when the driver stage runs,
+// which is exactly the boundary MFLOW's IRQ-splitting function exploits.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "net/flow.hpp"
+#include "net/headers.hpp"
+#include "sim/time.hpp"
+
+namespace mflow::net {
+
+/// skb-like byte buffer with headroom: push() prepends (encap), pull()
+/// strips (decap).
+class PacketBuffer {
+ public:
+  explicit PacketBuffer(std::size_t headroom = 64);
+
+  /// Append `n` bytes at the tail; returns the writable region.
+  std::span<std::uint8_t> append(std::size_t n);
+  /// Prepend `n` bytes (requires headroom); returns the writable region.
+  std::span<std::uint8_t> push(std::size_t n);
+  /// Strip `n` bytes from the front. Requires n <= size().
+  void pull(std::size_t n);
+
+  std::span<const std::uint8_t> data() const {
+    return {bytes_.data() + head_, bytes_.size() - head_};
+  }
+  std::span<std::uint8_t> data() {
+    return {bytes_.data() + head_, bytes_.size() - head_};
+  }
+  std::size_t size() const { return bytes_.size() - head_; }
+  std::size_t headroom() const { return head_; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::size_t head_;  // offset of first valid byte
+};
+
+constexpr std::uint32_t kMtu = 1500;
+/// Inner MSS for MTU 1500 with our header sizes (IPv4 + TCP, no options),
+/// further reduced by 50 bytes of VXLAN overhead when tunneled.
+constexpr std::uint32_t kVxlanOverhead =
+    EthernetHeader::kSize + Ipv4Header::kSize + UdpHeader::kSize +
+    VxlanHeader::kSize;  // 50 bytes
+constexpr std::uint32_t kTcpMss = kMtu - Ipv4Header::kSize - TcpHeader::kSize;
+
+struct Packet {
+  PacketBuffer buf;              // real header bytes (+ nothing else)
+  std::uint32_t payload_len = 0;  // virtual payload bytes
+
+  FlowKey flow;                  // innermost 5-tuple
+  FlowId flow_id = 0;            // dense workload-assigned id
+  bool encapsulated = false;     // still carrying VXLAN outer headers
+
+  std::uint64_t wire_seq = 0;    // per-flow arrival index at receiver NIC
+  // 64-bit TCP stream offset of the first payload byte. The encoded wire
+  // header carries the low 32 bits; the simulation keeps the full offset so
+  // multi-gigabyte streams need no sequence-wrap handling.
+  std::uint64_t tcp_seq = 0;
+  std::uint64_t message_id = 0;  // application message this packet belongs to
+  std::uint32_t message_bytes = 0;  // total payload bytes of that message
+  bool skb_allocated = false;    // driver stage has built the skb
+
+  sim::Time t_wire = 0;          // arrival time at the receiver NIC
+
+  // GRO: number of original segments coalesced into this skb (>= 1).
+  std::uint32_t gro_segs = 1;
+
+  // MFLOW: micro-flow (batch) identifier; reflects the batch's position in
+  // the original flow. 0 = not split. (Paper stores this in the skb.)
+  std::uint64_t microflow_id = 0;
+
+  std::uint32_t wire_len() const {
+    return static_cast<std::uint32_t>(buf.size()) + payload_len;
+  }
+};
+
+using PacketPtr = std::unique_ptr<Packet>;
+
+// --- construction & tunnel operations ---------------------------------------
+
+/// Build a TCP segment with real Eth/IPv4/TCP headers for `flow`. The wire
+/// header's sequence field is the low 32 bits of `tcp_seq`.
+PacketPtr make_tcp_segment(const FlowKey& flow, std::uint64_t tcp_seq,
+                           std::uint32_t payload_len);
+
+/// Build a UDP datagram (or fragment) with real Eth/IPv4/UDP headers.
+PacketPtr make_udp_datagram(const FlowKey& flow, std::uint32_t payload_len);
+
+/// VXLAN-encapsulate in place: prepends outer Eth/IPv4/UDP/VXLAN (50 bytes).
+/// Outer UDP source port is derived from the inner flow hash, as RFC 7348
+/// recommends (this is what lets RSS spread *different* tunneled flows).
+void vxlan_encap(Packet& pkt, const Ipv4Addr& outer_src,
+                 const Ipv4Addr& outer_dst, std::uint32_t vni);
+
+/// Result of parsing+stripping the outer headers.
+struct DecapResult {
+  bool ok = false;
+  std::uint32_t vni = 0;
+};
+
+/// VXLAN-decapsulate in place: verifies outer IPv4 checksum, UDP dst port
+/// and VXLAN flags, then strips the 50-byte outer stack.
+DecapResult vxlan_decap(Packet& pkt);
+
+/// Parse the (current) outermost IPv4 header without modifying the packet.
+Ipv4Header peek_ipv4(const Packet& pkt);
+
+}  // namespace mflow::net

@@ -1,0 +1,27 @@
+#include "net/ring.hpp"
+
+namespace mflow::net {
+
+RxRing::RxRing(std::size_t capacity) : slots_(capacity) {}
+
+bool RxRing::push(PacketPtr pkt) {
+  if (full()) {
+    ++drops_;
+    return false;  // pkt destroyed: tail drop, like a DMA ring overrun
+  }
+  slots_[tail_] = std::move(pkt);
+  tail_ = (tail_ + 1) % slots_.size();
+  ++count_;
+  ++enqueued_;
+  return true;
+}
+
+PacketPtr RxRing::pop() {
+  if (empty()) return nullptr;
+  PacketPtr pkt = std::move(slots_[head_]);
+  head_ = (head_ + 1) % slots_.size();
+  --count_;
+  return pkt;
+}
+
+}  // namespace mflow::net

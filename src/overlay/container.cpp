@@ -1,0 +1,4 @@
+#include "overlay/container.hpp"
+
+// Header-only data for now; this TU anchors the library target.
+namespace mflow::overlay {}

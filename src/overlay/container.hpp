@@ -1,0 +1,33 @@
+// Container endpoint model: a network namespace with a private IP behind a
+// veth pair, reachable through the host's VXLAN overlay (the Docker overlay
+// network arrangement of the paper's testbed).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/headers.hpp"
+
+namespace mflow::overlay {
+
+struct Container {
+  std::string name;
+  net::Ipv4Addr ip;        // private (overlay) address
+  net::MacAddr mac{};
+  std::uint16_t port = 0;  // the containerized service's listen port
+};
+
+struct Host {
+  std::string name;
+  net::Ipv4Addr ip;  // underlay (physical network) address
+};
+
+/// One Docker-style overlay network: a VNI connecting containers on
+/// participating hosts.
+struct OverlayNetwork {
+  std::uint32_t vni = 42;
+  Host local;               // the receiver machine we simulate in detail
+  Host remote;              // the client machine(s)
+};
+
+}  // namespace mflow::overlay

@@ -1,0 +1,45 @@
+#include "overlay/topology.hpp"
+
+#include "stack/machine.hpp"
+
+namespace mflow::overlay {
+
+std::vector<std::unique_ptr<stack::Stage>> build_rx_path(
+    const stack::CostModel& costs, const PathSpec& spec) {
+  std::vector<std::unique_ptr<stack::Stage>> path;
+
+  net::GroParams gro;
+  gro.max_segs =
+      spec.overlay ? spec.gro_max_segs_overlay : spec.gro_max_segs_native;
+  path.push_back(std::make_unique<stack::GroStage>(costs, gro));
+
+  if (spec.overlay) {
+    // Host-side traversal: outer IP -> VXLAN decap -> bridge -> veth, then
+    // the container-side stack ("goes through the network protocol stacks
+    // twice", paper §II-A).
+    path.push_back(std::make_unique<stack::IpRxStage>(costs, /*outer=*/true));
+    path.push_back(std::make_unique<stack::VxlanStage>(costs, spec.vni));
+    path.push_back(std::make_unique<stack::BridgeStage>(costs));
+    path.push_back(std::make_unique<stack::VethStage>(costs));
+  }
+  path.push_back(std::make_unique<stack::IpRxStage>(costs, /*outer=*/false));
+
+  if (spec.protocol == net::Ipv4Header::kProtoTcp) {
+    if (!spec.tcp_in_reader)
+      path.push_back(std::make_unique<OwningTcpStage>(costs));
+    // else: stateful TCP runs in the socket reader after the MFLOW merge.
+  } else {
+    path.push_back(std::make_unique<stack::UdpStage>(costs));
+  }
+  return path;
+}
+
+stack::TcpReceiver* find_softirq_tcp_receiver(stack::Machine& machine) {
+  for (std::size_t i = 0; i < machine.path_length(); ++i) {
+    if (machine.stage_at(i).id() == stack::StageId::kTcp)
+      return &static_cast<OwningTcpStage&>(machine.stage_at(i)).receiver();
+  }
+  return nullptr;
+}
+
+}  // namespace mflow::overlay

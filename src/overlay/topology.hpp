@@ -1,0 +1,66 @@
+// RX-path construction: assembles the stage pipeline a received packet
+// traverses, for the physical host network ("native") or the Docker-style
+// VXLAN overlay — and the MFLOW variants of the latter.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/gro.hpp"
+#include "overlay/container.hpp"
+#include "stack/bridge.hpp"
+#include "stack/gro_stage.hpp"
+#include "stack/ip_rx.hpp"
+#include "stack/stage.hpp"
+#include "stack/tcp_rx.hpp"
+#include "stack/udp_rx.hpp"
+#include "stack/veth.hpp"
+#include "stack/vxlan.hpp"
+
+namespace mflow::overlay {
+
+struct PathSpec {
+  bool overlay = true;
+  std::uint8_t protocol = net::Ipv4Header::kProtoTcp;
+  std::uint32_t vni = 42;
+  /// Stateful transport handled in the socket reader (MFLOW TCP full-path
+  /// mode): the kTcp stage is then omitted from the softirq path.
+  bool tcp_in_reader = false;
+  /// GRO aggregation limit. Encapsulated traffic aggregates far less in
+  /// practice (inner-header matching across the VXLAN boundary), modeled as
+  /// a lower cap; see DESIGN.md calibration notes.
+  std::uint32_t gro_max_segs_native = 44;
+  std::uint32_t gro_max_segs_overlay = 8;
+};
+
+/// Softirq TCP stage that owns its receiver (vanilla/RPS/FALCON paths).
+class OwningTcpStage final : public stack::Stage {
+ public:
+  explicit OwningTcpStage(const stack::CostModel& costs)
+      : receiver_(costs), inner_(costs, receiver_) {}
+
+  stack::StageId id() const override { return inner_.id(); }
+  sim::Tag tag() const override { return inner_.tag(); }
+  stack::Time cost(const net::Packet& pkt) const override {
+    return inner_.cost(pkt);
+  }
+  void process(net::PacketPtr pkt, stack::StageContext& ctx) override {
+    inner_.process(std::move(pkt), ctx);
+  }
+
+  stack::TcpReceiver& receiver() { return receiver_; }
+
+ private:
+  stack::TcpReceiver receiver_;
+  stack::TcpStage inner_;
+};
+
+/// Build the ordered post-driver stage list for `spec`.
+std::vector<std::unique_ptr<stack::Stage>> build_rx_path(
+    const stack::CostModel& costs, const PathSpec& spec);
+
+/// Convenience: find the softirq-context TCP receiver in a built machine
+/// path (nullptr when tcp_in_reader or UDP).
+stack::TcpReceiver* find_softirq_tcp_receiver(stack::Machine& machine);
+
+}  // namespace mflow::overlay

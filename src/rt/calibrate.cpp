@@ -1,0 +1,42 @@
+#include "rt/calibrate.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+
+namespace mflow::rt {
+
+std::uint64_t spin(std::uint64_t iters) {
+  std::uint64_t x = 0x9e3779b97f4a7c15ULL;
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    x *= 0x2545F4914F6CDD1DULL;
+  }
+  // Publish through an atomic so the loop is not dead code.
+  static std::atomic<std::uint64_t> sink{0};
+  sink.store(x, std::memory_order_relaxed);
+  return x;
+}
+
+double spin_iters_per_ns() {
+  static std::once_flag flag;
+  static double rate = 1.0;
+  std::call_once(flag, [] {
+    using clock = std::chrono::steady_clock;
+    constexpr std::uint64_t kIters = 2'000'000;
+    // Warm up, then measure.
+    spin(kIters / 10);
+    const auto t0 = clock::now();
+    spin(kIters);
+    const auto dt = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        clock::now() - t0)
+                        .count();
+    rate = dt > 0 ? static_cast<double>(kIters) / static_cast<double>(dt)
+                  : 1.0;
+  });
+  return rate;
+}
+
+}  // namespace mflow::rt

@@ -1,0 +1,23 @@
+// Spin-work calibration: converts "nanoseconds of packet-processing cost"
+// into busy-loop iterations on this machine, so the real-thread engine's
+// stage costs are wall-clock meaningful.
+#pragma once
+
+#include <cstdint>
+
+namespace mflow::rt {
+
+/// Busy-spin performing `iters` dependent integer operations; returns a
+/// value the compiler cannot elide.
+std::uint64_t spin(std::uint64_t iters);
+
+/// Measured iterations-per-nanosecond of spin() on this host (memoized on
+/// first call; thread-safe).
+double spin_iters_per_ns();
+
+/// Busy-work approximating `ns` nanoseconds of CPU.
+inline std::uint64_t spin_ns(double ns) {
+  return spin(static_cast<std::uint64_t>(ns * spin_iters_per_ns()) + 1);
+}
+
+}  // namespace mflow::rt

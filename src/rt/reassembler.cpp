@@ -1,0 +1,40 @@
+#include "rt/reassembler.hpp"
+
+#include <thread>
+
+namespace mflow::rt {
+
+RtReassembler::RtReassembler(std::size_t workers,
+                             std::size_t ring_capacity_pow2) {
+  for (std::size_t i = 0; i < workers; ++i)
+    rings_.push_back(
+        std::make_unique<SpscRing<RtPacket>>(ring_capacity_pow2));
+}
+
+void RtReassembler::deposit(std::size_t w, const RtPacket& pkt) {
+  auto& ring = *rings_[w];
+  while (!ring.try_push(pkt)) std::this_thread::yield();
+}
+
+std::optional<RtPacket> RtReassembler::pop_ready() {
+  // Locate the buffer queue holding the micro-flow under merge; keep
+  // consuming it until a packet with a different ID shows up, then advance
+  // the merging counter (paper §III-B).
+  while (true) {
+    auto& ring = *rings_[owner_of(merge_counter_)];
+    const RtPacket* head = ring.peek();
+    if (head == nullptr) return std::nullopt;
+    if (head->batch == merge_counter_) return ring.try_pop();
+    // A later batch is at the head: the current micro-flow is fully
+    // consumed (FIFO per worker), so move the merging counter forward.
+    ++merge_counter_;
+    ++batches_merged_;
+  }
+}
+
+void RtReassembler::force_advance() {
+  ++merge_counter_;
+  ++batches_merged_;
+}
+
+}  // namespace mflow::rt

@@ -1,0 +1,55 @@
+// Real-thread batch-based reassembler.
+//
+// Mirrors core/reassembler.hpp with real concurrency: each worker deposits
+// into its own SPSC buffer ring; the consumer thread walks micro-flows in ID
+// order, consuming from the owning worker's ring. Batch ownership is
+// implied by the splitter's round-robin, so the consumer needs no shared
+// mutable state beyond the rings themselves — the "global merging counter"
+// is consumer-private, exactly as recvmsg-context merging is in the paper.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "rt/spsc_ring.hpp"
+
+namespace mflow::rt {
+
+struct RtPacket {
+  std::uint64_t seq = 0;       // position in the original flow
+  std::uint64_t batch = 0;     // micro-flow id (1-based)
+  std::uint32_t cost_ns = 0;   // synthetic per-packet processing cost
+  bool last = false;           // end-of-stream marker
+};
+
+class RtReassembler {
+ public:
+  RtReassembler(std::size_t workers, std::size_t ring_capacity_pow2);
+
+  /// Worker `w` deposits a processed packet (SPSC per worker).
+  /// Spins (with yield) on a full ring — backpressure, never loss.
+  void deposit(std::size_t w, const RtPacket& pkt);
+
+  /// Consumer: next packet in original flow order, or nullopt if the head
+  /// of the current micro-flow hasn't arrived yet.
+  std::optional<RtPacket> pop_ready();
+
+  std::uint64_t batches_merged() const { return batches_merged_; }
+
+  /// End-of-stream only: skip a micro-flow whose ring is dry after all
+  /// producers finished (a batch boundary that will never see more input).
+  void force_advance();
+
+ private:
+  std::size_t owner_of(std::uint64_t batch) const {
+    return static_cast<std::size_t>((batch - 1) % rings_.size());
+  }
+
+  std::vector<std::unique_ptr<SpscRing<RtPacket>>> rings_;
+  std::uint64_t merge_counter_ = 1;  // consumer-private
+  std::uint64_t batches_merged_ = 0;
+};
+
+}  // namespace mflow::rt

@@ -1,0 +1,74 @@
+// Lock-free single-producer/single-consumer ring buffer.
+//
+// The real-thread MFLOW engine (rt/engine.hpp) moves every packet through
+// these: splitter -> worker and worker -> merger are each strictly SPSC,
+// exactly like the per-core, per-device splitting queues and buffer queues
+// of the paper — so no multi-producer machinery is needed anywhere.
+//
+// Memory ordering: the producer publishes with a release store of head_; the
+// consumer observes with an acquire load, and vice versa for tail_. Indices
+// are monotonically increasing uint64 (no wrap handling needed in practice);
+// capacity must be a power of two.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace mflow::rt {
+
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity_pow2)
+      : mask_(capacity_pow2 - 1), slots_(capacity_pow2) {
+    assert(std::has_single_bit(capacity_pow2));
+  }
+
+  /// Producer side. Returns false when full (caller decides to spin/yield).
+  bool try_push(T value) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail > mask_) return false;
+    slots_[head & mask_] = std::move(value);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns nullopt when empty.
+  std::optional<T> try_pop() {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    if (tail == head) return std::nullopt;
+    T value = std::move(slots_[tail & mask_]);
+    tail_.store(tail + 1, std::memory_order_release);
+    return value;
+  }
+
+  /// Consumer-side peek without consuming (used by the batch merger to
+  /// detect batch boundaries). The reference stays valid until try_pop().
+  const T* peek() const {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    if (tail == head) return nullptr;
+    return &slots_[tail & mask_];
+  }
+
+  std::size_t size() const {
+    return static_cast<std::size_t>(head_.load(std::memory_order_acquire) -
+                                    tail_.load(std::memory_order_acquire));
+  }
+  bool empty() const { return size() == 0; }
+  std::size_t capacity() const { return mask_ + 1; }
+
+ private:
+  alignas(64) std::atomic<std::uint64_t> head_{0};  // producer-owned
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  // consumer-owned
+  std::size_t mask_;
+  std::vector<T> slots_;
+};
+
+}  // namespace mflow::rt

@@ -1,0 +1,24 @@
+#include "sim/event_queue.hpp"
+
+#include <memory>
+#include <utility>
+
+namespace mflow::sim {
+
+void EventQueue::push(Time when, EventFn fn) {
+  heap_.push(Entry{when, next_seq_++,
+                   std::make_shared<EventFn>(std::move(fn))});
+}
+
+std::pair<Time, EventFn> EventQueue::pop() {
+  Entry top = heap_.top();
+  heap_.pop();
+  return {top.when, std::move(*top.fn)};
+}
+
+void EventQueue::clear() {
+  heap_ = {};
+  next_seq_ = 0;
+}
+
+}  // namespace mflow::sim

@@ -1,0 +1,54 @@
+// Priority queue of timestamped events with deterministic FIFO tie-breaking.
+//
+// Determinism matters: two events scheduled for the same virtual instant must
+// always fire in insertion order, so a re-run with the same seed replays the
+// same interleaving. A plain std::priority_queue over (time, sequence) pairs
+// gives exactly that.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace mflow::sim {
+
+using EventFn = std::function<void()>;
+
+class EventQueue {
+ public:
+  void push(Time when, EventFn fn);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+  Time next_time() const { return heap_.top().when; }
+
+  /// Pop and return the earliest event (by time, then insertion order).
+  /// Precondition: !empty().
+  std::pair<Time, EventFn> pop();
+
+  void clear();
+
+ private:
+  struct Entry {
+    Time when;
+    std::uint64_t seq;
+    // shared_ptr keeps Entry copyable for priority_queue while avoiding a
+    // std::function copy on every heap swap.
+    std::shared_ptr<EventFn> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace mflow::sim

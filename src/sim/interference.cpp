@@ -1,0 +1,33 @@
+#include "sim/interference.hpp"
+
+#include <algorithm>
+
+namespace mflow::sim {
+
+Interference::Interference(Simulator& sim, InterferenceParams params,
+                           std::uint64_t seed)
+    : sim_(sim), params_(params), seed_rng_(seed) {}
+
+void Interference::attach(Core& core) {
+  if (!params_.enabled) return;
+  if (std::find(attached_.begin(), attached_.end(), &core) != attached_.end())
+    return;
+  attached_.push_back(&core);
+  schedule_next(core, seed_rng_.fork());
+}
+
+void Interference::schedule_next(Core& core, util::Rng rng) {
+  const Time gap = std::max<Time>(
+      1, static_cast<Time>(
+             rng.exponential(static_cast<double>(params_.mean_interval))));
+  sim_.after(gap, [this, &core, rng]() mutable {
+    const Time dur = rng.uniform_range(params_.min_duration,
+                                       params_.max_duration);
+    core.inject(Tag::kOther, dur);
+    ++events_;
+    injected_ns_ += dur;
+    schedule_next(core, rng);
+  });
+}
+
+}  // namespace mflow::sim

@@ -1,0 +1,48 @@
+// Background interference injection.
+//
+// The paper's out-of-order analysis (Figure 7) hinges on cores not having
+// uniform effective speed: "each CPU core may have different processing
+// capability and/or be interrupted by concurrent kernel tasks". We model
+// that as a Poisson process of background tasks per core, each occupying the
+// core for a random duration under Tag::kOther. Deterministic given the
+// simulator seed.
+#pragma once
+
+#include <vector>
+
+#include "sim/core.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace mflow::sim {
+
+struct InterferenceParams {
+  Time mean_interval = us(50);  // mean gap between background tasks
+  Time min_duration = us(1);    // task duration ~ U[min, max]
+  Time max_duration = us(5);
+  bool enabled = true;
+};
+
+/// Attaches an independent background-task process to each given core.
+class Interference {
+ public:
+  Interference(Simulator& sim, InterferenceParams params, std::uint64_t seed);
+
+  /// Start injecting on `core` (idempotent per core).
+  void attach(Core& core);
+
+  std::uint64_t events_injected() const { return events_; }
+  Time total_injected_ns() const { return injected_ns_; }
+
+ private:
+  void schedule_next(Core& core, util::Rng rng);
+
+  Simulator& sim_;
+  InterferenceParams params_;
+  util::Rng seed_rng_;
+  std::uint64_t events_ = 0;
+  Time injected_ns_ = 0;
+  std::vector<const Core*> attached_;
+};
+
+}  // namespace mflow::sim

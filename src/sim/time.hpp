@@ -1,0 +1,23 @@
+// Virtual time for the discrete-event simulator. All simulation time is in
+// integer nanoseconds; helpers below keep call sites readable.
+#pragma once
+
+#include <cstdint>
+
+namespace mflow::sim {
+
+using Time = std::int64_t;  // nanoseconds of virtual time
+
+constexpr Time kNanosecond = 1;
+constexpr Time kMicrosecond = 1'000;
+constexpr Time kMillisecond = 1'000'000;
+constexpr Time kSecond = 1'000'000'000;
+
+constexpr Time us(double v) { return static_cast<Time>(v * 1e3); }
+constexpr Time ms(double v) { return static_cast<Time>(v * 1e6); }
+constexpr Time seconds(double v) { return static_cast<Time>(v * 1e9); }
+
+constexpr double to_seconds(Time t) { return static_cast<double>(t) * 1e-9; }
+constexpr double to_us(Time t) { return static_cast<double>(t) * 1e-3; }
+
+}  // namespace mflow::sim

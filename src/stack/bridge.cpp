@@ -1,0 +1,19 @@
+#include "stack/bridge.hpp"
+
+namespace mflow::stack {
+
+void BridgeStage::process(net::PacketPtr pkt, StageContext& ctx) {
+  // Real L2 lookup on the decapsulated inner frame's destination MAC.
+  const auto eth = net::EthernetHeader::decode(pkt->buf.data());
+  auto it = fdb_.find(eth.dst);
+  if (it == fdb_.end()) {
+    // Unknown destination: a real bridge floods; with one veth port the
+    // effect is identical to forwarding, so count and continue.
+    ++flooded_;
+  } else {
+    ++forwarded_;
+  }
+  ctx.forward(std::move(pkt));
+}
+
+}  // namespace mflow::stack

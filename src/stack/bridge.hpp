@@ -1,0 +1,38 @@
+// Virtual bridge: L2 forwarding between the VXLAN device and container veth
+// pairs, with a learning FDB keyed by destination MAC.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+
+#include "stack/stage.hpp"
+
+namespace mflow::stack {
+
+class BridgeStage : public Stage {
+ public:
+  explicit BridgeStage(const CostModel& costs) : costs_(costs) {}
+
+  StageId id() const override { return StageId::kBridge; }
+  sim::Tag tag() const override { return sim::Tag::kBridge; }
+  Time cost(const net::Packet&) const override {
+    return costs_.bridge_per_skb;
+  }
+
+  /// Pre-populate the FDB: dst MAC -> logical port.
+  void learn(const net::MacAddr& mac, int port) { fdb_[mac] = port; }
+
+  void process(net::PacketPtr pkt, StageContext& ctx) override;
+
+  std::uint64_t flooded() const { return flooded_; }
+  std::uint64_t forwarded() const { return forwarded_; }
+
+ private:
+  const CostModel& costs_;
+  std::map<net::MacAddr, int> fdb_;
+  std::uint64_t flooded_ = 0;
+  std::uint64_t forwarded_ = 0;
+};
+
+}  // namespace mflow::stack

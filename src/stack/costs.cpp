@@ -1,0 +1,7 @@
+#include "stack/costs.hpp"
+
+namespace mflow::stack {
+
+CostModel default_costs() { return CostModel{}; }
+
+}  // namespace mflow::stack

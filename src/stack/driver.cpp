@@ -1,0 +1,22 @@
+#include "stack/driver.hpp"
+
+#include "stack/machine.hpp"
+
+namespace mflow::stack {
+
+bool DriverPollable::poll(sim::Core& core, int budget) {
+  const CostModel& costs = machine_.costs();
+  int n = 0;
+  while (n < budget) {
+    net::PacketPtr pkt = ring_.pop();
+    if (!pkt) break;
+    core.charge(sim::Tag::kDriver, costs.driver_poll_per_pkt);
+    core.charge(sim::Tag::kSkbAlloc, costs.skb_alloc);
+    pkt->skb_allocated = true;
+    machine_.inject_into_path(0, core_id_, std::move(pkt));
+    ++n;
+  }
+  return !ring_.empty();
+}
+
+}  // namespace mflow::stack

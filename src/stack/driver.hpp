@@ -1,0 +1,32 @@
+// Driver NAPI poll: stage 1 of the receive pipeline.
+//
+// Pops raw descriptors from a NIC RX ring, pays descriptor-poll plus
+// skb-allocation cost, and injects the fresh skb into the software path.
+// This is the stage whose skb-allocation half "cannot be parallelized by
+// FALCON or any existing approaches" (paper §II-B) — MFLOW's IRQ-splitting
+// function (core/irq_split.hpp) replaces this pollable to split it.
+#pragma once
+
+#include "net/nic.hpp"
+#include "sim/core.hpp"
+#include "stack/stage.hpp"
+
+namespace mflow::stack {
+
+class DriverPollable : public sim::Pollable {
+ public:
+  DriverPollable(Machine& machine, net::RxRing& ring, int core_id)
+      : machine_(machine), ring_(ring), core_id_(core_id) {}
+
+  bool poll(sim::Core& core, int budget) override;
+  std::string_view poll_name() const override { return "napi"; }
+
+  int core_id() const { return core_id_; }
+
+ private:
+  Machine& machine_;
+  net::RxRing& ring_;
+  int core_id_;
+};
+
+}  // namespace mflow::stack

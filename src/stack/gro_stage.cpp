@@ -1,0 +1,31 @@
+#include "stack/gro_stage.hpp"
+
+namespace mflow::stack {
+
+net::GroEngine& GroStage::engine(int core_id) {
+  auto it = engines_.find(core_id);
+  if (it == engines_.end())
+    it = engines_.emplace(core_id, net::GroEngine(params_)).first;
+  return it->second;
+}
+
+void GroStage::process(net::PacketPtr pkt, StageContext& ctx) {
+  engine(ctx.core.id()).add(std::move(pkt),
+                            [&ctx](net::PacketPtr out) {
+                              ctx.forward(std::move(out));
+                            });
+}
+
+void GroStage::end_batch(StageContext& ctx) {
+  engine(ctx.core.id()).flush([&ctx](net::PacketPtr out) {
+    ctx.forward(std::move(out));
+  });
+}
+
+std::uint64_t GroStage::merged_segments() const {
+  std::uint64_t total = 0;
+  for (const auto& [_, e] : engines_) total += e.merged_segments();
+  return total;
+}
+
+}  // namespace mflow::stack

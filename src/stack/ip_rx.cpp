@@ -1,0 +1,18 @@
+#include "stack/ip_rx.hpp"
+
+namespace mflow::stack {
+
+void IpRxStage::process(net::PacketPtr pkt, StageContext& ctx) {
+  // Genuine RFC 1071 verification of whatever IPv4 header is currently
+  // outermost in the skb's real bytes.
+  const auto bytes = pkt->buf.data();
+  const auto l3 = bytes.subspan(net::EthernetHeader::kSize);
+  if (!net::Ipv4Header::verify(l3)) {
+    ++checksum_drops_;
+    return;
+  }
+  ++accepted_;
+  ctx.forward(std::move(pkt));
+}
+
+}  // namespace mflow::stack

@@ -1,0 +1,39 @@
+// IP receive: header-checksum verification and local delivery decision.
+// Instantiated twice on the overlay path — once for the outer (host) header
+// before VXLAN decap and once for the inner (container) header after.
+#pragma once
+
+#include <cstdint>
+
+#include "stack/stage.hpp"
+
+namespace mflow::stack {
+
+class IpRxStage : public Stage {
+ public:
+  /// `outer` selects the StageId so steering policies can place the two
+  /// traversals independently (FALCON groups outer IP with VXLAN).
+  IpRxStage(const CostModel& costs, bool outer)
+      : costs_(costs), outer_(outer) {}
+
+  StageId id() const override {
+    return outer_ ? StageId::kIpOuter : StageId::kIp;
+  }
+  sim::Tag tag() const override { return sim::Tag::kIpRx; }
+  Time cost(const net::Packet&) const override {
+    return costs_.ip_rx_per_skb;
+  }
+
+  void process(net::PacketPtr pkt, StageContext& ctx) override;
+
+  std::uint64_t checksum_drops() const { return checksum_drops_; }
+  std::uint64_t accepted() const { return accepted_; }
+
+ private:
+  const CostModel& costs_;
+  bool outer_;
+  std::uint64_t checksum_drops_ = 0;
+  std::uint64_t accepted_ = 0;
+};
+
+}  // namespace mflow::stack

@@ -1,0 +1,159 @@
+#include "stack/machine.hpp"
+
+#include "stack/driver.hpp"
+
+namespace mflow::stack {
+
+Machine::Machine(sim::Simulator& sim, MachineParams params)
+    : sim_(sim), params_(std::move(params)), nic_(params_.nic) {
+  cores_.reserve(static_cast<std::size_t>(params_.num_cores));
+  for (int i = 0; i < params_.num_cores; ++i)
+    cores_.push_back(
+        std::make_unique<sim::Core>(sim_, i, params_.core_params));
+  if (params_.irq_affinity.empty()) {
+    // Default: queue i handled by core 1 + i (core 0 is the app core).
+    for (int q = 0; q < params_.nic.num_queues; ++q)
+      params_.irq_affinity.push_back(1 + q % (params_.num_cores - 1));
+  }
+}
+
+Machine::~Machine() = default;
+
+void Machine::set_path(std::vector<std::unique_ptr<Stage>> stages) {
+  path_ = std::move(stages);
+  hooks_.assign(path_.size() + 1, nullptr);
+  queues_.clear();
+  queues_.resize(path_.size());
+}
+
+std::size_t Machine::stage_index(StageId id) const {
+  for (std::size_t i = 0; i < path_.size(); ++i)
+    if (path_[i]->id() == id) return i;
+  throw std::out_of_range("stage not present in path");
+}
+
+bool Machine::has_stage(StageId id) const {
+  for (const auto& s : path_)
+    if (s->id() == id) return true;
+  return false;
+}
+
+void Machine::set_steering(std::unique_ptr<SteeringPolicy> policy) {
+  steering_ = std::move(policy);
+}
+
+void Machine::set_transition_hook(std::size_t index, TransitionHook* hook) {
+  hooks_.at(index) = hook;
+}
+
+Socket& Machine::add_socket(std::uint16_t port, SocketConfig cfg) {
+  auto [it, inserted] =
+      sockets_.emplace(port, std::make_unique<Socket>(*this, cfg));
+  if (!inserted) throw std::invalid_argument("port already bound");
+  return *it->second;
+}
+
+Socket& Machine::socket(std::uint16_t port) {
+  auto it = sockets_.find(port);
+  if (it == sockets_.end()) throw std::out_of_range("no socket on port");
+  return *it->second;
+}
+
+void Machine::start() {
+  drivers_.clear();
+  owned_drivers_.clear();
+  for (int q = 0; q < nic_.num_queues(); ++q) {
+    const int core_id =
+        params_.irq_affinity[static_cast<std::size_t>(q) %
+                             params_.irq_affinity.size()];
+    owned_drivers_.push_back(
+        std::make_unique<DriverPollable>(*this, nic_.queue(q), core_id));
+    drivers_.push_back(DriverEntry{owned_drivers_.back().get(), core_id});
+  }
+  nic_.set_irq_handler([this](int q) {
+    DriverEntry& d = drivers_[static_cast<std::size_t>(q)];
+    sim::Core& c = core(d.core_id);
+    // NAPI: the device interrupt is masked while its pollable is scheduled;
+    // only a fresh wakeup pays top-half cost.
+    if (!d.pollable->scheduled()) c.inject(sim::Tag::kIrq, params_.costs.irq);
+    c.raise(*d.pollable, /*remote=*/false);
+  });
+}
+
+void Machine::override_driver(int queue, sim::Pollable* driver, int core_id) {
+  auto& d = drivers_.at(static_cast<std::size_t>(queue));
+  d.pollable = driver;
+  d.core_id = core_id;
+}
+
+StageQueue& Machine::queue(std::size_t index, int core_id) {
+  auto& per_core = queues_.at(index);
+  auto it = per_core.find(core_id);
+  if (it == per_core.end()) {
+    it = per_core
+             .emplace(core_id, std::make_unique<StageQueue>(
+                                   *this, *path_[index], index, core_id))
+             .first;
+  }
+  return *it->second;
+}
+
+void Machine::inject_into_path(std::size_t index, int from_core,
+                               net::PacketPtr pkt) {
+  if (index >= path_.size()) {
+    if (terminal_) {
+      terminal_(std::move(pkt), from_core);
+    } else {
+      socket_ingest(std::move(pkt), from_core);
+    }
+    return;
+  }
+  if (TransitionHook* hook = hooks_[index]) {
+    hook->on_forward(std::move(pkt), index, from_core);
+    return;
+  }
+  const StageId next_id = path_[index]->id();
+  int target = from_core;
+  Time steer_cost = 0;
+  if (steering_) {
+    target = steering_->core_for(next_id, *pkt, from_core);
+    steer_cost = steering_->steer_cost(next_id);
+  }
+  const bool handoff = target != from_core;
+  sim::Core& fc = core(from_core);
+  fc.charge(sim::Tag::kSteer,
+            steer_cost + (handoff ? params_.costs.remote_enqueue
+                                  : params_.costs.local_enqueue));
+  deliver_to_stage(index, target, from_core, std::move(pkt),
+                   /*charge_handoff=*/false);
+}
+
+void Machine::deliver_to_stage(std::size_t index, int target_core,
+                               int from_core, net::PacketPtr pkt,
+                               bool charge_handoff) {
+  sim::Core& fc = core(from_core);
+  if (charge_handoff)
+    fc.charge(sim::Tag::kSteer, target_core != from_core
+                                    ? params_.costs.remote_enqueue
+                                    : params_.costs.local_enqueue);
+  StageQueue& q = queue(index, target_core);
+  q.enqueue(std::move(pkt));
+  const bool remote = target_core != from_core;
+  if (core(target_core).raise(q, remote) && remote)
+    fc.charge(sim::Tag::kSteer, params_.costs.ipi_cost);
+}
+
+void Machine::socket_ingest(net::PacketPtr pkt, int from_core) {
+  ++ingested_;
+  auto it = sockets_.find(pkt->flow.dst_port);
+  if (it == sockets_.end()) return;  // no listener: drop (like ICMP unreach)
+  core(from_core).charge(sim::Tag::kSteer, params_.costs.sock_enqueue);
+  it->second->ingest(std::move(pkt), from_core);
+}
+
+void Machine::reset_measurement() {
+  for (auto& c : cores_) c->reset_accounting();
+  for (auto& [_, s] : sockets_) s->reset_stats();
+}
+
+}  // namespace mflow::stack

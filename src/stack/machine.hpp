@@ -1,0 +1,139 @@
+// The receiving host: cores + NIC + software path + sockets, wired together.
+//
+// Machine owns the per-(stage, core) queues and implements the stage
+// transition function (forward_from / inject_into_path): every skb movement
+// between stages goes through it, consulting the installed SteeringPolicy or
+// a TransitionHook (MFLOW's splitter). This is the single seam where
+// vanilla, RPS, FALCON and MFLOW differ — everything else in the pipeline is
+// shared, exactly as in the paper where MFLOW reuses the unmodified kernel
+// stack and only re-purposes netif_rx and the driver poll.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "net/nic.hpp"
+#include "sim/core.hpp"
+#include "sim/simulator.hpp"
+#include "stack/socket.hpp"
+#include "stack/stage.hpp"
+
+namespace mflow::stack {
+
+struct MachineParams {
+  int num_cores = 16;
+  net::NicParams nic{};
+  CostModel costs{};
+  sim::CoreParams core_params{};
+  /// RX-queue -> core affinity (like /proc/irq/*/smp_affinity). Default set
+  /// in the constructor: queue i -> core 1 + i.
+  std::vector<int> irq_affinity{};
+};
+
+class Machine {
+ public:
+  Machine(sim::Simulator& sim, MachineParams params);
+  ~Machine();
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  sim::Simulator& simulator() { return sim_; }
+  net::Nic& nic() { return nic_; }
+  const CostModel& costs() const { return params_.costs; }
+  const MachineParams& params() const { return params_; }
+
+  sim::Core& core(int id) { return *cores_.at(static_cast<std::size_t>(id)); }
+  int num_cores() const { return static_cast<int>(cores_.size()); }
+
+  // --- topology setup --------------------------------------------------------
+  /// Install the software path: the ordered stages every received packet
+  /// traverses after the driver. Terminal socket ingest is implicit.
+  void set_path(std::vector<std::unique_ptr<Stage>> stages);
+  std::size_t path_length() const { return path_.size(); }
+  Stage& stage_at(std::size_t index) { return *path_.at(index); }
+  /// Index of the first stage with this id; throws if absent.
+  std::size_t stage_index(StageId id) const;
+  bool has_stage(StageId id) const;
+
+  void set_steering(std::unique_ptr<SteeringPolicy> policy);
+  SteeringPolicy* steering() { return steering_.get(); }
+
+  /// Intercept the transition into path stage `index` (non-owning; the
+  /// installer keeps the hook alive).
+  void set_transition_hook(std::size_t index, TransitionHook* hook);
+
+  Socket& add_socket(std::uint16_t port, SocketConfig cfg);
+  Socket& socket(std::uint16_t port);
+
+  /// Create the default per-queue driver pollables and IRQ wiring.
+  /// Call after set_path/set_steering.
+  void start();
+
+  /// Replace the driver for `queue` (MFLOW IRQ-splitting installs its
+  /// first-half pollable here). Non-owning.
+  void override_driver(int queue, sim::Pollable* driver, int core_id);
+
+  // --- runtime plumbing (stages, hooks, workloads) -----------------------------
+  /// Stage transition: the packet finished stage `index`; route onward.
+  void forward_from(std::size_t index, int from_core, net::PacketPtr pkt) {
+    inject_into_path(index + 1, from_core, std::move(pkt));
+  }
+
+  /// Route a packet into path stage `index` (hooks/steering applied);
+  /// index == path_length() means terminal socket ingest.
+  void inject_into_path(std::size_t index, int from_core, net::PacketPtr pkt);
+
+  /// Place a packet directly onto stage `index`'s queue on `target_core`,
+  /// bypassing steering (MFLOW's splitter uses this with its own amortized
+  /// charging; charge_handoff selects the default per-skb handoff charge).
+  void deliver_to_stage(std::size_t index, int target_core, int from_core,
+                        net::PacketPtr pkt, bool charge_handoff);
+
+  /// Terminal delivery into the owning socket's queues.
+  void socket_ingest(net::PacketPtr pkt, int from_core);
+
+  /// Override the terminal: packets leaving the last stage go to `fn`
+  /// instead of socket lookup. Used to model *transmit* pipelines, where
+  /// the end of the path is the wire, not a socket.
+  using Terminal = std::function<void(net::PacketPtr, int from_core)>;
+  void set_terminal(Terminal fn) { terminal_ = std::move(fn); }
+
+  // --- measurement ---------------------------------------------------------------
+  /// Zero core accounting and socket stats (warmup boundary).
+  void reset_measurement();
+
+  std::uint64_t socket_ingest_count() const { return ingested_; }
+
+ private:
+  StageQueue& queue(std::size_t index, int core_id);
+
+  struct DriverEntry {
+    sim::Pollable* pollable = nullptr;  // points into owned_drivers_ or override
+    int core_id = 1;
+  };
+
+  sim::Simulator& sim_;
+  MachineParams params_;
+  std::vector<std::unique_ptr<sim::Core>> cores_;
+  net::Nic nic_;
+
+  std::vector<std::unique_ptr<Stage>> path_;
+  std::unique_ptr<SteeringPolicy> steering_;
+  std::vector<TransitionHook*> hooks_;  // indexed by target stage index
+
+  // queues_[stage index][core id]
+  std::vector<std::unordered_map<int, std::unique_ptr<StageQueue>>> queues_;
+
+  std::vector<std::unique_ptr<sim::Pollable>> owned_drivers_;
+  std::vector<DriverEntry> drivers_;  // per NIC queue
+
+  std::unordered_map<std::uint16_t, std::unique_ptr<Socket>> sockets_;
+  Terminal terminal_;
+  std::uint64_t ingested_ = 0;
+};
+
+}  // namespace mflow::stack

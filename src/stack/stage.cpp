@@ -1,0 +1,41 @@
+#include "stack/stage.hpp"
+
+#include "stack/machine.hpp"
+
+namespace mflow::stack {
+
+std::string_view stage_name(StageId id) {
+  switch (id) {
+    case StageId::kDriver: return "driver";
+    case StageId::kGro: return "gro";
+    case StageId::kIpOuter: return "ip_outer";
+    case StageId::kVxlan: return "vxlan";
+    case StageId::kBridge: return "bridge";
+    case StageId::kVeth: return "veth";
+    case StageId::kIp: return "ip";
+    case StageId::kTcp: return "tcp";
+    case StageId::kUdp: return "udp";
+    case StageId::kSocket: return "socket";
+  }
+  return "?";
+}
+
+void StageContext::forward(net::PacketPtr pkt) {
+  machine.forward_from(stage_index, core.id(), std::move(pkt));
+}
+
+bool StageQueue::poll(sim::Core& core, int budget) {
+  StageContext ctx{machine_, core, stage_index_};
+  int n = 0;
+  while (n < budget && !fifo_.empty()) {
+    net::PacketPtr pkt = std::move(fifo_.front());
+    fifo_.pop_front();
+    core.charge(stage_.tag(), stage_.cost(*pkt));
+    stage_.process(std::move(pkt), ctx);
+    ++n;
+  }
+  stage_.end_batch(ctx);
+  return !fifo_.empty();
+}
+
+}  // namespace mflow::stack

@@ -1,0 +1,122 @@
+// Stage framework: the in-kernel packet-processing pipeline.
+//
+// A Path is an ordered list of Stages (driver, GRO, IP, VXLAN, bridge, veth,
+// transport). Packets move between stages through *stage transition
+// functions* — in our model, Machine::forward_from() — which enqueue the skb
+// into the next stage's per-core queue. Where that queue lives is decided by
+// the installed SteeringPolicy (vanilla / RPS / FALCON) or intercepted by a
+// TransitionHook (MFLOW's flow-splitting function re-purposes exactly this
+// transition point, per paper §III-A).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/core.hpp"
+#include "stack/costs.hpp"
+
+namespace mflow::stack {
+
+class Machine;
+
+/// Identifies a pipeline stage kind (a "network device" or function).
+enum class StageId : std::uint8_t {
+  kDriver,   // descriptor poll + skb allocation (stage 1)
+  kGro,      // generic receive offload (a heavyweight *function*)
+  kIpOuter,  // host-side IP receive of the encapsulated packet
+  kVxlan,    // VXLAN decapsulation device
+  kBridge,   // virtual bridge
+  kVeth,     // container veth ingress
+  kIp,       // (inner) IP receive
+  kTcp,      // TCP receive
+  kUdp,      // UDP receive
+  kSocket,   // terminal: socket ingest
+};
+
+std::string_view stage_name(StageId id);
+
+/// Steering decision interface implemented by vanilla/RPS/FALCON (steering/)
+/// and consulted at every stage transition.
+class SteeringPolicy {
+ public:
+  virtual ~SteeringPolicy() = default;
+
+  /// Core that should run `stage` for this packet; `from_core` ran the
+  /// previous stage ("stay local" policies return it unchanged).
+  virtual int core_for(StageId stage, const net::Packet& pkt,
+                       int from_core) = 0;
+
+  /// Extra per-packet cost charged on `from_core` at this transition
+  /// (e.g. the RPS hash computation).
+  virtual Time steer_cost(StageId /*stage*/) const { return 0; }
+
+  virtual std::string_view name() const = 0;
+};
+
+struct StageContext {
+  Machine& machine;
+  sim::Core& core;
+  std::size_t stage_index;  // index of the *current* stage in the path
+
+  /// Send the skb onward through the stage transition function.
+  void forward(net::PacketPtr pkt);
+};
+
+/// A pipeline stage. Stateful stages keep per-core state internally (the
+/// same Stage object serves its queues on every core).
+class Stage {
+ public:
+  virtual ~Stage() = default;
+  virtual StageId id() const = 0;
+  virtual sim::Tag tag() const = 0;
+  /// CPU cost of processing this skb at this stage.
+  virtual Time cost(const net::Packet& pkt) const = 0;
+  /// Act on the skb and forward (or absorb) it.
+  virtual void process(net::PacketPtr pkt, StageContext& ctx) = 0;
+  /// Called when a poll batch on `ctx.core` ends (GRO flush point).
+  virtual void end_batch(StageContext& /*ctx*/) {}
+};
+
+/// Per-(stage, core) work queue; a Pollable scheduled on its core like the
+/// per-device softirq backlog it models.
+class StageQueue : public sim::Pollable {
+ public:
+  StageQueue(Machine& machine, Stage& stage, std::size_t stage_index,
+             int core_id)
+      : machine_(machine),
+        stage_(stage),
+        stage_index_(stage_index),
+        core_id_(core_id) {}
+
+  void enqueue(net::PacketPtr pkt) { fifo_.push_back(std::move(pkt)); }
+  std::size_t depth() const { return fifo_.size(); }
+  int core_id() const { return core_id_; }
+
+  bool poll(sim::Core& core, int budget) override;
+  std::string_view poll_name() const override {
+    return stage_name(stage_.id());
+  }
+
+ private:
+  Machine& machine_;
+  Stage& stage_;
+  std::size_t stage_index_;
+  int core_id_;
+  std::deque<net::PacketPtr> fifo_;
+};
+
+/// Hook intercepting the transition *into* path stage `next_index`.
+/// MFLOW's flow-splitting function is implemented as one of these.
+class TransitionHook {
+ public:
+  virtual ~TransitionHook() = default;
+  virtual void on_forward(net::PacketPtr pkt, std::size_t next_index,
+                          int from_core) = 0;
+};
+
+}  // namespace mflow::stack

@@ -1,0 +1,68 @@
+#include "stack/tcp_rx.hpp"
+
+#include "stack/machine.hpp"
+
+namespace mflow::stack {
+
+void TcpReceiver::on_segment(net::PacketPtr pkt, const DeliverFn& deliver,
+                             const ChargeFn& charge) {
+  const net::FlowId flow_id = pkt->flow_id;
+  FlowState& st = flows_[flow_id];
+  const std::uint64_t off = pkt->tcp_seq;  // 64-bit stream offset (see
+                                           // Packet::tcp_seq doc)
+  const std::uint64_t len = pkt->payload_len;
+
+  if (off + len <= st.expected) {
+    ++dups_;
+    return;  // fully duplicate (e.g. spurious retransmit): drop
+  }
+  if (off > st.expected) {
+    // Hole: kernel out-of-order queue, paid per packet. This is the cost
+    // MFLOW's batch-based reassembling avoids.
+    charge(costs_.tcp_ofo_insert);
+    ++ofo_insertions_;
+    st.ofo.emplace(off, std::move(pkt));
+    return;
+  }
+
+  // In-order (possibly partially overlapping): accept and advance.
+  st.expected = off + len;
+  ++accepted_;
+  deliver(std::move(pkt));
+
+  // Drain any ofo segments made contiguous.
+  auto it = st.ofo.begin();
+  while (it != st.ofo.end() && it->first <= st.expected) {
+    if (it->first + it->second->payload_len <= st.expected) {
+      it = st.ofo.erase(it);  // stale duplicate
+      continue;
+    }
+    st.expected = it->first + it->second->payload_len;
+    ++accepted_;
+    deliver(std::move(it->second));
+    it = st.ofo.erase(it);
+  }
+
+  // Cumulative ACK for everything now contiguous (delayed-ACK-like: one ACK
+  // per processed super-skb, not per wire segment).
+  if (ack_) ack_(flow_id, st.expected);
+}
+
+std::uint64_t TcpReceiver::expected_offset(net::FlowId flow) const {
+  auto it = flows_.find(flow);
+  return it == flows_.end() ? 0 : it->second.expected;
+}
+
+void TcpStage::process(net::PacketPtr pkt, StageContext& ctx) {
+  Machine& m = ctx.machine;
+  sim::Core& core = ctx.core;
+  const int from_core = ctx.core.id();
+  receiver_.on_segment(
+      std::move(pkt),
+      [&m, from_core](net::PacketPtr p) {
+        m.socket_ingest(std::move(p), from_core);
+      },
+      [&core](sim::Time ns) { core.charge(sim::Tag::kTcpRx, ns); });
+}
+
+}  // namespace mflow::stack

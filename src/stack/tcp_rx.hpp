@@ -1,0 +1,78 @@
+// TCP receive processing: the *stateful* stage of the path.
+//
+// In-order segments advance the stream and are delivered; out-of-order
+// segments pay the kernel's per-packet ofo-queue insertion penalty and wait.
+// This is the stage MFLOW must merge micro-flows *before* ("in-order packet
+// processing ... only when necessary, e.g. before packets enter the
+// transport layer"). The logic lives in TcpReceiver so it can run either in
+// softirq context (vanilla/RPS/FALCON: TcpStage below) or in the packet-
+// delivery thread after MFLOW's reassembler (paper: merging added to
+// tcp_recvmsg).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_map>
+
+#include "stack/stage.hpp"
+
+namespace mflow::stack {
+
+class TcpReceiver {
+ public:
+  using DeliverFn = std::function<void(net::PacketPtr)>;
+  /// Cumulative ACK callback: (flow, contiguous stream bytes received).
+  using AckFn = std::function<void(net::FlowId, std::uint64_t)>;
+  /// Charges extra CPU (the ofo-insert penalty) on the processing core.
+  using ChargeFn = std::function<void(sim::Time)>;
+
+  explicit TcpReceiver(const CostModel& costs) : costs_(costs) {}
+
+  void set_ack_callback(AckFn fn) { ack_ = std::move(fn); }
+
+  /// Process one segment. In-order data (and any ofo data it unblocks) is
+  /// passed to `deliver`; out-of-order data is queued after charging the
+  /// insert penalty through `charge`.
+  void on_segment(net::PacketPtr pkt, const DeliverFn& deliver,
+                  const ChargeFn& charge);
+
+  std::uint64_t ofo_insertions() const { return ofo_insertions_; }
+  std::uint64_t duplicates_dropped() const { return dups_; }
+  std::uint64_t segments_accepted() const { return accepted_; }
+  std::uint64_t expected_offset(net::FlowId flow) const;
+
+ private:
+  struct FlowState {
+    std::uint64_t expected = 0;  // next in-order stream offset
+    std::map<std::uint64_t, net::PacketPtr> ofo;  // keyed by stream offset
+  };
+
+  const CostModel& costs_;
+  AckFn ack_;
+  std::unordered_map<net::FlowId, FlowState> flows_;
+  std::uint64_t ofo_insertions_ = 0;
+  std::uint64_t dups_ = 0;
+  std::uint64_t accepted_ = 0;
+};
+
+/// Softirq-context TCP stage (the vanilla/RPS/FALCON arrangement): delivers
+/// in-order data straight into the destination socket.
+class TcpStage : public Stage {
+ public:
+  TcpStage(const CostModel& costs, TcpReceiver& receiver)
+      : costs_(costs), receiver_(receiver) {}
+
+  StageId id() const override { return StageId::kTcp; }
+  sim::Tag tag() const override { return sim::Tag::kTcpRx; }
+  Time cost(const net::Packet& pkt) const override {
+    return costs_.tcp_rx_per_skb + costs_.tcp_rx_per_seg * pkt.gro_segs;
+  }
+  void process(net::PacketPtr pkt, StageContext& ctx) override;
+
+ private:
+  const CostModel& costs_;
+  TcpReceiver& receiver_;
+};
+
+}  // namespace mflow::stack

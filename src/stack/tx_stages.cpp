@@ -1,0 +1,29 @@
+#include "stack/tx_stages.hpp"
+
+#include "stack/bridge.hpp"
+#include "stack/ip_rx.hpp"
+#include "stack/veth.hpp"
+
+namespace mflow::stack {
+
+void VxlanEncapStage::process(net::PacketPtr pkt, StageContext& ctx) {
+  net::vxlan_encap(*pkt, src_, dst_, vni_);
+  ++count_;
+  ctx.forward(std::move(pkt));
+}
+
+std::vector<std::unique_ptr<Stage>> build_tx_path(const CostModel& costs,
+                                                  net::Ipv4Addr outer_src,
+                                                  net::Ipv4Addr outer_dst,
+                                                  std::uint32_t vni) {
+  std::vector<std::unique_ptr<Stage>> path;
+  path.push_back(std::make_unique<VethStage>(costs));
+  path.push_back(std::make_unique<BridgeStage>(costs));
+  path.push_back(std::make_unique<VxlanEncapStage>(costs, outer_src,
+                                                   outer_dst, vni));
+  path.push_back(std::make_unique<IpRxStage>(costs, /*outer=*/true));
+  path.push_back(std::make_unique<DriverTxStage>(costs));
+  return path;
+}
+
+}  // namespace mflow::stack

@@ -1,0 +1,74 @@
+// Transmit-side stages: the container's overlay egress path.
+//
+// A packet sent by a containerized application traverses (veth egress ->
+// bridge -> VXLAN *encapsulation* -> host IP -> physical driver TX). The
+// paper's results repeatedly show this path throttling the clients (UDP
+// senders saturating their cores, §V-A), and §VII names the sender side as
+// future work — so we model it with the same Stage machinery as the receive
+// path and let MFLOW's flow splitter parallelize it (see
+// workload/txhost.hpp).
+//
+// Stage kinds reuse the RX StageId space: kVeth/kBridge/kIp keep their ids
+// (their costs are symmetric enough); encapsulation and driver TX get
+// dedicated classes below, reusing kVxlan/kDriver ids.
+#pragma once
+
+#include "stack/stage.hpp"
+
+namespace mflow::stack {
+
+/// VXLAN encapsulation: real outer-header construction (net::vxlan_encap).
+class VxlanEncapStage : public Stage {
+ public:
+  VxlanEncapStage(const CostModel& costs, net::Ipv4Addr outer_src,
+                  net::Ipv4Addr outer_dst, std::uint32_t vni)
+      : costs_(costs), src_(outer_src), dst_(outer_dst), vni_(vni) {}
+
+  StageId id() const override { return StageId::kVxlan; }
+  sim::Tag tag() const override { return sim::Tag::kVxlan; }
+  Time cost(const net::Packet& pkt) const override {
+    // Encap is cheaper than decap (no validation), still per segment.
+    return costs_.vxlan_per_skb / 2 + costs_.vxlan_per_seg * pkt.gro_segs;
+  }
+  void process(net::PacketPtr pkt, StageContext& ctx) override;
+
+  std::uint64_t encapsulated() const { return count_; }
+
+ private:
+  const CostModel& costs_;
+  net::Ipv4Addr src_, dst_;
+  std::uint32_t vni_;
+  std::uint64_t count_ = 0;
+};
+
+/// Physical driver TX: descriptor setup + doorbell; terminal stage (the
+/// Machine's terminal callback represents the wire).
+class DriverTxStage : public Stage {
+ public:
+  explicit DriverTxStage(const CostModel& costs) : costs_(costs) {}
+
+  StageId id() const override { return StageId::kDriver; }
+  sim::Tag tag() const override { return sim::Tag::kDriver; }
+  Time cost(const net::Packet&) const override {
+    return costs_.driver_poll_per_pkt;  // TX descriptor work ~ RX poll work
+  }
+  void process(net::PacketPtr pkt, StageContext& ctx) override {
+    ++count_;
+    ctx.forward(std::move(pkt));  // falls off the path -> terminal (wire)
+  }
+
+  std::uint64_t transmitted() const { return count_; }
+
+ private:
+  const CostModel& costs_;
+  std::uint64_t count_ = 0;
+};
+
+/// Build the container-egress TX path:
+///   veth -> bridge -> vxlan encap -> (outer) IP -> driver TX.
+std::vector<std::unique_ptr<Stage>> build_tx_path(const CostModel& costs,
+                                                  net::Ipv4Addr outer_src,
+                                                  net::Ipv4Addr outer_dst,
+                                                  std::uint32_t vni);
+
+}  // namespace mflow::stack

@@ -1,0 +1,12 @@
+#include "stack/udp_rx.hpp"
+
+#include "stack/machine.hpp"
+
+namespace mflow::stack {
+
+void UdpStage::process(net::PacketPtr pkt, StageContext& ctx) {
+  ++delivered_;
+  ctx.machine.socket_ingest(std::move(pkt), ctx.core.id());
+}
+
+}  // namespace mflow::stack

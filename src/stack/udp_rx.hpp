@@ -1,0 +1,32 @@
+// UDP receive: stateless socket lookup + delivery. Because UDP has no
+// inter-packet dependency, MFLOW can run this whole stage on splitting cores
+// and merge "as late as possible" — right before the user-space copy.
+#pragma once
+
+#include <cstdint>
+
+#include "stack/stage.hpp"
+
+namespace mflow::stack {
+
+class UdpStage : public Stage {
+ public:
+  explicit UdpStage(const CostModel& costs) : costs_(costs) {}
+
+  StageId id() const override { return StageId::kUdp; }
+  sim::Tag tag() const override { return sim::Tag::kUdpRx; }
+  Time cost(const net::Packet& pkt) const override {
+    // UDP sees every wire packet individually (no GRO coalescing).
+    return costs_.udp_rx_per_pkt * pkt.gro_segs;
+  }
+
+  void process(net::PacketPtr pkt, StageContext& ctx) override;
+
+  std::uint64_t delivered() const { return delivered_; }
+
+ private:
+  const CostModel& costs_;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace mflow::stack

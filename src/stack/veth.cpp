@@ -1,0 +1,10 @@
+#include "stack/veth.hpp"
+
+namespace mflow::stack {
+
+void VethStage::process(net::PacketPtr pkt, StageContext& ctx) {
+  ++transited_;
+  ctx.forward(std::move(pkt));
+}
+
+}  // namespace mflow::stack

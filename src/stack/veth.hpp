@@ -1,0 +1,27 @@
+// Container veth ingress: the namespace boundary crossing. The skb is
+// re-injected into the (container-side) network stack — in the kernel this
+// is the second netif_rx / softirq of the overlay path.
+#pragma once
+
+#include "stack/stage.hpp"
+
+namespace mflow::stack {
+
+class VethStage : public Stage {
+ public:
+  explicit VethStage(const CostModel& costs) : costs_(costs) {}
+
+  StageId id() const override { return StageId::kVeth; }
+  sim::Tag tag() const override { return sim::Tag::kVeth; }
+  Time cost(const net::Packet&) const override { return costs_.veth_per_skb; }
+
+  void process(net::PacketPtr pkt, StageContext& ctx) override;
+
+  std::uint64_t transited() const { return transited_; }
+
+ private:
+  const CostModel& costs_;
+  std::uint64_t transited_ = 0;
+};
+
+}  // namespace mflow::stack

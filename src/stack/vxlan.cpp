@@ -1,0 +1,15 @@
+#include "stack/vxlan.hpp"
+
+namespace mflow::stack {
+
+void VxlanStage::process(net::PacketPtr pkt, StageContext& ctx) {
+  const net::DecapResult res = net::vxlan_decap(*pkt);
+  if (!res.ok || res.vni != expected_vni_) {
+    ++failures_;
+    return;  // malformed or foreign-VNI packet: dropped, skb freed
+  }
+  ++decapsulated_;
+  ctx.forward(std::move(pkt));
+}
+
+}  // namespace mflow::stack

@@ -1,0 +1,37 @@
+// VXLAN decapsulation device — the heavyweight network device of container
+// overlay networks (paper §II: "a heavy device (e.g., VxLAN) can still
+// saturate one CPU core"). Performs real byte-level outer-header validation
+// and stripping via net::vxlan_decap.
+#pragma once
+
+#include <cstdint>
+
+#include "stack/stage.hpp"
+
+namespace mflow::stack {
+
+class VxlanStage : public Stage {
+ public:
+  VxlanStage(const CostModel& costs, std::uint32_t expected_vni)
+      : costs_(costs), expected_vni_(expected_vni) {}
+
+  StageId id() const override { return StageId::kVxlan; }
+  sim::Tag tag() const override { return sim::Tag::kVxlan; }
+
+  Time cost(const net::Packet& pkt) const override {
+    return costs_.vxlan_per_skb + costs_.vxlan_per_seg * pkt.gro_segs;
+  }
+
+  void process(net::PacketPtr pkt, StageContext& ctx) override;
+
+  std::uint64_t decap_failures() const { return failures_; }
+  std::uint64_t decapsulated() const { return decapsulated_; }
+
+ private:
+  const CostModel& costs_;
+  std::uint32_t expected_vni_;
+  std::uint64_t failures_ = 0;
+  std::uint64_t decapsulated_ = 0;
+};
+
+}  // namespace mflow::stack

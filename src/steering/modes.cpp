@@ -1,0 +1,27 @@
+#include "steering/modes.hpp"
+
+namespace mflow::steer {
+
+std::unique_ptr<SteeringPolicy> make_vanilla() {
+  return std::make_unique<VanillaSteering>();
+}
+
+std::unique_ptr<SteeringPolicy> make_rps(std::vector<int> targets,
+                                         bool overlay_path, Time hash_cost) {
+  // For the overlay, outer IP receive, VXLAN decap, bridge and veth all run
+  // inside the pNIC's first softirq; the paper observes that under RPS
+  // "VxLAN (part of the first softirq) [was] still processed on core one".
+  // RPS takes effect at the veth's netif_receive — the inner IP stage.
+  (void)overlay_path;
+  return std::make_unique<RpsSteering>(std::move(targets), StageId::kIp,
+                                       hash_cost);
+}
+
+std::unique_ptr<SteeringPolicy> make_falcon(FalconSteering::Level level,
+                                            std::vector<int> pool,
+                                            bool overlay_path) {
+  return std::make_unique<FalconSteering>(level, std::move(pool),
+                                          overlay_path);
+}
+
+}  // namespace mflow::steer

@@ -1,0 +1,21 @@
+// Factory helpers assembling steering policies for the experiment modes.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "steering/policy.hpp"
+
+namespace mflow::steer {
+
+std::unique_ptr<SteeringPolicy> make_vanilla();
+
+/// RPS for the given path kind: steers the first post-GRO stage.
+std::unique_ptr<SteeringPolicy> make_rps(std::vector<int> targets,
+                                         bool overlay_path, Time hash_cost);
+
+std::unique_ptr<SteeringPolicy> make_falcon(FalconSteering::Level level,
+                                            std::vector<int> pool,
+                                            bool overlay_path);
+
+}  // namespace mflow::steer

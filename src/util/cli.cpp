@@ -1,0 +1,60 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+
+namespace mflow::util {
+
+Cli::Cli(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      arg = arg.substr(2);
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        kv_[arg] = "true";
+      } else {
+        kv_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      }
+    } else {
+      positional_.push_back(std::move(arg));
+    }
+  }
+}
+
+bool Cli::has(const std::string& key) const {
+  used_[key] = true;
+  return kv_.count(key) > 0;
+}
+
+std::string Cli::get(const std::string& key, const std::string& def) const {
+  used_[key] = true;
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? def : it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& key, std::int64_t def) const {
+  const auto s = get(key, "");
+  if (s.empty()) return def;
+  return std::strtoll(s.c_str(), nullptr, 0);
+}
+
+double Cli::get_double(const std::string& key, double def) const {
+  const auto s = get(key, "");
+  if (s.empty()) return def;
+  return std::strtod(s.c_str(), nullptr);
+}
+
+bool Cli::get_bool(const std::string& key, bool def) const {
+  const auto s = get(key, "");
+  if (s.empty()) return def;
+  return s == "1" || s == "true" || s == "yes" || s == "on";
+}
+
+std::vector<std::string> Cli::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [k, _] : kv_)
+    if (!used_.count(k)) out.push_back(k);
+  return out;
+}
+
+}  // namespace mflow::util

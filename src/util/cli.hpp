@@ -1,0 +1,34 @@
+// Minimal --key=value / --flag command-line parser for benches & examples.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mflow::util {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& def) const;
+  std::int64_t get_int(const std::string& key, std::int64_t def) const;
+  double get_double(const std::string& key, double def) const;
+  bool get_bool(const std::string& key, bool def) const;
+
+  /// Positional (non --key) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Keys that were passed but never queried (typo detection).
+  std::vector<std::string> unused() const;
+
+ private:
+  std::map<std::string, std::string> kv_;
+  mutable std::map<std::string, bool> used_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace mflow::util

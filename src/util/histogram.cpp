@@ -1,0 +1,131 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+namespace mflow::util {
+
+Histogram::Histogram(int sub_bucket_bits)
+    : sub_bits_(sub_bucket_bits),
+      sub_count_(std::uint64_t{1} << sub_bucket_bits) {
+  // 64 power-of-two ranges is enough for any uint64 value.
+  buckets_.assign(static_cast<std::size_t>(64 - sub_bits_) * sub_count_, 0);
+}
+
+std::size_t Histogram::bucket_index(std::uint64_t value) const {
+  // Values below sub_count_ land in the first (purely linear) range.
+  if (value < sub_count_) return static_cast<std::size_t>(value);
+  const int msb = 63 - std::countl_zero(value);
+  const int range = msb - sub_bits_ + 1;  // >= 1
+  const std::uint64_t offset = (value >> range) & (sub_count_ / 2 - 1);
+  // Each range past the first contributes sub_count_/2 new buckets.
+  const std::size_t base =
+      sub_count_ + static_cast<std::size_t>(range - 1) * (sub_count_ / 2);
+  return base + static_cast<std::size_t>(offset);
+}
+
+std::uint64_t Histogram::bucket_low(std::size_t index) const {
+  if (index < sub_count_) return index;
+  const std::size_t rel = index - sub_count_;
+  const std::size_t half = sub_count_ / 2;
+  const int range = static_cast<int>(rel / half) + 1;
+  const std::uint64_t offset = rel % half;
+  return ((half + offset) << range);
+}
+
+std::uint64_t Histogram::bucket_mid(std::size_t index) const {
+  if (index < sub_count_) return index;
+  const std::size_t rel = index - sub_count_;
+  const std::size_t half = sub_count_ / 2;
+  const int range = static_cast<int>(rel / half) + 1;
+  const std::uint64_t width = std::uint64_t{1} << range;
+  return bucket_low(index) + width / 2;
+}
+
+void Histogram::record(std::uint64_t value) { record_n(value, 1); }
+
+void Histogram::record_n(std::uint64_t value, std::uint64_t count) {
+  if (count == 0) return;
+  const std::size_t idx = bucket_index(value);
+  if (idx < buckets_.size()) buckets_[idx] += count;
+  count_ += count;
+  max_ = std::max(max_, value);
+  if (!has_min_ || value < min_) {
+    min_ = value;
+    has_min_ = true;
+  }
+  const double v = static_cast<double>(value);
+  sum_ += v * static_cast<double>(count);
+  sum_sq_ += v * v * static_cast<double>(count);
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.sub_bits_ == sub_bits_) {
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+      buckets_[i] += other.buckets_[i];
+    count_ += other.count_;
+    max_ = std::max(max_, other.max_);
+    if (other.has_min_ && (!has_min_ || other.min_ < min_)) {
+      min_ = other.min_;
+      has_min_ = true;
+    }
+    sum_ += other.sum_;
+    sum_sq_ += other.sum_sq_;
+    return;
+  }
+  // Different resolution: re-record bucket midpoints (lossy but rare).
+  for (std::size_t i = 0; i < other.buckets_.size(); ++i)
+    if (other.buckets_[i] > 0) record_n(other.bucket_mid(i), other.buckets_[i]);
+}
+
+void Histogram::clear() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  max_ = 0;
+  min_ = 0;
+  has_min_ = false;
+  sum_ = 0.0;
+  sum_sq_ = 0.0;
+}
+
+std::uint64_t Histogram::min() const { return has_min_ ? min_ : 0; }
+
+double Histogram::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::stddev() const {
+  if (count_ == 0) return 0.0;
+  const double n = static_cast<double>(count_);
+  const double m = sum_ / n;
+  const double var = sum_sq_ / n - m * m;
+  return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+std::uint64_t Histogram::quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target && buckets_[i] > 0) return bucket_mid(i);
+  }
+  return max_;
+}
+
+std::string Histogram::summary(double scale, const std::string& unit) const {
+  std::ostringstream os;
+  os.precision(1);
+  os << std::fixed;
+  os << "n=" << count_ << " mean=" << mean() * scale << unit
+     << " p50=" << static_cast<double>(p50()) * scale << unit
+     << " p99=" << static_cast<double>(p99()) * scale << unit
+     << " max=" << static_cast<double>(max_) * scale << unit;
+  return os.str();
+}
+
+}  // namespace mflow::util

@@ -1,0 +1,63 @@
+// Log-bucketed latency histogram (HDR-histogram style).
+//
+// Records non-negative integer values (we use nanoseconds) into buckets whose
+// width grows geometrically, giving ~1.6% relative error across nine decades
+// with a few KB of memory. Used for every latency distribution the
+// benchmarks report (median / p99 / p99.9), mirroring how sockperf and the
+// paper report tail latency.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mflow::util {
+
+class Histogram {
+ public:
+  /// sub_bucket_bits controls resolution: each power-of-two range is divided
+  /// into 2^sub_bucket_bits linear buckets (default 64 -> <=1.6% error).
+  explicit Histogram(int sub_bucket_bits = 6);
+
+  void record(std::uint64_t value);
+  void record_n(std::uint64_t value, std::uint64_t count);
+
+  /// Merge another histogram (same sub_bucket_bits) into this one.
+  void merge(const Histogram& other);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t min() const;
+  std::uint64_t max() const { return max_; }
+  double mean() const;
+  double stddev() const;
+
+  /// Value at quantile q in [0, 1]. Returns 0 for an empty histogram.
+  std::uint64_t quantile(double q) const;
+  std::uint64_t p50() const { return quantile(0.50); }
+  std::uint64_t p90() const { return quantile(0.90); }
+  std::uint64_t p99() const { return quantile(0.99); }
+  std::uint64_t p999() const { return quantile(0.999); }
+
+  void clear();
+
+  /// One-line summary, values scaled by `scale` and suffixed with `unit`
+  /// (e.g. scale=1e-3, unit="us" to print nanoseconds as microseconds).
+  std::string summary(double scale = 1.0, const std::string& unit = "") const;
+
+ private:
+  std::size_t bucket_index(std::uint64_t value) const;
+  std::uint64_t bucket_low(std::size_t index) const;
+  std::uint64_t bucket_mid(std::size_t index) const;
+
+  int sub_bits_;
+  std::uint64_t sub_count_;        // 2^sub_bits_
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::uint64_t max_ = 0;
+  std::uint64_t min_ = 0;
+  bool has_min_ = false;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+};
+
+}  // namespace mflow::util

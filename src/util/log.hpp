@@ -1,0 +1,46 @@
+// Tiny leveled logger. Disabled levels compile to a cheap branch; the
+// simulator's hot path never logs unless verbose mode is requested.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace mflow::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, os_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace mflow::util
+
+#define MFLOW_LOG(level)                                       \
+  if (static_cast<int>(level) < static_cast<int>(::mflow::util::log_level())) \
+    ;                                                          \
+  else                                                         \
+    ::mflow::util::detail::LogLine(level)
+
+#define MFLOW_DEBUG() MFLOW_LOG(::mflow::util::LogLevel::kDebug)
+#define MFLOW_INFO() MFLOW_LOG(::mflow::util::LogLevel::kInfo)
+#define MFLOW_WARN() MFLOW_LOG(::mflow::util::LogLevel::kWarn)
+#define MFLOW_ERROR() MFLOW_LOG(::mflow::util::LogLevel::kError)

@@ -1,0 +1,62 @@
+// Deterministic pseudo-random number generation for reproducible simulation.
+//
+// All stochastic behaviour in the simulator (background interference, workload
+// arrival jitter, hash seeds, ...) draws from an Rng seeded explicitly by the
+// experiment, so that a scenario re-run with the same seed replays the exact
+// same event sequence. We use xoshiro256** (public domain, Blackman/Vigna):
+// fast, high quality, and trivially embeddable, which keeps experiments
+// independent of the C++ standard library's unspecified distributions.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace mflow::util {
+
+/// xoshiro256** PRNG with SplitMix64 seeding.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Re-initialize the full 256-bit state from a 64-bit seed via SplitMix64.
+  void reseed(std::uint64_t seed);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next();
+
+  // UniformRandomBitGenerator interface (usable with <random> if desired).
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  result_type operator()() { return next(); }
+
+  /// Uniform integer in [0, bound) using Lemire's multiply-shift reduction.
+  /// bound must be nonzero.
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Exponentially distributed double with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Bounded Pareto-ish heavy tail: min * (1-u)^(-1/alpha), capped at cap.
+  double pareto(double min_value, double alpha, double cap);
+
+  /// Bernoulli trial with probability p in [0, 1].
+  bool chance(double p) { return uniform01() < p; }
+
+  /// Derive an independent child generator (for per-component streams).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace mflow::util

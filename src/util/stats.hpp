@@ -1,0 +1,43 @@
+// Streaming statistics (Welford) and small helpers shared by the
+// experiment harness and benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mflow::util {
+
+/// Numerically stable running mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+  void clear();
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  // population variance
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Population standard deviation of a sample span.
+double stddev(std::span<const double> xs);
+
+/// Arithmetic mean of a sample span (0 for empty).
+double mean(std::span<const double> xs);
+
+/// Exact percentile (nearest-rank) of a copy-sorted sample.
+double percentile(std::vector<double> xs, double q);
+
+}  // namespace mflow::util

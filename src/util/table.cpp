@@ -1,0 +1,98 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <iomanip>
+#include <sstream>
+
+namespace mflow::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  assert(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+Table::Cell::Cell(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  text = os.str();
+}
+Table::Cell::Cell(int v) : text(std::to_string(v)) {}
+Table::Cell::Cell(long v) : text(std::to_string(v)) {}
+Table::Cell::Cell(long long v) : text(std::to_string(v)) {}
+Table::Cell::Cell(unsigned long v) : text(std::to_string(v)) {}
+Table::Cell::Cell(unsigned long long v) : text(std::to_string(v)) {}
+
+void Table::add(std::initializer_list<Cell> cells) {
+  std::vector<std::string> row;
+  row.reserve(cells.size());
+  for (const auto& c : cells) row.push_back(c.text);
+  add_row(std::move(row));
+}
+
+void Table::print(std::ostream& os, const std::string& title) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    width[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  if (!title.empty()) os << "== " << title << " ==\n";
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(width[c])) << row[c];
+      if (c + 1 < row.size()) os << "  ";
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  std::size_t total = 0;
+  for (auto w : width) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto quote = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << quote(row[c]);
+      if (c + 1 < row.size()) os << ',';
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string fmt_gbps(double gbps) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2) << gbps << " Gbps";
+  return os.str();
+}
+
+std::string fmt_pct(double fraction) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1) << fraction * 100.0 << "%";
+  return os.str();
+}
+
+std::string fmt_us(double nanoseconds) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1) << nanoseconds / 1000.0 << " us";
+  return os.str();
+}
+
+}  // namespace mflow::util

@@ -1,0 +1,51 @@
+// Column-aligned plain-text tables and CSV output for the benchmark
+// harness: every figure/table reproduction prints its series through this.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mflow::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; its size must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision, keeps strings.
+  struct Cell {
+    std::string text;
+    Cell(const char* s) : text(s) {}                 // NOLINT(runtime/explicit)
+    Cell(std::string s) : text(std::move(s)) {}     // NOLINT(runtime/explicit)
+    Cell(double v, int precision = 2);               // NOLINT(runtime/explicit)
+    Cell(int v);                                     // NOLINT(runtime/explicit)
+    Cell(long v);                                    // NOLINT(runtime/explicit)
+    Cell(long long v);                               // NOLINT(runtime/explicit)
+    Cell(unsigned long v);                           // NOLINT(runtime/explicit)
+    Cell(unsigned long long v);                      // NOLINT(runtime/explicit)
+  };
+  void add(std::initializer_list<Cell> cells);
+
+  /// Render with column alignment, a header separator, and optional title.
+  void print(std::ostream& os, const std::string& title = "") const;
+
+  /// RFC-4180-ish CSV (quotes cells containing commas or quotes).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers used across benches.
+std::string fmt_gbps(double gbps);
+std::string fmt_pct(double fraction);  // 0.42 -> "42.0%"
+std::string fmt_us(double nanoseconds);
+
+}  // namespace mflow::util

@@ -1,0 +1,147 @@
+// Client-side traffic generation (the sockperf/iperf3 side of the testbed).
+//
+// Clients are modeled with their own cores because several of the paper's
+// results are *client*-limited: TCP with 16 B messages, and UDP through the
+// overlay, where the sender pays the full veth->bridge->VXLAN-encap TX path
+// (which is why the paper needs three sockperf clients, and why MFLOW's UDP
+// receive capacity is not saturated).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/core.hpp"
+#include "sim/simulator.hpp"
+#include "stack/machine.hpp"
+
+namespace mflow::workload {
+
+/// Fixed-latency FIFO wire between a client and the server NIC. FIFO order
+/// plus constant latency preserves transmit order on arrival (single cable,
+/// no reordering — as in the paper's back-to-back 100GbE link).
+class WireLink {
+ public:
+  WireLink(sim::Simulator& sim, stack::Machine& dst, sim::Time latency)
+      : sim_(sim), dst_(dst), latency_(latency) {}
+
+  void transmit(net::PacketPtr pkt);
+
+  std::uint64_t packets() const { return packets_; }
+
+ private:
+  sim::Simulator& sim_;
+  stack::Machine& dst_;
+  sim::Time latency_;
+  std::deque<net::PacketPtr> in_flight_;
+  std::uint64_t packets_ = 0;
+};
+
+/// A client machine: cores running sender applications.
+class ClientHost {
+ public:
+  ClientHost(sim::Simulator& sim, int num_cores,
+             const stack::CostModel& costs);
+
+  sim::Core& core(int id) { return *cores_.at(static_cast<std::size_t>(id)); }
+  int num_cores() const { return static_cast<int>(cores_.size()); }
+  const stack::CostModel& costs() const { return costs_; }
+  sim::Simulator& simulator() { return sim_; }
+
+ private:
+  sim::Simulator& sim_;
+  stack::CostModel costs_;
+  std::vector<std::unique_ptr<sim::Core>> cores_;
+};
+
+struct SenderParams {
+  net::FlowKey flow;       // inner 5-tuple (container addresses if overlay)
+  net::FlowId flow_id = 1;
+  bool overlay = true;
+  net::Ipv4Addr outer_src;  // underlay host addresses (overlay only)
+  net::Ipv4Addr outer_dst;
+  std::uint32_t vni = 42;
+  std::uint32_t message_size = 65536;
+  std::uint32_t mss = net::kTcpMss;
+  std::uint64_t window_bytes = 3000ull * net::kTcpMss;  // TCP only
+  /// Retransmission timeout for the go-back-N recovery that papers over
+  /// ring-overrun losses (real TCP would do SACK; goodput effect is the
+  /// same at these loss rates).
+  sim::Time rto = sim::ms(1);
+  /// 0 = send as fast as the client core allows; otherwise one message per
+  /// `pace_per_message` ns (used for latency runs below saturation).
+  sim::Time pace_per_message = 0;
+  /// Message-id sequence (UDP): several clients hammering the same flow
+  /// (the paper's 3-client UDP setup) must not collide on message ids.
+  std::uint64_t message_id_start = 0;
+  std::uint64_t message_id_stride = 1;
+};
+
+/// Windowed TCP sender: keeps `window_bytes` in flight, continues on ACKs.
+/// With the paper's ~30 Gbps and MTU segments this is ~2000 outstanding
+/// packets — the raw material of packet-level parallelism (§III-A).
+class TcpSender : public sim::Pollable {
+ public:
+  TcpSender(ClientHost& host, int core_id, SenderParams params,
+            WireLink& wire);
+
+  void start();
+  /// Cumulative ACK (stream bytes) — call on the client side, after wire
+  /// latency; re-arms sending.
+  void on_ack(std::uint64_t cumulative_bytes);
+
+  bool poll(sim::Core& core, int budget) override;
+  std::string_view poll_name() const override { return "tcp-sender"; }
+
+  std::uint64_t bytes_sent() const { return next_off_; }
+  std::uint64_t segments_sent() const { return segments_; }
+  std::uint64_t inflight_bytes() const { return next_off_ - acked_; }
+  std::uint64_t retransmits() const { return retransmits_; }
+  const SenderParams& params() const { return params_; }
+
+ private:
+  void arm_rto();
+
+  ClientHost& host_;
+  int core_id_;
+  SenderParams params_;
+  WireLink& wire_;
+  std::uint64_t next_off_ = 0;
+  std::uint64_t acked_ = 0;
+  std::uint64_t segments_ = 0;
+  std::uint64_t retransmits_ = 0;
+  bool paced_waiting_ = false;
+  bool rto_armed_ = false;
+};
+
+/// UDP sender: unpaced it saturates its client core (the paper's overload
+/// setup); paced it injects messages at a fixed rate.
+class UdpSender : public sim::Pollable {
+ public:
+  UdpSender(ClientHost& host, int core_id, SenderParams params,
+            WireLink& wire);
+
+  void start();
+
+  bool poll(sim::Core& core, int budget) override;
+  std::string_view poll_name() const override { return "udp-sender"; }
+
+  std::uint64_t bytes_sent() const { return bytes_; }
+  std::uint64_t packets_sent() const { return packets_; }
+
+ private:
+  void send_fragment(sim::Core& core);
+
+  ClientHost& host_;
+  int core_id_;
+  SenderParams params_;
+  WireLink& wire_;
+  std::uint64_t next_message_id_ = 0;
+  std::uint32_t frag_off_ = 0;  // bytes of the current message already sent
+  std::uint64_t bytes_ = 0;
+  std::uint64_t packets_ = 0;
+};
+
+}  // namespace mflow::workload

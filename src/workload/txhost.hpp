@@ -1,0 +1,75 @@
+// Detailed sender host (extension; paper §VII "one [bottleneck] lies in
+// clients/senders").
+//
+// Models the client machine's overlay egress as a real stage pipeline
+// (veth -> bridge -> VXLAN encap -> IP -> driver TX) on the client's cores,
+// instead of the lump per-packet cost the micro-benchmarks use. Two modes:
+//
+//  - single-core: the whole egress path runs on the sending application's
+//    core — the configuration whose saturation throttles the paper's UDP
+//    clients;
+//  - MFLOW-TX: the flow-splitting function is installed before the
+//    encapsulation stage, spreading micro-flow batches over splitting
+//    cores; a wire-drain thread merges them back into flow order before
+//    transmission (batch-based reassembling, unchanged).
+#pragma once
+
+#include <memory>
+
+#include "core/mflow.hpp"
+#include "stack/machine.hpp"
+#include "stack/tx_stages.hpp"
+#include "workload/sender.hpp"
+
+namespace mflow::workload {
+
+class TxHost {
+ public:
+  struct Config {
+    int cores = 4;  // core 0 runs the application (sendmsg)
+    bool mflow_tx = false;
+    std::vector<int> splitting_cores = {1, 2};
+    std::uint32_t batch_size = 256;
+    int wire_core = 3;  // ordered wire drain (MFLOW-TX mode)
+
+    net::FlowKey flow;  // inner (container) flow
+    net::FlowId flow_id = 1;
+    net::Ipv4Addr outer_src;
+    net::Ipv4Addr outer_dst;
+    std::uint32_t vni = 42;
+    std::uint32_t message_size = 65536;
+    std::uint32_t mss = net::kTcpMss;
+    sim::Time pace_per_message = 0;  // 0 = saturate the app core
+    stack::CostModel costs{};
+  };
+
+  TxHost(sim::Simulator& sim, Config config, WireLink& wire);
+  ~TxHost();
+
+  void start();
+
+  stack::Machine& machine() { return machine_; }
+  std::uint64_t messages_generated() const;
+  std::uint64_t packets_on_wire() const { return on_wire_; }
+  double offered_gbps(sim::Time window) const;
+
+ private:
+  class App;
+  class WireDrain;
+
+  void wire_out(net::PacketPtr pkt, int from_core);
+
+  sim::Simulator& sim_;
+  Config config_;
+  WireLink& wire_;
+  stack::Machine machine_;
+  std::unique_ptr<core::MflowConfig> mflow_cfg_;  // referenced by splitter_
+  std::unique_ptr<core::Reassembler> merger_;
+  std::unique_ptr<core::FlowSplitter> splitter_;
+  std::unique_ptr<App> app_;
+  std::unique_ptr<WireDrain> drain_;
+  std::uint64_t on_wire_ = 0;
+  std::uint64_t payload_bytes_out_ = 0;
+};
+
+}  // namespace mflow::workload

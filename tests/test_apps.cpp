@@ -1,0 +1,108 @@
+// Application workload models: web serving (Fig 11) and data caching
+// (Fig 13) — wiring sanity, metric consistency, and mode ordering.
+#include <gtest/gtest.h>
+
+#include "experiment/datacaching.hpp"
+#include "experiment/webserving.hpp"
+
+using namespace mflow;
+
+namespace {
+
+exp::WebservingResult quick_web(exp::Mode mode) {
+  exp::WebservingConfig cfg;
+  cfg.mode = mode;
+  cfg.users = 100;
+  cfg.warmup = sim::ms(8);
+  cfg.measure = sim::ms(20);
+  return exp::run_webserving(cfg);
+}
+
+}  // namespace
+
+TEST(Webserving, OperationsCompleteAndBalance) {
+  const auto res = quick_web(exp::Mode::kMflow);
+  EXPECT_GT(res.ops_per_sec, 1000.0);
+  EXPECT_GT(res.success_per_sec, 0.0);
+  EXPECT_LE(res.success_per_sec, res.ops_per_sec);
+  EXPECT_GT(res.backend_goodput_gbps, 1.0);
+  // Every configured op type sees traffic with 100 users.
+  for (const auto& op : res.per_op) {
+    EXPECT_GT(op.attempted, 0u) << op.name;
+    EXPECT_LE(op.succeeded, op.completed) << op.name;
+    EXPECT_LE(op.completed, op.attempted) << op.name;
+  }
+}
+
+TEST(Webserving, ResponseNeverBelowServiceFloor) {
+  const auto res = quick_web(exp::Mode::kMflow);
+  exp::WebservingConfig cfg;  // defaults: service 120us + backend hop 50us
+  for (const auto& op : res.per_op) {
+    if (op.completed == 0) continue;
+    EXPECT_GT(op.response_us.min(),
+              sim::to_us(cfg.service_time + cfg.backend_delay))
+        << op.name;
+  }
+}
+
+TEST(Webserving, MflowBeatsVanillaUnderLoad) {
+  // 100 users don't saturate the stack; the Fig-11 separation needs the
+  // full 200-user load.
+  auto run = [](exp::Mode mode) {
+    exp::WebservingConfig cfg;
+    cfg.mode = mode;
+    cfg.users = 200;
+    cfg.warmup = sim::ms(10);
+    cfg.measure = sim::ms(25);
+    return exp::run_webserving(cfg);
+  };
+  const auto van = run(exp::Mode::kVanilla);
+  const auto mfl = run(exp::Mode::kMflow);
+  EXPECT_GT(mfl.success_per_sec, van.success_per_sec * 1.3);
+  EXPECT_LT(mfl.avg_response_us, van.avg_response_us);
+}
+
+TEST(Webserving, Deterministic) {
+  const auto a = quick_web(exp::Mode::kVanilla);
+  const auto b = quick_web(exp::Mode::kVanilla);
+  EXPECT_DOUBLE_EQ(a.success_per_sec, b.success_per_sec);
+  EXPECT_DOUBLE_EQ(a.avg_response_us, b.avg_response_us);
+}
+
+TEST(Webserving, OpMixWeightsSumToOne) {
+  double total = 0;
+  for (const auto& op : exp::default_web_ops()) total += op.weight;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+namespace {
+exp::DataCachingResult quick_cache(exp::Mode mode, int clients) {
+  exp::DataCachingConfig cfg;
+  cfg.mode = mode;
+  cfg.clients = clients;
+  cfg.warmup = sim::ms(5);
+  cfg.measure = sim::ms(15);
+  return exp::run_datacaching(cfg);
+}
+}  // namespace
+
+TEST(DataCaching, AchievesOfferedRate) {
+  const auto res = quick_cache(exp::Mode::kMflow, 10);
+  // 10 clients x 260k req/s, within 10%.
+  EXPECT_NEAR(res.achieved_rps, 1.2e6, 1.2e5);
+  EXPECT_GT(res.avg_latency_us, sim::to_us(sim::us(12)));  // service floor
+  EXPECT_GE(res.p99_latency_us, res.p50_latency_us);
+}
+
+TEST(DataCaching, TailShrinksWithMflowAtTenClients) {
+  const auto van = quick_cache(exp::Mode::kVanilla, 10);
+  const auto mfl = quick_cache(exp::Mode::kMflow, 10);
+  EXPECT_LT(mfl.p99_latency_us, van.p99_latency_us);
+  EXPECT_LT(mfl.avg_latency_us, van.avg_latency_us);
+}
+
+TEST(DataCaching, MoreClientsMoreStressForVanilla) {
+  const auto one = quick_cache(exp::Mode::kVanilla, 1);
+  const auto ten = quick_cache(exp::Mode::kVanilla, 10);
+  EXPECT_GT(ten.p99_latency_us, one.p99_latency_us * 0.9);
+}

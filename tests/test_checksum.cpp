@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "net/checksum.hpp"
+#include "util/rng.hpp"
+
+using namespace mflow::net;
+
+TEST(Checksum, Rfc1071Example) {
+  // Classic example from RFC 1071 §3.
+  const std::array<std::uint8_t, 8> data{0x00, 0x01, 0xf2, 0x03,
+                                         0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(checksum_fold(data), 0xddf2);
+  EXPECT_EQ(internet_checksum(data), static_cast<std::uint16_t>(~0xddf2));
+}
+
+TEST(Checksum, EmptyIsZeroSum) {
+  EXPECT_EQ(checksum_fold({}), 0);
+  EXPECT_EQ(internet_checksum({}), 0xFFFF);
+}
+
+TEST(Checksum, OddLengthPads) {
+  const std::array<std::uint8_t, 3> data{0x01, 0x02, 0x03};
+  // 0x0102 + 0x0300 = 0x0402
+  EXPECT_EQ(checksum_fold(data), 0x0402);
+}
+
+TEST(Checksum, VerifyRoundTrip) {
+  mflow::util::Rng rng(21);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint8_t> data(2 + rng.uniform(64) * 2);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.uniform(256));
+    // Install checksum at offset 0.
+    data[0] = data[1] = 0;
+    const auto csum = internet_checksum(data);
+    data[0] = static_cast<std::uint8_t>(csum >> 8);
+    data[1] = static_cast<std::uint8_t>(csum & 0xFF);
+    EXPECT_TRUE(checksum_ok(data));
+  }
+}
+
+TEST(Checksum, DetectsSingleBitFlip) {
+  mflow::util::Rng rng(22);
+  std::vector<std::uint8_t> data(40);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.uniform(256));
+  data[10] = data[11] = 0;
+  const auto csum = internet_checksum(data);
+  data[10] = static_cast<std::uint8_t>(csum >> 8);
+  data[11] = static_cast<std::uint8_t>(csum & 0xFF);
+  ASSERT_TRUE(checksum_ok(data));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    auto copy = data;
+    copy[i] ^= 0x04;
+    EXPECT_FALSE(checksum_ok(copy)) << "flip at " << i;
+  }
+}
+
+TEST(Checksum, InitialAccumulates) {
+  const std::array<std::uint8_t, 2> a{0x12, 0x34};
+  const std::array<std::uint8_t, 2> b{0x56, 0x78};
+  const auto partial = checksum_fold(a);
+  EXPECT_EQ(checksum_fold(b, partial), 0x68ac);
+}

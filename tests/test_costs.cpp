@@ -1,0 +1,69 @@
+// Cost-model invariants: the structural relations the paper's measurements
+// establish and the calibration must preserve (regression guard for anyone
+// editing stack/costs.hpp).
+#include <gtest/gtest.h>
+
+#include "stack/costs.hpp"
+
+using namespace mflow::stack;
+
+TEST(CostModel, VxlanIsTheHeavyweightDevice) {
+  const CostModel c = default_costs();
+  EXPECT_GT(c.vxlan_per_skb, c.bridge_per_skb + c.veth_per_skb);
+  EXPECT_GT(c.vxlan_per_skb, c.ip_rx_per_skb);
+  EXPECT_GT(c.vxlan_per_skb, c.tcp_rx_per_skb);
+}
+
+TEST(CostModel, SkbAllocDominatesStageOne) {
+  const CostModel c = default_costs();
+  // "core one again was overloaded — now purely by the skb allocation
+  // function" — skb alloc must be the larger half of stage 1.
+  EXPECT_GT(c.skb_alloc, c.driver_poll_per_pkt);
+}
+
+TEST(CostModel, CopyThreadCeilingNearPaperAnchor) {
+  const CostModel c = default_costs();
+  // One core copying at copy_per_byte ns/B caps out around 30 Gbps
+  // (before per-skb TCP/merge work), the paper's new bottleneck.
+  const double ceiling_gbps = 8.0 / c.copy_per_byte;
+  EXPECT_GT(ceiling_gbps, 28.0);
+  EXPECT_LT(ceiling_gbps, 60.0);
+}
+
+TEST(CostModel, MflowSteeringCheaperPerPacketThanFalcon) {
+  const CostModel c = default_costs();
+  // The design claim: batch-amortized dispatch beats per-skb handoff.
+  const double mflow_per_pkt =
+      static_cast<double>(c.mflow_split_per_pkt) +
+      static_cast<double>(c.mflow_dispatch_per_batch) / 256.0;
+  EXPECT_LT(mflow_per_pkt, static_cast<double>(c.remote_enqueue));
+}
+
+TEST(CostModel, BatchMergeCheaperThanOfoQueue) {
+  const CostModel c = default_costs();
+  // Per-packet: batch-based reassembly (merge/skb + merge/batch amortized)
+  // must undercut the kernel's per-packet ofo insert.
+  const double merge_per_pkt =
+      static_cast<double>(c.mflow_merge_per_skb) +
+      static_cast<double>(c.mflow_merge_per_batch) / 256.0;
+  EXPECT_LT(merge_per_pkt, static_cast<double>(c.tcp_ofo_insert) / 2);
+}
+
+TEST(CostModel, OverlayTxPathDwarfsNativeTx) {
+  const CostModel c = default_costs();
+  // Why the paper's UDP clients throttle: the container egress path is
+  // several times the bare send cost.
+  EXPECT_GT(c.client_overlay_tx_per_pkt, 4 * c.client_udp_per_pkt);
+}
+
+TEST(CostModel, NativeStageOneNearPaperAnchor) {
+  const CostModel c = default_costs();
+  // Native TCP at 26.6 Gbps saturating one core = ~430-440 ns/pkt for
+  // driver + skb + GRO + per-seg TCP + amortized per-super work.
+  const double per_pkt = static_cast<double>(
+      c.driver_poll_per_pkt + c.skb_alloc + c.gro_per_seg +
+      c.tcp_rx_per_seg +
+      (c.ip_rx_per_skb + c.tcp_rx_per_skb + c.sock_enqueue) / 44);
+  EXPECT_GT(per_pkt, 350.0);
+  EXPECT_LT(per_pkt, 520.0);
+}

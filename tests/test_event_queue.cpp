@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+using namespace mflow::sim;
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(30, [&] { order.push_back(3); });
+  q.push(10, [&] { order.push_back(1); });
+  q.push(20, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoTieBreak) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) q.push(5, [&order, i] { order.push_back(i); });
+  while (!q.empty()) q.pop().second();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, RandomizedOrderInvariant) {
+  EventQueue q;
+  mflow::util::Rng rng(4);
+  for (int i = 0; i < 5000; ++i)
+    q.push(static_cast<Time>(rng.uniform(1000)), [] {});
+  Time last = -1;
+  while (!q.empty()) {
+    auto [when, fn] = q.pop();
+    EXPECT_GE(when, last);
+    last = when;
+  }
+}
+
+TEST(EventQueue, ClearEmpties) {
+  EventQueue q;
+  q.push(1, [] {});
+  q.clear();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(Simulator, NowAdvancesToEventTime) {
+  Simulator sim;
+  Time seen = -1;
+  sim.at(100, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, 100);
+  EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(Simulator, AfterIsRelative) {
+  Simulator sim;
+  Time seen = -1;
+  sim.at(50, [&] { sim.after(25, [&] { seen = sim.now(); }); });
+  sim.run();
+  EXPECT_EQ(seen, 75);
+}
+
+TEST(Simulator, RunUntilStopsBeforeBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(10, [&] { ++fired; });
+  sim.at(20, [&] { ++fired; });
+  const auto n = sim.run_until(20);
+  EXPECT_EQ(n, 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 20);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, EventsScheduledDuringRunExecute) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) sim.after(1, recurse);
+  };
+  sim.at(0, recurse);
+  sim.run();
+  EXPECT_EQ(depth, 100);
+}
+
+TEST(Simulator, SeededRngDeterministic) {
+  Simulator a(99), b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.rng().next(), b.rng().next());
+}

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/flow.hpp"
+
+using namespace mflow::net;
+
+namespace {
+FlowKey base() {
+  return FlowKey{Ipv4Addr(10, 0, 0, 1), Ipv4Addr(10, 0, 0, 2), 1234, 80,
+                 Ipv4Header::kProtoTcp};
+}
+}  // namespace
+
+TEST(FlowKey, EqualityAndOrdering) {
+  FlowKey a = base(), b = base();
+  EXPECT_EQ(a, b);
+  b.src_port = 1235;
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(a < b || b < a);
+}
+
+TEST(FlowKey, ToStringReadable) {
+  const auto s = base().to_string();
+  EXPECT_NE(s.find("10.0.0.1:1234"), std::string::npos);
+  EXPECT_NE(s.find("/tcp"), std::string::npos);
+}
+
+TEST(FlowHash, DeterministicSameFlowSameHash) {
+  EXPECT_EQ(flow_hash(base()), flow_hash(base()));
+  EXPECT_EQ(flow_hash(base(), 99), flow_hash(base(), 99));
+}
+
+TEST(FlowHash, SeedChangesHash) {
+  EXPECT_NE(flow_hash(base(), 1), flow_hash(base(), 2));
+}
+
+TEST(FlowHash, FieldsAffectHash) {
+  const auto h0 = flow_hash(base());
+  FlowKey k = base();
+  k.src_port = 1235;
+  EXPECT_NE(flow_hash(k), h0);
+  k = base();
+  k.dst = Ipv4Addr(10, 0, 0, 3);
+  EXPECT_NE(flow_hash(k), h0);
+  k = base();
+  k.protocol = Ipv4Header::kProtoUdp;
+  EXPECT_NE(flow_hash(k), h0);
+}
+
+TEST(FlowHash, SpreadsOverQueues) {
+  // RSS-style distribution: 1000 distinct flows over 10 queues should use
+  // every queue and not put more than ~25% on any one of them.
+  std::array<int, 10> counts{};
+  for (int i = 0; i < 1000; ++i) {
+    FlowKey k = base();
+    k.src_port = static_cast<std::uint16_t>(10000 + i);
+    counts[flow_hash(k) % 10]++;
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 0);
+    EXPECT_LT(c, 250);
+  }
+}
+
+TEST(FlowHash, StdHashUsable) {
+  std::set<std::size_t> hashes;
+  for (int i = 0; i < 100; ++i) {
+    FlowKey k = base();
+    k.dst_port = static_cast<std::uint16_t>(i);
+    hashes.insert(std::hash<FlowKey>{}(k));
+  }
+  EXPECT_GT(hashes.size(), 95u);  // near-collision-free on small sets
+}

@@ -1,0 +1,76 @@
+// Randomized-configuration robustness: arbitrary (mode, protocol, size,
+// flows, batch, cores, seed) combinations must run without crashing, keep
+// every core within 100% utilization, and conserve messages. This is the
+// catch-all net under the whole system.
+#include <gtest/gtest.h>
+
+#include "experiment/scenario.hpp"
+#include "util/rng.hpp"
+
+using namespace mflow;
+
+class ScenarioFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ScenarioFuzz, RandomConfigBehavesSanely) {
+  util::Rng rng(GetParam());
+
+  exp::ScenarioConfig cfg;
+  const auto modes = exp::motivation_modes();
+  cfg.mode = rng.chance(0.4)
+                 ? exp::Mode::kMflow
+                 : modes[rng.uniform(modes.size())];
+  cfg.protocol = rng.chance(0.5) ? net::Ipv4Header::kProtoTcp
+                                 : net::Ipv4Header::kProtoUdp;
+  const std::uint32_t sizes[] = {16, 100, 550, 1448, 4096, 16384, 65536};
+  cfg.message_size = sizes[rng.uniform(7)];
+  cfg.num_flows = static_cast<int>(1 + rng.uniform(4));
+  cfg.udp_clients = static_cast<int>(1 + rng.uniform(4));
+  cfg.warmup = sim::ms(2);
+  cfg.measure = sim::ms(6);
+  cfg.seed = GetParam() * 7919;
+
+  if (cfg.mode == exp::Mode::kMflow) {
+    core::MflowConfig mcfg;
+    mcfg.batch_size = static_cast<std::uint32_t>(1 + rng.uniform(512));
+    mcfg.split_point = rng.chance(0.5) ? core::SplitPoint::kIrq
+                                       : core::SplitPoint::kBeforeStage;
+    mcfg.tcp_in_reader = true;
+    mcfg.splitting_cores.clear();
+    const int n_split = static_cast<int>(1 + rng.uniform(4));
+    for (int c = 0; c < n_split; ++c) mcfg.splitting_cores.push_back(2 + c);
+    mcfg.elephant_threshold_pkts = rng.chance(0.2) ? 50 : 0;
+    cfg.mflow = mcfg;
+    cfg.adaptive_batch = rng.chance(0.3);
+  }
+
+  const auto res = exp::run_scenario(cfg);
+
+  // Sanity: traffic flowed; no core overruns; latency histogram consistent.
+  EXPECT_GT(res.goodput_gbps, 0.0) << "seed " << GetParam();
+  // Backlog queued during warmup may drain inside the window, so delivered
+  // can modestly exceed the same-window offered bytes — but never wildly.
+  EXPECT_LE(res.goodput_gbps, res.offered_gbps * 1.15 + 0.01);
+  for (const auto& c : res.cores) {
+    EXPECT_LE(c.total, 1.0 + 1e-9) << "core " << c.core_id;
+    double sum = 0;
+    for (double t : c.by_tag) sum += t;
+    // A slice charged at its start may spill past the window edge, so the
+    // tag sum can exceed the window by up to one NAPI slice; total clamps.
+    EXPECT_LE(sum, 1.05) << "core " << c.core_id;
+    EXPECT_NEAR(std::min(1.0, sum), c.total, 1e-6) << "core " << c.core_id;
+  }
+  if (res.messages > 0) {
+    EXPECT_GT(res.latency.count(), 0u);
+    EXPECT_LE(res.latency.p50(), res.latency.p99());
+  }
+  // Goodput is explained by completed messages plus at most the in-flight
+  // tail (fragmented messages and stream remainders).
+  const double msg_bytes =
+      static_cast<double>(res.messages) * cfg.message_size;
+  const double good_bytes =
+      res.goodput_gbps * 1e9 / 8.0 * sim::to_seconds(cfg.measure);
+  EXPECT_LE(msg_bytes, good_bytes * 1.05 + 2.0 * 65536.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ScenarioFuzz,
+                         ::testing::Range<std::uint64_t>(1, 25));

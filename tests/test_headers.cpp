@@ -1,0 +1,143 @@
+// Byte-exact header codec round-trips and validation.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "net/checksum.hpp"
+#include "net/headers.hpp"
+
+using namespace mflow::net;
+
+TEST(Ipv4Addr, Formatting) {
+  EXPECT_EQ(Ipv4Addr(192, 168, 1, 2).to_string(), "192.168.1.2");
+  EXPECT_EQ(Ipv4Addr(0).to_string(), "0.0.0.0");
+  EXPECT_EQ(Ipv4Addr(255, 255, 255, 255).to_string(), "255.255.255.255");
+}
+
+TEST(Ethernet, RoundTrip) {
+  EthernetHeader h;
+  h.dst = {1, 2, 3, 4, 5, 6};
+  h.src = {7, 8, 9, 10, 11, 12};
+  h.ethertype = EthernetHeader::kEtherTypeIpv4;
+  std::array<std::uint8_t, EthernetHeader::kSize> buf{};
+  h.encode(buf);
+  EXPECT_EQ(EthernetHeader::decode(buf), h);
+  // EtherType is big-endian on the wire.
+  EXPECT_EQ(buf[12], 0x08);
+  EXPECT_EQ(buf[13], 0x00);
+}
+
+TEST(Ipv4, RoundTripAndChecksum) {
+  Ipv4Header h;
+  h.tos = 0x10;
+  h.total_length = 1500;
+  h.identification = 0xBEEF;
+  h.dont_fragment = true;
+  h.ttl = 37;
+  h.protocol = Ipv4Header::kProtoTcp;
+  h.src = Ipv4Addr(10, 0, 1, 2);
+  h.dst = Ipv4Addr(10, 0, 1, 3);
+  std::array<std::uint8_t, Ipv4Header::kSize> buf{};
+  h.encode(buf);
+  EXPECT_TRUE(Ipv4Header::verify(buf));
+  EXPECT_EQ(Ipv4Header::decode(buf), h);
+  EXPECT_EQ(buf[0], 0x45);  // version 4, IHL 5
+}
+
+TEST(Ipv4, VerifyRejectsCorruption) {
+  Ipv4Header h;
+  h.src = Ipv4Addr(1, 2, 3, 4);
+  h.dst = Ipv4Addr(5, 6, 7, 8);
+  std::array<std::uint8_t, Ipv4Header::kSize> buf{};
+  h.encode(buf);
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    auto copy = buf;
+    copy[i] ^= 0x01;
+    EXPECT_FALSE(Ipv4Header::verify(copy)) << "byte " << i;
+  }
+}
+
+TEST(Ipv4, FragmentFlags) {
+  Ipv4Header h;
+  h.dont_fragment = false;
+  h.more_fragments = true;
+  h.fragment_offset = 0x123;
+  std::array<std::uint8_t, Ipv4Header::kSize> buf{};
+  h.encode(buf);
+  const auto d = Ipv4Header::decode(buf);
+  EXPECT_FALSE(d.dont_fragment);
+  EXPECT_TRUE(d.more_fragments);
+  EXPECT_EQ(d.fragment_offset, 0x123);
+}
+
+TEST(Udp, RoundTrip) {
+  UdpHeader h;
+  h.src_port = 41000;
+  h.dst_port = VxlanHeader::kUdpPort;
+  h.length = 1480;
+  std::array<std::uint8_t, UdpHeader::kSize> buf{};
+  h.encode(buf);
+  EXPECT_EQ(UdpHeader::decode(buf), h);
+}
+
+TEST(Tcp, RoundTripWithFlags) {
+  TcpHeader h;
+  h.src_port = 40000;
+  h.dst_port = 5001;
+  h.seq = 0xDEADBEEF;
+  h.ack = 0x12345678;
+  h.flag_ack = true;
+  h.flag_psh = true;
+  h.window = 0x7210;
+  std::array<std::uint8_t, TcpHeader::kSize> buf{};
+  h.encode(buf);
+  const auto d = TcpHeader::decode(buf);
+  EXPECT_EQ(d, h);
+  EXPECT_EQ(buf[12] >> 4, 5);  // data offset = 5 words
+}
+
+TEST(Tcp, EachFlagIndependent) {
+  for (int bit = 0; bit < 4; ++bit) {
+    TcpHeader h;
+    h.flag_fin = bit == 0;
+    h.flag_syn = bit == 1;
+    h.flag_psh = bit == 2;
+    h.flag_ack = bit == 3;
+    std::array<std::uint8_t, TcpHeader::kSize> buf{};
+    h.encode(buf);
+    EXPECT_EQ(TcpHeader::decode(buf), h) << "flag " << bit;
+  }
+}
+
+TEST(Vxlan, RoundTripAndValidation) {
+  VxlanHeader h;
+  h.vni = 0xABCDEF;
+  std::array<std::uint8_t, VxlanHeader::kSize> buf{};
+  h.encode(buf);
+  EXPECT_TRUE(VxlanHeader::valid(buf));
+  EXPECT_EQ(VxlanHeader::decode(buf).vni, 0xABCDEFu);
+  // RFC 7348: I flag set, reserved zero.
+  EXPECT_EQ(buf[0], 0x08);
+  EXPECT_EQ(buf[7], 0x00);
+}
+
+TEST(Vxlan, RejectsBadFlags) {
+  VxlanHeader h;
+  h.vni = 42;
+  std::array<std::uint8_t, VxlanHeader::kSize> buf{};
+  h.encode(buf);
+  auto bad = buf;
+  bad[0] = 0x00;  // I flag cleared
+  EXPECT_FALSE(VxlanHeader::valid(bad));
+  bad = buf;
+  bad[1] = 0x01;  // reserved bits set
+  EXPECT_FALSE(VxlanHeader::valid(bad));
+}
+
+TEST(Vxlan, VniMasksTo24Bits) {
+  VxlanHeader h;
+  h.vni = 0xFF123456;  // top byte must be dropped
+  std::array<std::uint8_t, VxlanHeader::kSize> buf{};
+  h.encode(buf);
+  EXPECT_EQ(VxlanHeader::decode(buf).vni, 0x123456u);
+}

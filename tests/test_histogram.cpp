@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/histogram.hpp"
+#include "util/rng.hpp"
+
+using mflow::util::Histogram;
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, SingleValue) {
+  Histogram h;
+  h.record(1234);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 1234u);
+  EXPECT_EQ(h.max(), 1234u);
+  // Log-bucketed: quantile returns the bucket midpoint, within 2%.
+  EXPECT_NEAR(static_cast<double>(h.p50()), 1234.0, 1234.0 * 0.02);
+}
+
+TEST(Histogram, SmallValuesExact) {
+  Histogram h;
+  for (std::uint64_t v = 0; v < 64; ++v) h.record(v);
+  EXPECT_EQ(h.quantile(0.0), 0u);
+  // Values below the linear/sub-bucket threshold are recorded exactly.
+  EXPECT_EQ(h.quantile(1.0), 63u);
+}
+
+TEST(Histogram, QuantilesOrdered) {
+  Histogram h;
+  mflow::util::Rng rng(5);
+  for (int i = 0; i < 100000; ++i) h.record(rng.uniform(1000000));
+  EXPECT_LE(h.quantile(0.1), h.quantile(0.5));
+  EXPECT_LE(h.quantile(0.5), h.quantile(0.9));
+  EXPECT_LE(h.quantile(0.9), h.quantile(0.99));
+  EXPECT_LE(h.quantile(0.99), h.max());
+}
+
+TEST(Histogram, RelativeErrorBounded) {
+  // Compare against exact nearest-rank percentiles on a random sample.
+  mflow::util::Rng rng(6);
+  Histogram h;
+  std::vector<std::uint64_t> xs;
+  for (int i = 0; i < 50000; ++i) {
+    const auto v = static_cast<std::uint64_t>(rng.pareto(100, 1.2, 1e9));
+    xs.push_back(v);
+    h.record(v);
+  }
+  std::sort(xs.begin(), xs.end());
+  for (double q : {0.5, 0.9, 0.99}) {
+    const auto exact = xs[static_cast<std::size_t>(
+        q * static_cast<double>(xs.size() - 1))];
+    const auto approx = h.quantile(q);
+    EXPECT_NEAR(static_cast<double>(approx), static_cast<double>(exact),
+                static_cast<double>(exact) * 0.05)
+        << "q=" << q;
+  }
+}
+
+TEST(Histogram, MeanAndStddevExact) {
+  Histogram h;
+  for (std::uint64_t v : {2u, 4u, 4u, 4u, 5u, 5u, 7u, 9u}) h.record(v);
+  EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(h.stddev(), 2.0);
+}
+
+TEST(Histogram, RecordNWeighted) {
+  Histogram a, b;
+  a.record_n(100, 5);
+  for (int i = 0; i < 5; ++i) b.record(100);
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.p50(), b.p50());
+  EXPECT_DOUBLE_EQ(a.mean(), b.mean());
+}
+
+TEST(Histogram, MergeMatchesCombined) {
+  mflow::util::Rng rng(7);
+  Histogram a, b, all;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform(100000);
+    all.record(v);
+    (i % 2 ? a : b).record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_EQ(a.p50(), all.p50());
+  EXPECT_EQ(a.p99(), all.p99());
+  EXPECT_EQ(a.max(), all.max());
+  EXPECT_DOUBLE_EQ(a.mean(), all.mean());
+}
+
+TEST(Histogram, ClearResets) {
+  Histogram h;
+  h.record(5);
+  h.clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(Histogram, HugeValuesDontCrash) {
+  Histogram h;
+  h.record(~0ull);
+  h.record(1ull << 62);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), ~0ull);
+  EXPECT_GT(h.quantile(1.0), 1ull << 61);
+}
+
+TEST(Histogram, SummaryMentionsCount) {
+  Histogram h;
+  h.record(1000);
+  const auto s = h.summary(1e-3, "us");
+  EXPECT_NE(s.find("n=1"), std::string::npos);
+  EXPECT_NE(s.find("us"), std::string::npos);
+}

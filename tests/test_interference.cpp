@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "sim/interference.hpp"
+
+using namespace mflow::sim;
+
+TEST(Interference, InjectsBusyTime) {
+  Simulator sim;
+  Core core(sim, 0);
+  InterferenceParams params;
+  params.mean_interval = us(10);
+  Interference inter(sim, params, 1);
+  inter.attach(core);
+  sim.run_until(ms(5));
+  EXPECT_GT(inter.events_injected(), 100u);
+  EXPECT_EQ(core.busy_ns(Tag::kOther), inter.total_injected_ns());
+}
+
+TEST(Interference, DisabledInjectsNothing) {
+  Simulator sim;
+  Core core(sim, 0);
+  InterferenceParams params;
+  params.enabled = false;
+  Interference inter(sim, params, 1);
+  inter.attach(core);
+  sim.run_until(ms(5));
+  EXPECT_EQ(inter.events_injected(), 0u);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(Interference, DurationsWithinBounds) {
+  Simulator sim;
+  Core core(sim, 0);
+  InterferenceParams params;
+  params.mean_interval = us(20);
+  params.min_duration = us(1);
+  params.max_duration = us(5);
+  Interference inter(sim, params, 2);
+  inter.attach(core);
+  sim.run_until(ms(10));
+  const auto events = inter.events_injected();
+  ASSERT_GT(events, 0u);
+  const double avg = static_cast<double>(inter.total_injected_ns()) /
+                     static_cast<double>(events);
+  EXPECT_GE(avg, static_cast<double>(us(1)));
+  EXPECT_LE(avg, static_cast<double>(us(5)));
+}
+
+TEST(Interference, AttachIdempotent) {
+  Simulator sim;
+  Core core(sim, 0);
+  InterferenceParams params;
+  params.mean_interval = us(10);
+  Interference inter(sim, params, 3);
+  inter.attach(core);
+  inter.attach(core);  // must not double the process
+  Simulator sim2;
+  Core core2(sim2, 0);
+  Interference inter2(sim2, params, 3);
+  inter2.attach(core2);
+  sim.run_until(ms(2));
+  sim2.run_until(ms(2));
+  EXPECT_EQ(inter.events_injected(), inter2.events_injected());
+}
+
+TEST(Interference, DeterministicPerSeed) {
+  auto run = [](std::uint64_t seed) {
+    Simulator sim;
+    Core core(sim, 0);
+    InterferenceParams params;
+    params.mean_interval = us(10);
+    Interference inter(sim, params, seed);
+    inter.attach(core);
+    sim.run_until(ms(3));
+    return inter.total_injected_ns();
+  };
+  EXPECT_EQ(run(9), run(9));
+  EXPECT_NE(run(9), run(10));
+}
+
+TEST(Interference, IndependentStreamsPerCore) {
+  Simulator sim;
+  Core a(sim, 0), b(sim, 1);
+  InterferenceParams params;
+  params.mean_interval = us(10);
+  Interference inter(sim, params, 4);
+  inter.attach(a);
+  inter.attach(b);
+  sim.run_until(ms(5));
+  // Both get events; the two cores' busy times differ (different forks).
+  EXPECT_GT(a.busy_ns(Tag::kOther), 0);
+  EXPECT_GT(b.busy_ns(Tag::kOther), 0);
+  EXPECT_NE(a.busy_ns(Tag::kOther), b.busy_ns(Tag::kOther));
+}

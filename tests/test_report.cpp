@@ -1,0 +1,53 @@
+// Reporting helpers: expectation verdicts and formatted output.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "experiment/report.hpp"
+
+using namespace mflow::exp;
+
+TEST(Expectation, HoldsWithinTolerance) {
+  EXPECT_TRUE((Expectation{"x", 2.0, 2.2, 0.15}).holds());
+  EXPECT_FALSE((Expectation{"x", 2.0, 2.5, 0.15}).holds());
+  EXPECT_TRUE((Expectation{"x", 2.0, 1.8, 0.15}).holds());
+  // Zero expected compares absolutely.
+  EXPECT_TRUE((Expectation{"x", 0.0, 0.05, 0.1}).holds());
+  EXPECT_FALSE((Expectation{"x", 0.0, 0.5, 0.1}).holds());
+}
+
+TEST(Expectation, PrintsVerdicts) {
+  std::ostringstream os;
+  print_expectations(os, "t", {{"ok-check", 1.0, 1.05, 0.10},
+                               {"bad-check", 1.0, 2.0, 0.10}});
+  const auto s = os.str();
+  EXPECT_NE(s.find("ok-check"), std::string::npos);
+  EXPECT_NE(s.find("OK"), std::string::npos);
+  EXPECT_NE(s.find("DEVIATES"), std::string::npos);
+}
+
+TEST(Report, CoreBreakdownFiltersIdleCores) {
+  ScenarioResult res;
+  CoreUsage busy;
+  busy.core_id = 1;
+  busy.total = 0.8;
+  busy.by_tag[static_cast<std::size_t>(mflow::sim::Tag::kVxlan)] = 0.5;
+  CoreUsage idle;
+  idle.core_id = 2;
+  idle.total = 0.001;
+  res.cores = {busy, idle};
+  std::ostringstream os;
+  print_core_breakdown(os, "cpu", res);
+  const auto s = os.str();
+  EXPECT_NE(s.find("vxlan=50%"), std::string::npos);
+  EXPECT_EQ(s.find("\n2 "), std::string::npos);  // idle core hidden
+}
+
+TEST(Report, ThroughputRowMentionsMode) {
+  ScenarioResult res;
+  res.mode = "mflow";
+  res.goodput_gbps = 12.34;
+  const auto s = throughput_row(res);
+  EXPECT_NE(s.find("mflow"), std::string::npos);
+  EXPECT_NE(s.find("12.34"), std::string::npos);
+}

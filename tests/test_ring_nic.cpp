@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "net/nic.hpp"
+
+using namespace mflow::net;
+
+namespace {
+PacketPtr pkt(std::uint16_t sport, FlowId id = 1) {
+  auto p = make_udp_datagram(
+      FlowKey{Ipv4Addr(1, 1, 1, 1), Ipv4Addr(2, 2, 2, 2), sport, 5000,
+              Ipv4Header::kProtoUdp},
+      100);
+  p->flow_id = id;
+  return p;
+}
+}  // namespace
+
+TEST(RxRing, FifoOrder) {
+  RxRing ring(8);
+  for (std::uint16_t i = 0; i < 5; ++i) ring.push(pkt(i));
+  for (std::uint16_t i = 0; i < 5; ++i) {
+    auto p = ring.pop();
+    ASSERT_TRUE(p);
+    EXPECT_EQ(p->flow.src_port, i);
+  }
+  EXPECT_EQ(ring.pop(), nullptr);
+}
+
+TEST(RxRing, DropsWhenFull) {
+  RxRing ring(4);
+  for (int i = 0; i < 6; ++i) ring.push(pkt(0));
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.drops(), 2u);
+  EXPECT_EQ(ring.total_enqueued(), 4u);
+  EXPECT_TRUE(ring.full());
+}
+
+TEST(RxRing, WrapAround) {
+  RxRing ring(3);
+  for (int round = 0; round < 10; ++round) {
+    ASSERT_TRUE(ring.push(pkt(static_cast<std::uint16_t>(round))));
+    auto p = ring.pop();
+    ASSERT_TRUE(p);
+    EXPECT_EQ(p->flow.src_port, round);
+  }
+  EXPECT_EQ(ring.drops(), 0u);
+}
+
+TEST(Nic, StampsPerFlowWireSeq) {
+  Nic nic(NicParams{.num_queues = 1});
+  nic.deliver(pkt(1, 7), 100);
+  nic.deliver(pkt(1, 7), 200);
+  nic.deliver(pkt(2, 8), 300);
+  auto a = nic.queue(0).pop();
+  auto b = nic.queue(0).pop();
+  auto c = nic.queue(0).pop();
+  EXPECT_EQ(a->wire_seq, 0u);
+  EXPECT_EQ(a->t_wire, 100);
+  EXPECT_EQ(b->wire_seq, 1u);   // same flow: increments
+  EXPECT_EQ(c->wire_seq, 0u);   // different flow: independent counter
+}
+
+TEST(Nic, RssPinsFlowToOneQueue) {
+  Nic nic(NicParams{.num_queues = 8});
+  const int q = nic.rss_queue(pkt(42)->flow);
+  for (int i = 0; i < 50; ++i) nic.deliver(pkt(42), i);
+  EXPECT_EQ(nic.queue(q).size(), 50u);
+  for (int i = 0; i < 8; ++i)
+    if (i != q) EXPECT_EQ(nic.queue(i).size(), 0u);
+}
+
+TEST(Nic, RssSpreadsDistinctFlows) {
+  Nic nic(NicParams{.num_queues = 8});
+  std::set<int> used;
+  for (std::uint16_t i = 0; i < 64; ++i)
+    used.insert(nic.rss_queue(pkt(i)->flow));
+  EXPECT_EQ(used.size(), 8u);
+}
+
+TEST(Nic, IrqFiresPerDelivery) {
+  Nic nic(NicParams{.num_queues = 2});
+  int irqs = 0;
+  int last_q = -1;
+  nic.set_irq_handler([&](int q) {
+    ++irqs;
+    last_q = q;
+  });
+  auto p = pkt(3);
+  const int expect_q = nic.rss_queue(p->flow);
+  nic.deliver(std::move(p), 1);
+  EXPECT_EQ(irqs, 1);
+  EXPECT_EQ(last_q, expect_q);
+}
+
+TEST(Nic, NoIrqOnRingOverflowDrop) {
+  Nic nic(NicParams{.num_queues = 1, .ring_capacity = 2});
+  int irqs = 0;
+  nic.set_irq_handler([&](int) { ++irqs; });
+  for (int i = 0; i < 5; ++i) nic.deliver(pkt(0), i);
+  EXPECT_EQ(irqs, 2);
+  EXPECT_EQ(nic.total_drops(), 3u);
+  EXPECT_EQ(nic.total_delivered(), 2u);
+}

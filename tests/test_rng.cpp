@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/rng.hpp"
+
+using mflow::util::Rng;
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ReseedResets) {
+  Rng a(42);
+  const auto x = a.next();
+  a.next();
+  a.reseed(42);
+  EXPECT_EQ(a.next(), x);
+}
+
+TEST(Rng, UniformRespectsBound) {
+  Rng r(7);
+  for (std::uint64_t bound : {1ull, 2ull, 17ull, 1000ull}) {
+    for (int i = 0; i < 2000; ++i) EXPECT_LT(r.uniform(bound), bound);
+  }
+}
+
+TEST(Rng, UniformCoversRange) {
+  Rng r(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(r.uniform(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, UniformRangeInclusive) {
+  Rng r(11);
+  bool lo_seen = false, hi_seen = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = r.uniform_range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    lo_seen |= v == -3;
+    hi_seen |= v == 3;
+  }
+  EXPECT_TRUE(lo_seen);
+  EXPECT_TRUE(hi_seen);
+}
+
+TEST(Rng, Uniform01InUnitInterval) {
+  Rng r(13);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng r(17);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(100.0);
+  EXPECT_NEAR(sum / n, 100.0, 3.0);
+}
+
+TEST(Rng, ExponentialNonNegative) {
+  Rng r(19);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(r.exponential(5.0), 0.0);
+}
+
+TEST(Rng, ParetoBounds) {
+  Rng r(23);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = r.pareto(2.0, 1.5, 100.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LE(v, 100.0);
+  }
+}
+
+TEST(Rng, ForkIndependent) {
+  Rng a(31);
+  Rng child = a.fork();
+  // The fork advanced the parent; the two streams should differ.
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == child.next()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(37);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}

@@ -1,0 +1,131 @@
+// Real-thread engine: lock-free rings, calibration, and the system-level
+// invariant that split/process/merge with REAL threads preserves order for
+// any worker count and batch size.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "rt/calibrate.hpp"
+#include "rt/engine.hpp"
+#include "rt/spsc_ring.hpp"
+
+using namespace mflow::rt;
+
+TEST(SpscRing, FifoSingleThread) {
+  SpscRing<int> ring(8);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(ring.try_push(i));
+  EXPECT_FALSE(ring.try_push(99));  // full
+  for (int i = 0; i < 8; ++i) {
+    auto v = ring.try_pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(ring.try_pop().has_value());
+}
+
+TEST(SpscRing, PeekDoesNotConsume) {
+  SpscRing<int> ring(4);
+  EXPECT_EQ(ring.peek(), nullptr);
+  ring.try_push(42);
+  ASSERT_NE(ring.peek(), nullptr);
+  EXPECT_EQ(*ring.peek(), 42);
+  EXPECT_EQ(ring.size(), 1u);
+  EXPECT_EQ(*ring.try_pop(), 42);
+}
+
+TEST(SpscRing, WrapsManyTimes) {
+  SpscRing<std::uint64_t> ring(4);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(ring.try_push(i));
+    ASSERT_EQ(*ring.try_pop(), i);
+  }
+}
+
+TEST(SpscRing, TwoThreadsTransferEverythingInOrder) {
+  SpscRing<std::uint64_t> ring(64);
+  constexpr std::uint64_t kN = 200000;
+  std::jthread producer([&] {
+    for (std::uint64_t i = 0; i < kN; ++i)
+      while (!ring.try_push(i)) std::this_thread::yield();
+  });
+  std::uint64_t expected = 0;
+  while (expected < kN) {
+    if (auto v = ring.try_pop()) {
+      ASSERT_EQ(*v, expected);
+      ++expected;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+}
+
+TEST(Calibrate, RatePositiveAndStable) {
+  const double a = spin_iters_per_ns();
+  const double b = spin_iters_per_ns();
+  EXPECT_GT(a, 0.0);
+  EXPECT_DOUBLE_EQ(a, b);  // memoized
+}
+
+TEST(RtReassembler, MergesRoundRobinBatches) {
+  RtReassembler ra(2, 64);
+  // Batch 1 -> worker 0, batch 2 -> worker 1, batch 3 -> worker 0.
+  ra.deposit(1, RtPacket{2, 2, 0, false});  // batch 2 arrives first
+  ra.deposit(0, RtPacket{0, 1, 0, false});
+  ra.deposit(0, RtPacket{1, 1, 0, false});
+  ra.deposit(0, RtPacket{3, 3, 0, false});
+  std::vector<std::uint64_t> seqs;
+  while (auto p = ra.pop_ready()) seqs.push_back(p->seq);
+  // Batch 2's ring is dry and no later batch proves it complete — that is
+  // only knowable at end of stream, where the engine force-advances.
+  EXPECT_EQ(seqs, (std::vector<std::uint64_t>{0, 1, 2}));
+  ra.force_advance();
+  while (auto p = ra.pop_ready()) seqs.push_back(p->seq);
+  EXPECT_EQ(seqs, (std::vector<std::uint64_t>{0, 1, 2, 3}));
+  EXPECT_EQ(ra.batches_merged(), 2u);
+}
+
+struct RtSweep {
+  std::size_t workers;
+  std::uint32_t batch;
+  std::uint64_t packets;
+};
+
+class RtEngineSweep : public ::testing::TestWithParam<RtSweep> {};
+
+TEST_P(RtEngineSweep, InOrderAndLossless) {
+  const auto p = GetParam();
+  EngineConfig cfg;
+  cfg.workers = p.workers;
+  cfg.batch_size = p.batch;
+  cfg.cost_ns_per_packet = 50;  // keep the test fast
+  Engine engine(cfg);
+  std::uint64_t observed = 0;
+  const auto res = engine.run(p.packets, [&](const RtPacket& pkt) {
+    EXPECT_EQ(pkt.seq, observed);
+    ++observed;
+  });
+  EXPECT_TRUE(res.in_order);
+  EXPECT_EQ(res.packets, p.packets);
+  EXPECT_EQ(observed, p.packets);
+  EXPECT_GT(res.packets_per_second(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RtEngineSweep,
+    ::testing::Values(RtSweep{1, 256, 5000}, RtSweep{2, 1, 5000},
+                      RtSweep{2, 7, 5000}, RtSweep{2, 256, 20000},
+                      RtSweep{3, 64, 20000}, RtSweep{4, 256, 20000},
+                      RtSweep{4, 1024, 3000},  // partial final batch
+                      RtSweep{2, 4096, 1000}   // single huge batch
+                      ));
+
+TEST(RtEngine, ZeroCostStillOrdered) {
+  EngineConfig cfg;
+  cfg.workers = 4;
+  cfg.batch_size = 16;
+  cfg.cost_ns_per_packet = 0;
+  const auto res = Engine(cfg).run(50000);
+  EXPECT_TRUE(res.in_order);
+  EXPECT_EQ(res.packets, 50000u);
+}

@@ -1,0 +1,145 @@
+// BatchAssigner + FlowSplitter: micro-flow identity, round-robin target
+// cores, elephant classification, amortized charging.
+#include <gtest/gtest.h>
+
+#include "core/mflow.hpp"
+#include "core/splitter.hpp"
+#include "overlay/topology.hpp"
+#include "steering/modes.hpp"
+
+using namespace mflow;
+
+TEST(BatchAssigner, BatchesAndRoundRobin) {
+  core::MflowConfig cfg;
+  cfg.batch_size = 4;
+  cfg.splitting_cores = {2, 3};
+  core::BatchAssigner a(cfg);
+
+  std::vector<std::uint64_t> ids;
+  std::vector<int> cores;
+  for (int i = 0; i < 12; ++i) {
+    const auto as = a.assign(1, 1);
+    ids.push_back(as.microflow_id);
+    cores.push_back(as.target_core);
+    EXPECT_EQ(as.new_batch, i % 4 == 0);
+  }
+  // Three batches of four, alternating cores.
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_EQ(ids[static_cast<size_t>(i)],
+              static_cast<std::uint64_t>(i / 4 + 1));
+    EXPECT_EQ(cores[static_cast<size_t>(i)],
+              cores[static_cast<size_t>((i / 4) * 4)]);
+  }
+  EXPECT_NE(cores[0], cores[4]);  // consecutive batches on different cores
+  EXPECT_EQ(cores[0], cores[8]);  // wraps around two cores
+}
+
+TEST(BatchAssigner, ElephantThresholdGates) {
+  core::MflowConfig cfg;
+  cfg.batch_size = 4;
+  cfg.elephant_threshold_pkts = 10;
+  core::BatchAssigner a(cfg);
+  int mice = 0;
+  for (int i = 0; i < 10; ++i)
+    if (a.assign(1, 1).microflow_id == 0) ++mice;
+  EXPECT_EQ(mice, 10);  // still under threshold
+  EXPECT_NE(a.assign(1, 1).microflow_id, 0u);  // now an elephant
+  EXPECT_EQ(a.observed(1), 11u);
+}
+
+TEST(BatchAssigner, FlowsIndependentAndStaggered) {
+  core::MflowConfig cfg;
+  cfg.batch_size = 256;
+  cfg.splitting_cores = {2, 3, 4, 5};
+  core::BatchAssigner a(cfg);
+  // Different flows should not all start on the same splitting core.
+  std::set<int> first_cores;
+  for (net::FlowId f = 1; f <= 8; ++f)
+    first_cores.insert(a.assign(f, 1).target_core);
+  EXPECT_GT(first_cores.size(), 1u);
+}
+
+TEST(BatchAssigner, SegsCountTowardBatchSize) {
+  core::MflowConfig cfg;
+  cfg.batch_size = 8;
+  core::BatchAssigner a(cfg);
+  // Two 4-segment super-skbs fill a batch.
+  EXPECT_EQ(a.assign(1, 4).microflow_id, 1u);
+  EXPECT_EQ(a.assign(1, 4).microflow_id, 1u);
+  EXPECT_EQ(a.assign(1, 4).microflow_id, 2u);
+}
+
+// --- FlowSplitter wired into a machine ---------------------------------------
+
+namespace {
+
+struct SplitRig {
+  sim::Simulator sim{1};
+  stack::MachineParams mp;
+  stack::Machine machine;
+  core::MflowConfig cfg;
+  std::unique_ptr<core::MflowEngine> engine;
+
+  SplitRig() : machine(sim, make_params()) {
+    overlay::PathSpec spec;
+    spec.protocol = net::Ipv4Header::kProtoUdp;
+    machine.set_path(overlay::build_rx_path(machine.costs(), spec));
+    machine.set_steering(steer::make_vanilla());
+    stack::SocketConfig sc;
+    sc.protocol = net::Ipv4Header::kProtoUdp;
+    machine.add_socket(5000, sc);
+    machine.start();
+
+    cfg = core::udp_device_scaling_config();
+    cfg.batch_size = 16;
+    engine = std::make_unique<core::MflowEngine>(machine, cfg);
+    engine->attach_socket(5000, machine.socket(5000));
+    engine->install();
+  }
+
+  static stack::MachineParams make_params() {
+    stack::MachineParams mp;
+    mp.num_cores = 8;
+    return mp;
+  }
+
+  void deliver(int n) {
+    for (int i = 0; i < n; ++i) {
+      auto p = net::make_udp_datagram(
+          net::FlowKey{net::Ipv4Addr(10, 0, 1, 2),
+                       net::Ipv4Addr(10, 0, 1, 3), 41000, 5000,
+                       net::Ipv4Header::kProtoUdp},
+          1000);
+      p->flow_id = 1;
+      p->message_id = static_cast<std::uint64_t>(i);
+      p->message_bytes = 1000;
+      net::vxlan_encap(*p, net::Ipv4Addr(192, 168, 1, 2),
+                       net::Ipv4Addr(192, 168, 1, 3), 42);
+      machine.nic().deliver(std::move(p), sim.now());
+    }
+  }
+};
+
+}  // namespace
+
+TEST(FlowSplitter, SplitsAcrossConfiguredCores) {
+  SplitRig rig;
+  rig.deliver(64);
+  rig.sim.run();
+  // VXLAN work must appear on both splitting cores and NOT on the IRQ core.
+  EXPECT_GT(rig.machine.core(2).busy_ns(sim::Tag::kVxlan), 0);
+  EXPECT_GT(rig.machine.core(3).busy_ns(sim::Tag::kVxlan), 0);
+  EXPECT_EQ(rig.machine.core(1).busy_ns(sim::Tag::kVxlan), 0);
+  // All messages delivered despite the split.
+  EXPECT_EQ(rig.machine.socket(5000).stats().messages, 64u);
+}
+
+TEST(FlowSplitter, AllPacketsDeliveredInWireOrder) {
+  SplitRig rig;
+  rig.deliver(200);
+  rig.sim.run();
+  const auto& st = rig.machine.socket(5000).stats();
+  EXPECT_EQ(st.messages, 200u);
+  EXPECT_EQ(st.skbs, 200u);
+  EXPECT_EQ(rig.engine->batches_merged() + 1, (200 + 15) / 16u);
+}

@@ -1,0 +1,116 @@
+// Steering policies: placement decisions for vanilla / RPS / FALCON /
+// paired-pipeline, without running packets.
+#include <gtest/gtest.h>
+
+#include "steering/modes.hpp"
+
+using namespace mflow;
+using stack::StageId;
+
+namespace {
+net::Packet pkt_for_flow(net::FlowId id, std::uint16_t sport = 1000) {
+  net::Packet p;
+  p.flow = net::FlowKey{net::Ipv4Addr(1, 1, 1, 1), net::Ipv4Addr(2, 2, 2, 2),
+                        sport, 80, net::Ipv4Header::kProtoTcp};
+  p.flow_id = id;
+  return p;
+}
+}  // namespace
+
+TEST(Vanilla, EverythingStaysLocal) {
+  auto s = steer::make_vanilla();
+  auto p = pkt_for_flow(1);
+  for (StageId st : {StageId::kGro, StageId::kVxlan, StageId::kTcp})
+    EXPECT_EQ(s->core_for(st, p, 1), 1);
+  EXPECT_EQ(s->steer_cost(StageId::kVxlan), 0);
+}
+
+TEST(Rps, SteersOnlyAtInnerIp) {
+  steer::RpsSteering s({2, 3, 4}, StageId::kIp, 80);
+  auto p = pkt_for_flow(1);
+  EXPECT_EQ(s.core_for(StageId::kVxlan, p, 1), 1);  // pre-steer: local
+  const int target = s.core_for(StageId::kIp, p, 1);
+  EXPECT_GE(target, 2);
+  EXPECT_LE(target, 4);
+  // Post-steer stages stay wherever they are.
+  EXPECT_EQ(s.core_for(StageId::kTcp, p, target), target);
+  EXPECT_EQ(s.steer_cost(StageId::kIp), 80);
+  EXPECT_EQ(s.steer_cost(StageId::kTcp), 0);
+}
+
+TEST(Rps, SameFlowAlwaysSameCore) {
+  steer::RpsSteering s({2, 3, 4, 5}, StageId::kIp, 80);
+  auto p = pkt_for_flow(1);
+  const int first = s.core_for(StageId::kIp, p, 1);
+  for (int i = 0; i < 50; ++i)
+    EXPECT_EQ(s.core_for(StageId::kIp, p, 1), first);
+}
+
+TEST(Rps, DistinctFlowsSpread) {
+  steer::RpsSteering s({2, 3, 4, 5}, StageId::kIp, 80);
+  std::set<int> used;
+  for (std::uint16_t i = 0; i < 64; ++i) {
+    auto p = pkt_for_flow(i, static_cast<std::uint16_t>(1000 + i));
+    used.insert(s.core_for(StageId::kIp, p, 1));
+  }
+  EXPECT_EQ(used.size(), 4u);
+}
+
+TEST(FalconDev, GroupsMatchPaperLayout) {
+  steer::FalconSteering s(steer::FalconSteering::Level::kDevice, {2, 3},
+                          /*overlay=*/true);
+  EXPECT_EQ(s.group_of(StageId::kGro), 0);       // stays with driver core
+  EXPECT_EQ(s.group_of(StageId::kIpOuter), 1);   // vxlan group
+  EXPECT_EQ(s.group_of(StageId::kVxlan), 1);
+  EXPECT_EQ(s.group_of(StageId::kBridge), 2);    // remaining devices
+  EXPECT_EQ(s.group_of(StageId::kTcp), 2);
+  EXPECT_EQ(s.groups(), 2);
+
+  auto p = pkt_for_flow(1);
+  EXPECT_EQ(s.core_for(StageId::kGro, p, 1), 1);
+  const int vx = s.core_for(StageId::kVxlan, p, 1);
+  const int rest = s.core_for(StageId::kBridge, p, vx);
+  EXPECT_NE(vx, rest);  // device-level pipelining across two cores
+}
+
+TEST(FalconFun, GroGetsItsOwnCore) {
+  steer::FalconSteering s(steer::FalconSteering::Level::kFunction,
+                          {2, 3, 4}, /*overlay=*/true);
+  EXPECT_EQ(s.group_of(StageId::kGro), 1);
+  EXPECT_EQ(s.group_of(StageId::kVxlan), 2);
+  EXPECT_EQ(s.group_of(StageId::kUdp), 3);
+  EXPECT_EQ(s.groups(), 3);
+  auto p = pkt_for_flow(1);
+  const int gro = s.core_for(StageId::kGro, p, 1);
+  const int vx = s.core_for(StageId::kVxlan, p, gro);
+  const int rest = s.core_for(StageId::kTcp, p, vx);
+  EXPECT_NE(gro, 1);
+  EXPECT_NE(gro, vx);
+  EXPECT_NE(vx, rest);
+}
+
+TEST(Falcon, NativePathCollapsesGroups) {
+  steer::FalconSteering s(steer::FalconSteering::Level::kDevice, {2, 3},
+                          /*overlay=*/false);
+  EXPECT_EQ(s.group_of(StageId::kIp), 1);
+  EXPECT_EQ(s.group_of(StageId::kTcp), 1);
+  EXPECT_EQ(s.groups(), 1);
+}
+
+TEST(Falcon, FlowPipelinesStable) {
+  steer::FalconSteering s(steer::FalconSteering::Level::kDevice,
+                          {2, 3, 4, 5}, true);
+  auto p = pkt_for_flow(9);
+  const int vx = s.core_for(StageId::kVxlan, p, 1);
+  for (int i = 0; i < 20; ++i)
+    EXPECT_EQ(s.core_for(StageId::kVxlan, p, 1), vx);
+}
+
+TEST(PairedPipeline, MapsOnlyConfiguredCores) {
+  steer::PairedPipelineSteering s({{2, 4}, {3, 5}}, StageId::kGro);
+  auto p = pkt_for_flow(1);
+  EXPECT_EQ(s.core_for(StageId::kGro, p, 2), 4);
+  EXPECT_EQ(s.core_for(StageId::kGro, p, 3), 5);
+  EXPECT_EQ(s.core_for(StageId::kGro, p, 7), 7);   // unpaired: stay
+  EXPECT_EQ(s.core_for(StageId::kVxlan, p, 2), 2);  // other stages: stay
+}

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using mflow::util::Cli;
+using mflow::util::Table;
+
+TEST(Table, AlignsColumns) {
+  Table t({"a", "bbbb"});
+  t.add({"xxxxx", 1});
+  t.add({"y", 22});
+  std::ostringstream os;
+  t.print(os, "title");
+  const auto s = os.str();
+  EXPECT_NE(s.find("== title =="), std::string::npos);
+  EXPECT_NE(s.find("xxxxx"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+}
+
+TEST(Table, CellFormatsDoubles) {
+  Table::Cell c(3.14159, 2);
+  EXPECT_EQ(c.text, "3.14");
+}
+
+TEST(Table, CsvQuoting) {
+  Table t({"x", "y"});
+  t.add({"a,b", "he said \"hi\""});
+  std::ostringstream os;
+  t.print_csv(os);
+  const auto s = os.str();
+  EXPECT_NE(s.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(s.find("\"he said \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(mflow::util::fmt_gbps(1.234), "1.23 Gbps");
+  EXPECT_EQ(mflow::util::fmt_pct(0.421), "42.1%");
+  EXPECT_EQ(mflow::util::fmt_us(1500.0), "1.5 us");
+}
+
+namespace {
+Cli make_cli(std::vector<std::string> args) {
+  static std::vector<std::string> storage;
+  storage = std::move(args);
+  static std::vector<char*> ptrs;
+  ptrs.clear();
+  ptrs.push_back(const_cast<char*>("prog"));
+  for (auto& s : storage) ptrs.push_back(s.data());
+  return Cli(static_cast<int>(ptrs.size()), ptrs.data());
+}
+}  // namespace
+
+TEST(Cli, ParsesKeyValue) {
+  auto cli = make_cli({"--foo=42", "--bar=hello", "--flag", "pos1"});
+  EXPECT_EQ(cli.get_int("foo", 0), 42);
+  EXPECT_EQ(cli.get("bar", ""), "hello");
+  EXPECT_TRUE(cli.get_bool("flag", false));
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "pos1");
+}
+
+TEST(Cli, Defaults) {
+  auto cli = make_cli({});
+  EXPECT_EQ(cli.get_int("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(cli.get_double("missing", 2.5), 2.5);
+  EXPECT_FALSE(cli.get_bool("missing", false));
+  EXPECT_FALSE(cli.has("missing"));
+}
+
+TEST(Cli, BoolSpellings) {
+  auto cli = make_cli({"--a=1", "--b=true", "--c=off", "--d=no"});
+  EXPECT_TRUE(cli.get_bool("a", false));
+  EXPECT_TRUE(cli.get_bool("b", false));
+  EXPECT_FALSE(cli.get_bool("c", true));
+  EXPECT_FALSE(cli.get_bool("d", true));
+}
+
+TEST(Cli, UnusedDetection) {
+  auto cli = make_cli({"--used=1", "--typo=2"});
+  cli.get_int("used", 0);
+  const auto unused = cli.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}

@@ -1,0 +1,77 @@
+// Path construction for native / overlay / MFLOW variants.
+#include <gtest/gtest.h>
+
+#include "overlay/topology.hpp"
+#include "stack/machine.hpp"
+
+using namespace mflow;
+using stack::StageId;
+
+namespace {
+std::vector<StageId> ids(
+    const std::vector<std::unique_ptr<stack::Stage>>& path) {
+  std::vector<StageId> out;
+  for (const auto& s : path) out.push_back(s->id());
+  return out;
+}
+stack::CostModel costs = stack::default_costs();
+}  // namespace
+
+TEST(Topology, OverlayTcpPathOrder) {
+  overlay::PathSpec spec;
+  spec.overlay = true;
+  spec.protocol = net::Ipv4Header::kProtoTcp;
+  const auto path = overlay::build_rx_path(costs, spec);
+  EXPECT_EQ(ids(path),
+            (std::vector<StageId>{StageId::kGro, StageId::kIpOuter,
+                                  StageId::kVxlan, StageId::kBridge,
+                                  StageId::kVeth, StageId::kIp,
+                                  StageId::kTcp}));
+}
+
+TEST(Topology, OverlayUdpPathOrder) {
+  overlay::PathSpec spec;
+  spec.protocol = net::Ipv4Header::kProtoUdp;
+  const auto path = overlay::build_rx_path(costs, spec);
+  EXPECT_EQ(ids(path).back(), StageId::kUdp);
+  EXPECT_EQ(ids(path).size(), 7u);
+}
+
+TEST(Topology, NativePathIsShort) {
+  overlay::PathSpec spec;
+  spec.overlay = false;
+  spec.protocol = net::Ipv4Header::kProtoTcp;
+  const auto path = overlay::build_rx_path(costs, spec);
+  EXPECT_EQ(ids(path), (std::vector<StageId>{StageId::kGro, StageId::kIp,
+                                             StageId::kTcp}));
+}
+
+TEST(Topology, TcpInReaderOmitsTcpStage) {
+  overlay::PathSpec spec;
+  spec.protocol = net::Ipv4Header::kProtoTcp;
+  spec.tcp_in_reader = true;
+  const auto path = overlay::build_rx_path(costs, spec);
+  for (const auto& s : path) EXPECT_NE(s->id(), StageId::kTcp);
+  EXPECT_EQ(ids(path).back(), StageId::kIp);
+}
+
+TEST(Topology, FindSoftirqTcpReceiver) {
+  sim::Simulator sim;
+  stack::MachineParams mp;
+  mp.num_cores = 2;
+  stack::Machine m(sim, mp);
+  overlay::PathSpec spec;
+  spec.protocol = net::Ipv4Header::kProtoTcp;
+  m.set_path(overlay::build_rx_path(costs, spec));
+  EXPECT_NE(overlay::find_softirq_tcp_receiver(m), nullptr);
+
+  spec.tcp_in_reader = true;
+  m.set_path(overlay::build_rx_path(costs, spec));
+  EXPECT_EQ(overlay::find_softirq_tcp_receiver(m), nullptr);
+}
+
+TEST(Topology, GroCapsDifferByPathKind) {
+  // Encapsulated aggregation is capped lower (calibration; DESIGN.md).
+  overlay::PathSpec spec;
+  EXPECT_LT(spec.gro_max_segs_overlay, spec.gro_max_segs_native);
+}
