@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_batch.dir/ablate_batch.cpp.o"
+  "CMakeFiles/ablate_batch.dir/ablate_batch.cpp.o.d"
+  "ablate_batch"
+  "ablate_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

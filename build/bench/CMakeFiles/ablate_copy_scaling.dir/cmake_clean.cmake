@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_copy_scaling.dir/ablate_copy_scaling.cpp.o"
+  "CMakeFiles/ablate_copy_scaling.dir/ablate_copy_scaling.cpp.o.d"
+  "ablate_copy_scaling"
+  "ablate_copy_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_copy_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

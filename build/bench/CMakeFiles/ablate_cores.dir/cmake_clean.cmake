@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_cores.dir/ablate_cores.cpp.o"
+  "CMakeFiles/ablate_cores.dir/ablate_cores.cpp.o.d"
+  "ablate_cores"
+  "ablate_cores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_cores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

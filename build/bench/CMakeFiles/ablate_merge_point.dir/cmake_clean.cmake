@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_merge_point.dir/ablate_merge_point.cpp.o"
+  "CMakeFiles/ablate_merge_point.dir/ablate_merge_point.cpp.o.d"
+  "ablate_merge_point"
+  "ablate_merge_point.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_merge_point.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

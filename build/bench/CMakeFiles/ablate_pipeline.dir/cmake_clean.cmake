@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_pipeline.dir/ablate_pipeline.cpp.o"
+  "CMakeFiles/ablate_pipeline.dir/ablate_pipeline.cpp.o.d"
+  "ablate_pipeline"
+  "ablate_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_reassembly.dir/ablate_reassembly.cpp.o"
+  "CMakeFiles/ablate_reassembly.dir/ablate_reassembly.cpp.o.d"
+  "ablate_reassembly"
+  "ablate_reassembly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_reassembly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cost_model_report.dir/cost_model_report.cpp.o"
+  "CMakeFiles/cost_model_report.dir/cost_model_report.cpp.o.d"
+  "cost_model_report"
+  "cost_model_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cost_model_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

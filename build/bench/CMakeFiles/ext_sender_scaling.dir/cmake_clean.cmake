@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_sender_scaling.dir/ext_sender_scaling.cpp.o"
+  "CMakeFiles/ext_sender_scaling.dir/ext_sender_scaling.cpp.o.d"
+  "ext_sender_scaling"
+  "ext_sender_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_sender_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_multiflow.dir/fig10_multiflow.cpp.o"
+  "CMakeFiles/fig10_multiflow.dir/fig10_multiflow.cpp.o.d"
+  "fig10_multiflow"
+  "fig10_multiflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_multiflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

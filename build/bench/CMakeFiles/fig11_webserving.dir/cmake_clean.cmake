@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_webserving.dir/fig11_webserving.cpp.o"
+  "CMakeFiles/fig11_webserving.dir/fig11_webserving.cpp.o.d"
+  "fig11_webserving"
+  "fig11_webserving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_webserving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

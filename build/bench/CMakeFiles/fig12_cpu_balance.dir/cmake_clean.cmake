@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_cpu_balance.dir/fig12_cpu_balance.cpp.o"
+  "CMakeFiles/fig12_cpu_balance.dir/fig12_cpu_balance.cpp.o.d"
+  "fig12_cpu_balance"
+  "fig12_cpu_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_cpu_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_datacaching.dir/fig13_datacaching.cpp.o"
+  "CMakeFiles/fig13_datacaching.dir/fig13_datacaching.cpp.o.d"
+  "fig13_datacaching"
+  "fig13_datacaching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_datacaching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

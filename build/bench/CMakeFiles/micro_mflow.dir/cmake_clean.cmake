@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_mflow.dir/micro_mflow.cpp.o"
+  "CMakeFiles/micro_mflow.dir/micro_mflow.cpp.o.d"
+  "micro_mflow"
+  "micro_mflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_mflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_rt.dir/micro_rt.cpp.o"
+  "CMakeFiles/micro_rt.dir/micro_rt.cpp.o.d"
+  "micro_rt"
+  "micro_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_elephant_flow.dir/elephant_flow.cpp.o"
+  "CMakeFiles/example_elephant_flow.dir/elephant_flow.cpp.o.d"
+  "example_elephant_flow"
+  "example_elephant_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_elephant_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_mflow_sim.dir/mflow_sim.cpp.o"
+  "CMakeFiles/example_mflow_sim.dir/mflow_sim.cpp.o.d"
+  "example_mflow_sim"
+  "example_mflow_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_mflow_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_rt_pipeline.dir/rt_pipeline.cpp.o"
+  "CMakeFiles/example_rt_pipeline.dir/rt_pipeline.cpp.o.d"
+  "example_rt_pipeline"
+  "example_rt_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_rt_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_webserving_demo.dir/webserving_demo.cpp.o"
+  "CMakeFiles/example_webserving_demo.dir/webserving_demo.cpp.o.d"
+  "example_webserving_demo"
+  "example_webserving_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_webserving_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive.cpp" "src/CMakeFiles/mflow_core.dir/core/adaptive.cpp.o" "gcc" "src/CMakeFiles/mflow_core.dir/core/adaptive.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/CMakeFiles/mflow_core.dir/core/config.cpp.o" "gcc" "src/CMakeFiles/mflow_core.dir/core/config.cpp.o.d"
+  "/root/repo/src/core/irq_split.cpp" "src/CMakeFiles/mflow_core.dir/core/irq_split.cpp.o" "gcc" "src/CMakeFiles/mflow_core.dir/core/irq_split.cpp.o.d"
+  "/root/repo/src/core/mflow.cpp" "src/CMakeFiles/mflow_core.dir/core/mflow.cpp.o" "gcc" "src/CMakeFiles/mflow_core.dir/core/mflow.cpp.o.d"
+  "/root/repo/src/core/reassembler.cpp" "src/CMakeFiles/mflow_core.dir/core/reassembler.cpp.o" "gcc" "src/CMakeFiles/mflow_core.dir/core/reassembler.cpp.o.d"
+  "/root/repo/src/core/splitter.cpp" "src/CMakeFiles/mflow_core.dir/core/splitter.cpp.o" "gcc" "src/CMakeFiles/mflow_core.dir/core/splitter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mflow_stack.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mflow_steering.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mflow_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mflow_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mflow_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mflow_core.dir/core/adaptive.cpp.o"
+  "CMakeFiles/mflow_core.dir/core/adaptive.cpp.o.d"
+  "CMakeFiles/mflow_core.dir/core/config.cpp.o"
+  "CMakeFiles/mflow_core.dir/core/config.cpp.o.d"
+  "CMakeFiles/mflow_core.dir/core/irq_split.cpp.o"
+  "CMakeFiles/mflow_core.dir/core/irq_split.cpp.o.d"
+  "CMakeFiles/mflow_core.dir/core/mflow.cpp.o"
+  "CMakeFiles/mflow_core.dir/core/mflow.cpp.o.d"
+  "CMakeFiles/mflow_core.dir/core/reassembler.cpp.o"
+  "CMakeFiles/mflow_core.dir/core/reassembler.cpp.o.d"
+  "CMakeFiles/mflow_core.dir/core/splitter.cpp.o"
+  "CMakeFiles/mflow_core.dir/core/splitter.cpp.o.d"
+  "libmflow_core.a"
+  "libmflow_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mflow_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mflow_experiment.dir/experiment/datacaching.cpp.o"
+  "CMakeFiles/mflow_experiment.dir/experiment/datacaching.cpp.o.d"
+  "CMakeFiles/mflow_experiment.dir/experiment/report.cpp.o"
+  "CMakeFiles/mflow_experiment.dir/experiment/report.cpp.o.d"
+  "CMakeFiles/mflow_experiment.dir/experiment/scenario.cpp.o"
+  "CMakeFiles/mflow_experiment.dir/experiment/scenario.cpp.o.d"
+  "CMakeFiles/mflow_experiment.dir/experiment/webserving.cpp.o"
+  "CMakeFiles/mflow_experiment.dir/experiment/webserving.cpp.o.d"
+  "libmflow_experiment.a"
+  "libmflow_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mflow_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/checksum.cpp" "src/CMakeFiles/mflow_net.dir/net/checksum.cpp.o" "gcc" "src/CMakeFiles/mflow_net.dir/net/checksum.cpp.o.d"
+  "/root/repo/src/net/flow.cpp" "src/CMakeFiles/mflow_net.dir/net/flow.cpp.o" "gcc" "src/CMakeFiles/mflow_net.dir/net/flow.cpp.o.d"
+  "/root/repo/src/net/gro.cpp" "src/CMakeFiles/mflow_net.dir/net/gro.cpp.o" "gcc" "src/CMakeFiles/mflow_net.dir/net/gro.cpp.o.d"
+  "/root/repo/src/net/headers.cpp" "src/CMakeFiles/mflow_net.dir/net/headers.cpp.o" "gcc" "src/CMakeFiles/mflow_net.dir/net/headers.cpp.o.d"
+  "/root/repo/src/net/nic.cpp" "src/CMakeFiles/mflow_net.dir/net/nic.cpp.o" "gcc" "src/CMakeFiles/mflow_net.dir/net/nic.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/CMakeFiles/mflow_net.dir/net/packet.cpp.o" "gcc" "src/CMakeFiles/mflow_net.dir/net/packet.cpp.o.d"
+  "/root/repo/src/net/ring.cpp" "src/CMakeFiles/mflow_net.dir/net/ring.cpp.o" "gcc" "src/CMakeFiles/mflow_net.dir/net/ring.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mflow_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mflow_net.dir/net/checksum.cpp.o"
+  "CMakeFiles/mflow_net.dir/net/checksum.cpp.o.d"
+  "CMakeFiles/mflow_net.dir/net/flow.cpp.o"
+  "CMakeFiles/mflow_net.dir/net/flow.cpp.o.d"
+  "CMakeFiles/mflow_net.dir/net/gro.cpp.o"
+  "CMakeFiles/mflow_net.dir/net/gro.cpp.o.d"
+  "CMakeFiles/mflow_net.dir/net/headers.cpp.o"
+  "CMakeFiles/mflow_net.dir/net/headers.cpp.o.d"
+  "CMakeFiles/mflow_net.dir/net/nic.cpp.o"
+  "CMakeFiles/mflow_net.dir/net/nic.cpp.o.d"
+  "CMakeFiles/mflow_net.dir/net/packet.cpp.o"
+  "CMakeFiles/mflow_net.dir/net/packet.cpp.o.d"
+  "CMakeFiles/mflow_net.dir/net/ring.cpp.o"
+  "CMakeFiles/mflow_net.dir/net/ring.cpp.o.d"
+  "libmflow_net.a"
+  "libmflow_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mflow_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

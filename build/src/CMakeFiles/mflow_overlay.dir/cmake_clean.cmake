@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mflow_overlay.dir/overlay/container.cpp.o"
+  "CMakeFiles/mflow_overlay.dir/overlay/container.cpp.o.d"
+  "CMakeFiles/mflow_overlay.dir/overlay/topology.cpp.o"
+  "CMakeFiles/mflow_overlay.dir/overlay/topology.cpp.o.d"
+  "libmflow_overlay.a"
+  "libmflow_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mflow_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rt/calibrate.cpp" "src/CMakeFiles/mflow_rt.dir/rt/calibrate.cpp.o" "gcc" "src/CMakeFiles/mflow_rt.dir/rt/calibrate.cpp.o.d"
+  "/root/repo/src/rt/engine.cpp" "src/CMakeFiles/mflow_rt.dir/rt/engine.cpp.o" "gcc" "src/CMakeFiles/mflow_rt.dir/rt/engine.cpp.o.d"
+  "/root/repo/src/rt/reassembler.cpp" "src/CMakeFiles/mflow_rt.dir/rt/reassembler.cpp.o" "gcc" "src/CMakeFiles/mflow_rt.dir/rt/reassembler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mflow_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mflow_rt.dir/rt/calibrate.cpp.o"
+  "CMakeFiles/mflow_rt.dir/rt/calibrate.cpp.o.d"
+  "CMakeFiles/mflow_rt.dir/rt/engine.cpp.o"
+  "CMakeFiles/mflow_rt.dir/rt/engine.cpp.o.d"
+  "CMakeFiles/mflow_rt.dir/rt/reassembler.cpp.o"
+  "CMakeFiles/mflow_rt.dir/rt/reassembler.cpp.o.d"
+  "libmflow_rt.a"
+  "libmflow_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mflow_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/core.cpp" "src/CMakeFiles/mflow_sim.dir/sim/core.cpp.o" "gcc" "src/CMakeFiles/mflow_sim.dir/sim/core.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/mflow_sim.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/mflow_sim.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/interference.cpp" "src/CMakeFiles/mflow_sim.dir/sim/interference.cpp.o" "gcc" "src/CMakeFiles/mflow_sim.dir/sim/interference.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/mflow_sim.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/mflow_sim.dir/sim/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mflow_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mflow_sim.dir/sim/core.cpp.o"
+  "CMakeFiles/mflow_sim.dir/sim/core.cpp.o.d"
+  "CMakeFiles/mflow_sim.dir/sim/event_queue.cpp.o"
+  "CMakeFiles/mflow_sim.dir/sim/event_queue.cpp.o.d"
+  "CMakeFiles/mflow_sim.dir/sim/interference.cpp.o"
+  "CMakeFiles/mflow_sim.dir/sim/interference.cpp.o.d"
+  "CMakeFiles/mflow_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/mflow_sim.dir/sim/simulator.cpp.o.d"
+  "libmflow_sim.a"
+  "libmflow_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mflow_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stack/bridge.cpp" "src/CMakeFiles/mflow_stack.dir/stack/bridge.cpp.o" "gcc" "src/CMakeFiles/mflow_stack.dir/stack/bridge.cpp.o.d"
+  "/root/repo/src/stack/costs.cpp" "src/CMakeFiles/mflow_stack.dir/stack/costs.cpp.o" "gcc" "src/CMakeFiles/mflow_stack.dir/stack/costs.cpp.o.d"
+  "/root/repo/src/stack/driver.cpp" "src/CMakeFiles/mflow_stack.dir/stack/driver.cpp.o" "gcc" "src/CMakeFiles/mflow_stack.dir/stack/driver.cpp.o.d"
+  "/root/repo/src/stack/gro_stage.cpp" "src/CMakeFiles/mflow_stack.dir/stack/gro_stage.cpp.o" "gcc" "src/CMakeFiles/mflow_stack.dir/stack/gro_stage.cpp.o.d"
+  "/root/repo/src/stack/ip_rx.cpp" "src/CMakeFiles/mflow_stack.dir/stack/ip_rx.cpp.o" "gcc" "src/CMakeFiles/mflow_stack.dir/stack/ip_rx.cpp.o.d"
+  "/root/repo/src/stack/machine.cpp" "src/CMakeFiles/mflow_stack.dir/stack/machine.cpp.o" "gcc" "src/CMakeFiles/mflow_stack.dir/stack/machine.cpp.o.d"
+  "/root/repo/src/stack/socket.cpp" "src/CMakeFiles/mflow_stack.dir/stack/socket.cpp.o" "gcc" "src/CMakeFiles/mflow_stack.dir/stack/socket.cpp.o.d"
+  "/root/repo/src/stack/stage.cpp" "src/CMakeFiles/mflow_stack.dir/stack/stage.cpp.o" "gcc" "src/CMakeFiles/mflow_stack.dir/stack/stage.cpp.o.d"
+  "/root/repo/src/stack/tcp_rx.cpp" "src/CMakeFiles/mflow_stack.dir/stack/tcp_rx.cpp.o" "gcc" "src/CMakeFiles/mflow_stack.dir/stack/tcp_rx.cpp.o.d"
+  "/root/repo/src/stack/tx_stages.cpp" "src/CMakeFiles/mflow_stack.dir/stack/tx_stages.cpp.o" "gcc" "src/CMakeFiles/mflow_stack.dir/stack/tx_stages.cpp.o.d"
+  "/root/repo/src/stack/udp_rx.cpp" "src/CMakeFiles/mflow_stack.dir/stack/udp_rx.cpp.o" "gcc" "src/CMakeFiles/mflow_stack.dir/stack/udp_rx.cpp.o.d"
+  "/root/repo/src/stack/veth.cpp" "src/CMakeFiles/mflow_stack.dir/stack/veth.cpp.o" "gcc" "src/CMakeFiles/mflow_stack.dir/stack/veth.cpp.o.d"
+  "/root/repo/src/stack/vxlan.cpp" "src/CMakeFiles/mflow_stack.dir/stack/vxlan.cpp.o" "gcc" "src/CMakeFiles/mflow_stack.dir/stack/vxlan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mflow_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mflow_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mflow_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mflow_stack.dir/stack/bridge.cpp.o"
+  "CMakeFiles/mflow_stack.dir/stack/bridge.cpp.o.d"
+  "CMakeFiles/mflow_stack.dir/stack/costs.cpp.o"
+  "CMakeFiles/mflow_stack.dir/stack/costs.cpp.o.d"
+  "CMakeFiles/mflow_stack.dir/stack/driver.cpp.o"
+  "CMakeFiles/mflow_stack.dir/stack/driver.cpp.o.d"
+  "CMakeFiles/mflow_stack.dir/stack/gro_stage.cpp.o"
+  "CMakeFiles/mflow_stack.dir/stack/gro_stage.cpp.o.d"
+  "CMakeFiles/mflow_stack.dir/stack/ip_rx.cpp.o"
+  "CMakeFiles/mflow_stack.dir/stack/ip_rx.cpp.o.d"
+  "CMakeFiles/mflow_stack.dir/stack/machine.cpp.o"
+  "CMakeFiles/mflow_stack.dir/stack/machine.cpp.o.d"
+  "CMakeFiles/mflow_stack.dir/stack/socket.cpp.o"
+  "CMakeFiles/mflow_stack.dir/stack/socket.cpp.o.d"
+  "CMakeFiles/mflow_stack.dir/stack/stage.cpp.o"
+  "CMakeFiles/mflow_stack.dir/stack/stage.cpp.o.d"
+  "CMakeFiles/mflow_stack.dir/stack/tcp_rx.cpp.o"
+  "CMakeFiles/mflow_stack.dir/stack/tcp_rx.cpp.o.d"
+  "CMakeFiles/mflow_stack.dir/stack/tx_stages.cpp.o"
+  "CMakeFiles/mflow_stack.dir/stack/tx_stages.cpp.o.d"
+  "CMakeFiles/mflow_stack.dir/stack/udp_rx.cpp.o"
+  "CMakeFiles/mflow_stack.dir/stack/udp_rx.cpp.o.d"
+  "CMakeFiles/mflow_stack.dir/stack/veth.cpp.o"
+  "CMakeFiles/mflow_stack.dir/stack/veth.cpp.o.d"
+  "CMakeFiles/mflow_stack.dir/stack/vxlan.cpp.o"
+  "CMakeFiles/mflow_stack.dir/stack/vxlan.cpp.o.d"
+  "libmflow_stack.a"
+  "libmflow_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mflow_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mflow_steering.dir/steering/modes.cpp.o"
+  "CMakeFiles/mflow_steering.dir/steering/modes.cpp.o.d"
+  "CMakeFiles/mflow_steering.dir/steering/policy.cpp.o"
+  "CMakeFiles/mflow_steering.dir/steering/policy.cpp.o.d"
+  "libmflow_steering.a"
+  "libmflow_steering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mflow_steering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmflow_steering.a"
+)

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mflow_util.dir/util/cli.cpp.o"
+  "CMakeFiles/mflow_util.dir/util/cli.cpp.o.d"
+  "CMakeFiles/mflow_util.dir/util/histogram.cpp.o"
+  "CMakeFiles/mflow_util.dir/util/histogram.cpp.o.d"
+  "CMakeFiles/mflow_util.dir/util/log.cpp.o"
+  "CMakeFiles/mflow_util.dir/util/log.cpp.o.d"
+  "CMakeFiles/mflow_util.dir/util/rng.cpp.o"
+  "CMakeFiles/mflow_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/mflow_util.dir/util/stats.cpp.o"
+  "CMakeFiles/mflow_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/mflow_util.dir/util/table.cpp.o"
+  "CMakeFiles/mflow_util.dir/util/table.cpp.o.d"
+  "libmflow_util.a"
+  "libmflow_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mflow_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mflow_workload.dir/workload/injector.cpp.o"
+  "CMakeFiles/mflow_workload.dir/workload/injector.cpp.o.d"
+  "CMakeFiles/mflow_workload.dir/workload/sender.cpp.o"
+  "CMakeFiles/mflow_workload.dir/workload/sender.cpp.o.d"
+  "CMakeFiles/mflow_workload.dir/workload/txhost.cpp.o"
+  "CMakeFiles/mflow_workload.dir/workload/txhost.cpp.o.d"
+  "libmflow_workload.a"
+  "libmflow_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mflow_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_sim.dir/test_core_sim.cpp.o"
+  "CMakeFiles/test_core_sim.dir/test_core_sim.cpp.o.d"
+  "test_core_sim"
+  "test_core_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_driver_napi.dir/test_driver_napi.cpp.o"
+  "CMakeFiles/test_driver_napi.dir/test_driver_napi.cpp.o.d"
+  "test_driver_napi"
+  "test_driver_napi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_driver_napi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

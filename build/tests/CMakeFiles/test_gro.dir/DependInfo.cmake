@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_gro.cpp" "tests/CMakeFiles/test_gro.dir/test_gro.cpp.o" "gcc" "tests/CMakeFiles/test_gro.dir/test_gro.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mflow_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mflow_experiment.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mflow_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mflow_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mflow_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mflow_steering.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mflow_stack.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mflow_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mflow_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mflow_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

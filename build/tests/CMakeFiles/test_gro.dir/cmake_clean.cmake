@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gro.dir/test_gro.cpp.o"
+  "CMakeFiles/test_gro.dir/test_gro.cpp.o.d"
+  "test_gro"
+  "test_gro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

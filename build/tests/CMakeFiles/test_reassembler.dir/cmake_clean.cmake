@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reassembler.dir/test_reassembler.cpp.o"
+  "CMakeFiles/test_reassembler.dir/test_reassembler.cpp.o.d"
+  "test_reassembler"
+  "test_reassembler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reassembler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ring_nic.dir/test_ring_nic.cpp.o"
+  "CMakeFiles/test_ring_nic.dir/test_ring_nic.cpp.o.d"
+  "test_ring_nic"
+  "test_ring_nic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ring_nic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

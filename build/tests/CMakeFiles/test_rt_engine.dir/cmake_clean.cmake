@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rt_engine.dir/test_rt_engine.cpp.o"
+  "CMakeFiles/test_rt_engine.dir/test_rt_engine.cpp.o.d"
+  "test_rt_engine"
+  "test_rt_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rt_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sender.dir/test_sender.cpp.o"
+  "CMakeFiles/test_sender.dir/test_sender.cpp.o.d"
+  "test_sender"
+  "test_sender.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sender.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

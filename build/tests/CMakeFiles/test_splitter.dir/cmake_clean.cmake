@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_splitter.dir/test_splitter.cpp.o"
+  "CMakeFiles/test_splitter.dir/test_splitter.cpp.o.d"
+  "test_splitter"
+  "test_splitter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_splitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

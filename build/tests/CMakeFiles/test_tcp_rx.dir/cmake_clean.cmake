@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tcp_rx.dir/test_tcp_rx.cpp.o"
+  "CMakeFiles/test_tcp_rx.dir/test_tcp_rx.cpp.o.d"
+  "test_tcp_rx"
+  "test_tcp_rx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tcp_rx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

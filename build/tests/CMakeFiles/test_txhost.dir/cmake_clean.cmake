@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_txhost.dir/test_txhost.cpp.o"
+  "CMakeFiles/test_txhost.dir/test_txhost.cpp.o.d"
+  "test_txhost"
+  "test_txhost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_txhost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
