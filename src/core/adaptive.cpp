@@ -28,7 +28,7 @@ void AdaptiveBatchController::tick() {
   if (rate > params_.hi_ooo_per_sec && batch < params_.max_batch) {
     batch = std::min(params_.max_batch, batch * 2);
     ++adjustments_;
-  } else if (rate == 0.0 && batch > params_.min_batch) {
+  } else if (rate < params_.lo_ooo_per_sec && batch > params_.min_batch) {
     batch = std::max(params_.min_batch, batch / 2);
     ++adjustments_;
   }

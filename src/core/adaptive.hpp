@@ -6,7 +6,7 @@
 // controller tunes it online: every control interval it reads the
 // reassembler's out-of-order arrival rate and
 //   - doubles the batch when reordering exceeds `hi_ooo_per_sec`,
-//   - halves it when an interval is completely reorder-free (probing for
+//   - halves it when the rate falls below `lo_ooo_per_sec` (probing for
 //     the smallest batch that still merges cheaply, which minimizes
 //     batching latency and maximizes load-balancing granularity).
 // Changes take effect at the next micro-flow boundary (BatchAssigner reads
@@ -27,6 +27,11 @@ struct AdaptiveBatchParams {
   std::uint32_t min_batch = 16;
   std::uint32_t max_batch = 4096;
   double hi_ooo_per_sec = 5000.0;  // grow above this reorder rate
+  /// Shrink below this rate. Strictly positive so that trickle reordering
+  /// (a handful of OOO arrivals per interval) still lets the batch probe
+  /// downward — requiring an *exactly* zero interval left the controller
+  /// stuck at max_batch on any link with background noise.
+  double lo_ooo_per_sec = 500.0;
 };
 
 class AdaptiveBatchController {

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "sim/time.hpp"
 #include "stack/stage.hpp"
 
 namespace mflow::core {
@@ -46,6 +47,20 @@ struct MflowConfig {
   /// Only flows classified as elephants are split; others pass through
   /// untouched. 0 = split everything (micro-benchmarks).
   std::uint64_t elephant_threshold_pkts = 0;
+
+  /// Merge-head stall duration after which the reassembler evicts the
+  /// missing segments of the stuck batch (drops the paper never models).
+  /// 0 restores the paper's lossless assumption: a silent loss wedges the
+  /// flow forever.
+  sim::Time merge_eviction_timeout = sim::ms(1);
+
+  /// Upper bound on how long batch 1 of a freshly split flow waits for the
+  /// flow's pre-split packets to drain out of the pipeline. Within the
+  /// grace the mouse->elephant transition is reorder-free; past it the gate
+  /// opens anyway (a loss or a backlogged core is delaying the stragglers,
+  /// and stalling a deadline workload costs more than letting TCP's ofo
+  /// queue absorb the residual reorder).
+  sim::Time split_gate_grace = sim::us(100);
 
   std::string describe() const;
 };

@@ -63,6 +63,8 @@ class IrqSplitter::FirstHalf final : public sim::Pollable {
       }
       pkt->microflow_id = a.microflow_id;
       Reassembler* ra = o.lookup_(*pkt);
+      if (a.first_split && ra != nullptr)
+        ra->note_flow_split(pkt->flow_id, a.prior_segs);
       if (a.new_batch) {
         core.charge(sim::Tag::kSteer, costs.mflow_dispatch_per_batch);
         if (ra != nullptr) ra->note_batch_open(pkt->flow_id, a.microflow_id);
@@ -74,6 +76,44 @@ class IrqSplitter::FirstHalf final : public sim::Pollable {
       net::RxRing& ring = *o.request_rings_[slot];
       const std::uint64_t flow = pkt->flow_id;
       const std::uint64_t batch = a.microflow_id;
+
+      if (net::FaultInjector* faults = m.fault_injector()) {
+        const auto action = faults->decide(net::FaultPoint::kSplitQueue);
+        if (action == net::FaultAction::kDrop) {
+          // Request lost on the per-core ring: retract the dispatch.
+          faults->note_dropped_segs(1);
+          if (ra != nullptr) ra->note_drop(flow, batch, 1);
+          continue;
+        }
+        if (action == net::FaultAction::kCorrupt) {
+          faults->corrupt(*pkt);
+        } else if (action == net::FaultAction::kDuplicate) {
+          auto dup = std::make_unique<net::Packet>(*pkt);
+          if (ring.push(std::move(dup)))
+            m.core(a.target_core).raise(*o.second_halves_[slot],
+                                        /*remote=*/true);
+        } else if (action == net::FaultAction::kDelay) {
+          // Shared holder keeps the packet owned even if the simulation
+          // ends before the delayed event fires (EventFn must be copyable).
+          auto held = std::make_shared<net::PacketPtr>(std::move(pkt));
+          IrqSplitter* op = &o;
+          const int target = a.target_core;
+          m.simulator().after(
+              faults->delay_ns(net::FaultPoint::kSplitQueue),
+              [op, slot, target, held, flow, batch] {
+                net::PacketPtr late = std::move(*held);
+                core::Reassembler* lra = op->lookup_(*late);
+                if (op->request_rings_[slot]->push(std::move(late))) {
+                  op->machine_.core(target).raise(*op->second_halves_[slot],
+                                                  /*remote=*/true);
+                } else if (lra != nullptr) {
+                  lra->note_drop(flow, batch, 1);
+                }
+              });
+          continue;
+        }
+      }
+
       if (ring.push(std::move(pkt))) {
         ++o.dispatched_;
         m.core(a.target_core).raise(*o.second_halves_[slot], /*remote=*/true);

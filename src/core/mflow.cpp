@@ -8,7 +8,14 @@ MflowEngine::MflowEngine(stack::Machine& machine, MflowConfig config)
 MflowEngine::~MflowEngine() = default;
 
 void MflowEngine::attach_socket(std::uint16_t port, stack::Socket& socket) {
-  auto ra = std::make_unique<Reassembler>(machine_.costs());
+  auto ra = std::make_unique<Reassembler>(
+      machine_.costs(), &machine_.simulator(),
+      ReassemblerParams{config_.merge_eviction_timeout,
+                        config_.split_gate_grace});
+  // Eviction can turn buffered data ready with no deposit in sight; the
+  // reader must still wake up or the recovered packets sit forever.
+  stack::Socket* sock = &socket;
+  ra->set_ready_callback([sock] { sock->notify_merge_ready(); });
   socket.set_merge_buffer(ra.get());
   reassemblers_[port] = std::move(ra);
 }
@@ -22,6 +29,14 @@ void MflowEngine::install() {
   auto lookup = [this](const net::Packet& pkt) {
     return reassembler_for_port(pkt.flow.dst_port);
   };
+
+  // Any split packet that dies inside the path (checksum drop of a
+  // corrupted skb, injected handoff loss) is retracted here so its batch
+  // does not wait for it.
+  machine_.set_split_drop_handler([this](const net::Packet& pkt) {
+    if (Reassembler* ra = reassembler_for_port(pkt.flow.dst_port))
+      ra->note_drop(pkt.flow_id, pkt.microflow_id, pkt.gro_segs);
+  });
 
   switch (config_.split_point) {
     case SplitPoint::kBeforeStage: {
@@ -61,6 +76,37 @@ std::uint64_t MflowEngine::packets_merged() const {
   std::uint64_t total = 0;
   for (const auto& [_, ra] : reassemblers_) total += ra->packets_merged();
   return total;
+}
+
+std::uint64_t MflowEngine::drops_recovered() const {
+  std::uint64_t total = 0;
+  for (const auto& [_, ra] : reassemblers_) total += ra->drops_recovered();
+  return total;
+}
+
+std::uint64_t MflowEngine::evictions() const {
+  std::uint64_t total = 0;
+  for (const auto& [_, ra] : reassemblers_) total += ra->evictions();
+  return total;
+}
+
+std::uint64_t MflowEngine::late_deliveries() const {
+  std::uint64_t total = 0;
+  for (const auto& [_, ra] : reassemblers_) total += ra->late_deliveries();
+  return total;
+}
+
+bool MflowEngine::any_flow_blocked() const {
+  for (const auto& [_, ra] : reassemblers_)
+    if (ra->any_flow_blocked()) return true;
+  return false;
+}
+
+util::RunningStats MflowEngine::recovery_latency_ns() const {
+  util::RunningStats all;
+  for (const auto& [_, ra] : reassemblers_)
+    all.merge(ra->recovery_latency_ns());
+  return all;
 }
 
 void MflowEngine::reset_stats() {

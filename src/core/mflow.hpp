@@ -44,6 +44,13 @@ class MflowEngine {
   std::uint64_t ooo_arrivals() const;
   std::uint64_t batches_merged() const;
   std::uint64_t packets_merged() const;
+  std::uint64_t drops_recovered() const;
+  std::uint64_t evictions() const;
+  std::uint64_t late_deliveries() const;
+  /// True if any socket's reassembler holds a wedged flow (buffered or
+  /// outstanding work with nothing ready).
+  bool any_flow_blocked() const;
+  util::RunningStats recovery_latency_ns() const;
   void reset_stats();
 
  private:

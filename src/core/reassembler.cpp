@@ -13,70 +13,127 @@ std::uint32_t lookup(const std::map<std::uint64_t, std::uint32_t>& m,
 
 }  // namespace
 
+Reassembler::FlowMerge& Reassembler::flow_state(net::FlowId flow) {
+  auto [it, inserted] = flows_.try_emplace(flow);
+  if (inserted) {
+    it->second.id = flow;
+    flow_order_.push_back(flow);
+  }
+  return it->second;
+}
+
 void Reassembler::note_dispatch(net::FlowId flow, std::uint64_t batch_id,
                                 std::uint32_t segs) {
-  auto [it, inserted] = flows_.try_emplace(flow);
-  if (inserted) flow_order_.push_back(flow);
-  it->second.dispatched[batch_id] += segs;
+  flow_state(flow).dispatched[batch_id] += segs;
+  segs_dispatched_ += segs;
+  ensure_reaper();
 }
 
 void Reassembler::note_batch_open(net::FlowId flow, std::uint64_t batch_id) {
-  auto [it, inserted] = flows_.try_emplace(flow);
-  if (inserted) flow_order_.push_back(flow);
-  it->second.open_batch = std::max(it->second.open_batch, batch_id);
+  FlowMerge& fm = flow_state(flow);
+  fm.open_batch = std::max(fm.open_batch, batch_id);
+}
+
+void Reassembler::note_flow_split(net::FlowId flow,
+                                  std::uint64_t prior_segs) {
+  FlowMerge& fm = flow_state(flow);
+  fm.prior_expected = std::max(fm.prior_expected, prior_segs);
+  if (sim_ != nullptr) {
+    fm.split_at = sim_->now();
+    // When the grace expires the gate may open with no deposit in sight;
+    // wake the reader so queued batch-1 packets do not sit forever.
+    if (params_.gate_grace > 0)
+      sim_->after(params_.gate_grace, [this] { notify_ready_if_available(); });
+  }
+  ensure_reaper();
 }
 
 void Reassembler::note_drop(net::FlowId flow, std::uint64_t batch_id,
                             std::uint32_t segs) {
   auto it = flows_.find(flow);
   if (it == flows_.end()) return;
-  auto dit = it->second.dispatched.find(batch_id);
-  if (dit == it->second.dispatched.end()) return;
-  dit->second = dit->second > segs ? dit->second - segs : 0;
+  FlowMerge& fm = it->second;
+  // Segments of a batch the merge counter already passed were written off
+  // at eviction time; recovering them again would double-count.
+  if (batch_id < fm.merge_counter) return;
+  const std::uint32_t disp = lookup(fm.dispatched, batch_id);
+  const std::uint32_t cons = lookup(fm.consumed, batch_id);
+  const std::uint32_t drop = lookup(fm.dropped, batch_id);
+  if (cons + drop >= disp) return;  // batch already complete
+  const std::uint32_t add = std::min(segs, disp - cons - drop);
+  fm.dropped[batch_id] += add;
+  drops_recovered_ += add;
+  fm.stall_marked = false;  // retraction is progress
+  notify_ready_if_available();
 }
 
 void Reassembler::deposit(net::PacketPtr pkt, int /*from_core*/) {
   ++buffered_;
   max_buffered_ = std::max(max_buffered_, buffered_);
   if (pkt->microflow_id == 0) {
+    passthrough_segs_[pkt->flow_id] += pkt->gro_segs;
     passthrough_.push_back(std::move(pkt));
     return;
   }
-  auto [it, inserted] = flows_.try_emplace(pkt->flow_id);
-  if (inserted) flow_order_.push_back(pkt->flow_id);
-  FlowMerge& fm = it->second;
+  FlowMerge& fm = flow_state(pkt->flow_id);
   // Out-of-order arrival metric (Figure 7): a packet whose per-flow wire
   // index is below one already seen here would be delivered out of order
   // were it not for the reassembler.
   if (fm.any_seen && pkt->wire_seq < fm.max_wire_seen) ++ooo_arrivals_;
   fm.max_wire_seen = std::max(fm.max_wire_seen, pkt->wire_seq);
   fm.any_seen = true;
+  if (pkt->microflow_id < fm.merge_counter) {
+    // Duplicate or post-eviction straggler: its batch is already merged
+    // past. Deliver out of order rather than buffer it forever.
+    ++late_deliveries_;
+    passthrough_.push_back(std::move(pkt));
+    return;
+  }
   fm.queues[pkt->microflow_id].push_back(std::move(pkt));
+  ensure_reaper();
+}
+
+bool Reassembler::gate_open(const FlowMerge& fm) const {
+  if (fm.prior_expected == 0) return true;
+  const auto it = passthrough_segs_.find(fm.id);
+  const std::uint64_t seen = it == passthrough_segs_.end() ? 0 : it->second;
+  if (seen >= fm.prior_expected) return true;
+  // Stragglers are loss-or-backlog delayed: holding a deadline workload's
+  // flow costs more than the residual reorder the transport absorbs.
+  return sim_ != nullptr && params_.gate_grace > 0 &&
+         sim_->now() >= fm.split_at + params_.gate_grace;
 }
 
 net::PacketPtr Reassembler::try_pop_flow(FlowMerge& fm, bool charge) {
+  if (!gate_open(fm)) return nullptr;
   while (true) {
     auto qit = fm.queues.find(fm.merge_counter);
     if (qit != fm.queues.end() && !qit->second.empty()) {
       net::PacketPtr pkt = std::move(qit->second.front());
       qit->second.pop_front();
       fm.consumed[fm.merge_counter] += pkt->gro_segs;
+      fm.stall_marked = false;
       if (charge) {
         pending_charge_ += costs_.mflow_merge_per_skb;
         ++packets_merged_;
+        segs_merged_ += pkt->gro_segs;
         --buffered_;
       }
       return pkt;
     }
     // Current batch's queue is dry: advance only when the batch is closed
-    // (the splitter moved past it) and fully consumed.
+    // (the splitter moved past it) and fully accounted for — consumed plus
+    // retracted segments cover everything dispatched.
     const std::uint32_t disp = lookup(fm.dispatched, fm.merge_counter);
     const std::uint32_t cons = lookup(fm.consumed, fm.merge_counter);
-    if (cons == disp && fm.open_batch > fm.merge_counter) {
+    const std::uint32_t drop = lookup(fm.dropped, fm.merge_counter);
+    if (cons + drop >= disp && fm.open_batch > fm.merge_counter) {
       fm.dispatched.erase(fm.merge_counter);
       fm.consumed.erase(fm.merge_counter);
+      fm.dropped.erase(fm.merge_counter);
       fm.queues.erase(fm.merge_counter);
       ++fm.merge_counter;
+      fm.stall_marked = false;
       if (charge) {
         pending_charge_ += costs_.mflow_merge_per_batch;
         ++batches_merged_;
@@ -88,17 +145,111 @@ net::PacketPtr Reassembler::try_pop_flow(FlowMerge& fm, bool charge) {
 }
 
 bool Reassembler::flow_has_ready(const FlowMerge& fm) const {
+  if (!gate_open(fm)) return false;
   std::uint64_t counter = fm.merge_counter;
   while (true) {
     const auto qit = fm.queues.find(counter);
     if (qit != fm.queues.end() && !qit->second.empty()) return true;
-    if (lookup(fm.consumed, counter) == lookup(fm.dispatched, counter) &&
+    if (lookup(fm.consumed, counter) + lookup(fm.dropped, counter) >=
+            lookup(fm.dispatched, counter) &&
         fm.open_batch > counter) {
       ++counter;
       continue;
     }
     return false;
   }
+}
+
+bool Reassembler::flow_blocked(const FlowMerge& fm) const {
+  if (flow_has_ready(fm)) return false;
+  for (const auto& [batch, q] : fm.queues)
+    if (!q.empty()) return true;
+  for (const auto& [batch, disp] : fm.dispatched)
+    if (lookup(fm.consumed, batch) + lookup(fm.dropped, batch) < disp)
+      return true;
+  return false;
+}
+
+bool Reassembler::any_flow_blocked() const {
+  for (const auto& [_, fm] : flows_)
+    if (flow_blocked(fm)) return true;
+  return false;
+}
+
+bool Reassembler::evict_step(FlowMerge& fm) {
+  const sim::Time now = sim_ != nullptr ? sim_->now() : 0;
+  if (!gate_open(fm)) {
+    // Pre-split packets lost in flight: forgive the gate; stragglers that
+    // do arrive later are still delivered (out of order) via passthrough.
+    fm.prior_expected = 0;
+    ++evictions_;
+    recovery_ns_.add(static_cast<double>(now - fm.stall_marked_at));
+    return true;
+  }
+  const std::uint64_t head = fm.merge_counter;
+  const std::uint32_t disp = lookup(fm.dispatched, head);
+  const std::uint32_t cons = lookup(fm.consumed, head);
+  const std::uint32_t drop = lookup(fm.dropped, head);
+  if (cons + drop < disp) {
+    // Missing segments in the head batch: write them off as recovered
+    // drops and charge the eviction sweep.
+    const std::uint32_t missing = disp - cons - drop;
+    fm.dropped[head] += missing;
+    drops_recovered_ += missing;
+    ++evictions_;
+    pending_charge_ += costs_.mflow_evict_per_batch;
+    recovery_ns_.add(static_cast<double>(now - fm.stall_marked_at));
+  }
+  // Advance past the (now complete) head if the splitter has moved on;
+  // an open head batch stays current — its retraction above already
+  // unblocked the flow.
+  if (fm.open_batch > head) {
+    fm.dispatched.erase(head);
+    fm.consumed.erase(head);
+    fm.dropped.erase(head);
+    fm.queues.erase(head);
+    ++fm.merge_counter;
+    return true;
+  }
+  return false;
+}
+
+void Reassembler::ensure_reaper() {
+  if (reaper_scheduled_ || sim_ == nullptr || params_.eviction_timeout <= 0)
+    return;
+  reaper_scheduled_ = true;
+  sim_->after(params_.eviction_timeout, [this] { reap(); });
+}
+
+void Reassembler::reap() {
+  reaper_scheduled_ = false;
+  bool keep_watching = false;
+  for (net::FlowId flow : flow_order_) {
+    FlowMerge& fm = flows_[flow];
+    if (!flow_blocked(fm)) {
+      fm.stall_marked = false;
+      continue;
+    }
+    if (!fm.stall_marked) {
+      // First sweep that sees the stall: arm, evict on the next one.
+      fm.stall_marked = true;
+      fm.stall_marked_at = sim_->now();
+      keep_watching = true;
+      continue;
+    }
+    // Blocked for at least one full timeout: force the head forward until
+    // the flow is ready or nothing more can be reclaimed.
+    while (flow_blocked(fm) && evict_step(fm)) {
+    }
+    fm.stall_marked = false;
+    if (flow_blocked(fm)) keep_watching = true;
+  }
+  if (keep_watching) ensure_reaper();
+  notify_ready_if_available();
+}
+
+void Reassembler::notify_ready_if_available() {
+  if (ready_cb_ && pop_ready_available()) ready_cb_();
 }
 
 net::PacketPtr Reassembler::pop_ready() {
@@ -139,6 +290,12 @@ void Reassembler::reset_stats() {
   ooo_arrivals_ = 0;
   batches_merged_ = 0;
   packets_merged_ = 0;
+  segs_dispatched_ = 0;
+  segs_merged_ = 0;
+  drops_recovered_ = 0;
+  evictions_ = 0;
+  late_deliveries_ = 0;
+  recovery_ns_.clear();
   max_buffered_ = buffered_;
 }
 

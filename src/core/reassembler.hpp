@@ -1,4 +1,4 @@
-// Batch-based flow reassembling (paper §III-B).
+// Batch-based flow reassembling (paper §III-B), made loss-tolerant.
 //
 // Packets of each micro-flow arrive FIFO into that micro-flow's buffer
 // queue; a global (per-flow) *merging counter* tracks which micro-flow is
@@ -9,25 +9,61 @@
 //
 // Batch completion: the splitter registers every dispatch (note_dispatch)
 // and the currently-open batch (note_batch_open); a batch is complete when
-// its consumed segment count matches dispatched segments AND the splitter
-// has moved past it. Everything already dispatched is always consumable in
-// order, so merging never stalls behind a partially-filled batch.
+// its consumed + retracted segment count covers dispatched segments AND the
+// splitter has moved past it. Everything already dispatched is always
+// consumable in order, so merging never stalls behind a partially-filled
+// batch.
+//
+// Divergence from the paper: the paper's prototype assumes the handoff
+// between splitting cores and the merge point is lossless, so a packet lost
+// in flight would wedge the merging counter forever. Here every loss is
+// survivable:
+//  - known losses are retracted synchronously via note_drop (ring overruns,
+//    fault-injected drops at the splitting queue);
+//  - unknown losses (checksum drops of corrupted packets, packets delayed
+//    beyond usefulness) are reclaimed by a sim-time eviction reaper: a flow
+//    whose merge head makes no progress for `eviction_timeout` has its head
+//    batch's missing segments charged as recovered drops and the counter
+//    advanced.
+// Both paths feed `drops_recovered`, so at quiescence
+//     segs_dispatched == segs_merged + drops_recovered.
+// Packets arriving for a batch the counter already passed (duplicates,
+// too-late arrivals of evicted batches) are delivered out of order through
+// the passthrough queue and counted as `late_deliveries` — the kernel's
+// per-packet ofo queue / datagram semantics absorb them above us.
 #pragma once
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <unordered_map>
 #include <vector>
 
+#include "sim/simulator.hpp"
 #include "stack/costs.hpp"
 #include "stack/socket.hpp"
+#include "util/stats.hpp"
 
 namespace mflow::core {
 
+struct ReassemblerParams {
+  /// Merge-head stall duration after which the head batch's missing
+  /// segments are evicted. 0 disables eviction (the paper's lossless
+  /// assumption); requires a Simulator to be supplied.
+  sim::Time eviction_timeout = 0;
+  /// Upper bound on the pre-split ordering gate (see note_flow_split):
+  /// past this, batch 1 stops waiting for straggling default-path packets.
+  /// 0 means the gate is count-only (unit tests); requires a Simulator.
+  sim::Time gate_grace = 0;
+};
+
 class Reassembler final : public stack::MergeBuffer {
  public:
-  explicit Reassembler(const stack::CostModel& costs) : costs_(costs) {}
+  explicit Reassembler(const stack::CostModel& costs,
+                       sim::Simulator* sim = nullptr,
+                       ReassemblerParams params = {})
+      : costs_(costs), sim_(sim), params_(params) {}
 
   // --- splitter side ---------------------------------------------------------
   /// A packet carrying `segs` wire segments was dispatched into `batch_id`.
@@ -37,9 +73,23 @@ class Reassembler final : public stack::MergeBuffer {
   void note_batch_open(net::FlowId flow, std::uint64_t batch_id);
 
   /// A dispatched packet was lost before reaching the merge point (e.g.
-  /// request-ring overrun): retract it so merging does not stall.
+  /// request-ring overrun, injected fault): retract it so merging does not
+  /// stall. Idempotent against eviction: segments of batches the merge
+  /// counter already passed are not recovered twice.
   void note_drop(net::FlowId flow, std::uint64_t batch_id,
                  std::uint32_t segs);
+
+  /// The flow just crossed the elephant threshold: `prior_segs` default-path
+  /// segments were forwarded before the first micro-flow was opened. Batch 1
+  /// is gated until that many passthrough segments have been deposited, so
+  /// split packets can never overtake in-flight pre-split packets.
+  void note_flow_split(net::FlowId flow, std::uint64_t prior_segs);
+
+  /// Invoked whenever retraction/eviction turns a stalled flow ready while
+  /// no deposit is happening (so the socket reader can be re-raised).
+  void set_ready_callback(std::function<void()> cb) {
+    ready_cb_ = std::move(cb);
+  }
 
   // --- stack::MergeBuffer ------------------------------------------------------
   void deposit(net::PacketPtr pkt, int from_core) override;
@@ -56,36 +106,90 @@ class Reassembler final : public stack::MergeBuffer {
   std::uint64_t packets_merged() const { return packets_merged_; }
   std::size_t buffered_packets() const { return buffered_; }
   std::size_t max_buffered_packets() const { return max_buffered_; }
+  /// Wire segments registered by note_dispatch / consumed by the merge.
+  std::uint64_t segs_dispatched() const { return segs_dispatched_; }
+  std::uint64_t segs_merged() const { return segs_merged_; }
+  /// Dispatched segments written off as lost (note_drop + eviction).
+  std::uint64_t drops_recovered() const { return drops_recovered_; }
+  /// Eviction events (head-batch timeouts + forgiven pre-split gates).
+  std::uint64_t evictions() const { return evictions_; }
+  /// Packets delivered out of order because their batch had already been
+  /// merged past (duplicates, post-eviction stragglers).
+  std::uint64_t late_deliveries() const { return late_deliveries_; }
+  /// Stall-detection -> eviction latency samples (ns).
+  const util::RunningStats& recovery_latency_ns() const {
+    return recovery_ns_;
+  }
+  /// True if some flow has work buffered or outstanding but nothing ready —
+  /// with eviction disabled this is a permanent wedge once inputs stop.
+  bool any_flow_blocked() const;
   void reset_stats();
 
  private:
   struct FlowMerge {
+    net::FlowId id = 0;
     std::uint64_t merge_counter = 1;  // batch currently being merged
     std::uint64_t open_batch = 0;     // splitter's current batch
     std::map<std::uint64_t, std::uint32_t> dispatched;  // batch -> segs
     std::map<std::uint64_t, std::uint32_t> consumed;
+    std::map<std::uint64_t, std::uint32_t> dropped;  // retracted/evicted
     std::map<std::uint64_t, std::deque<net::PacketPtr>> queues;
     std::uint64_t max_wire_seen = 0;
     bool any_seen = false;
+    /// Pre-split gate: batch 1 is held until this many default-path
+    /// segments of the flow have passed through (see passthrough_segs_),
+    /// or until gate_grace elapses from split_at — whichever comes first.
+    std::uint64_t prior_expected = 0;
+    sim::Time split_at = 0;
+    /// Eviction mark-and-sweep: set by the reaper on a blocked flow,
+    /// cleared by any merge progress; a still-marked blocked flow on the
+    /// next sweep is evicted.
+    bool stall_marked = false;
+    sim::Time stall_marked_at = 0;
   };
 
+  FlowMerge& flow_state(net::FlowId flow);
   /// Try to pop the next in-order packet for one flow. Advances the merge
   /// counter over completed batches.
   net::PacketPtr try_pop_flow(FlowMerge& fm, bool charge);
   bool flow_has_ready(const FlowMerge& fm) const;
+  bool gate_open(const FlowMerge& fm) const;
+  /// Pending work (buffered or outstanding dispatched segments) with
+  /// nothing ready: the state eviction exists to clear.
+  bool flow_blocked(const FlowMerge& fm) const;
+  /// One eviction step on a blocked flow; returns false when no further
+  /// forced progress is possible.
+  bool evict_step(FlowMerge& fm);
+  void ensure_reaper();
+  void reap();
+  void notify_ready_if_available();
 
   const stack::CostModel& costs_;
+  sim::Simulator* sim_ = nullptr;
+  ReassemblerParams params_;
   std::unordered_map<net::FlowId, FlowMerge> flows_;
   std::vector<net::FlowId> flow_order_;  // deterministic round-robin
   std::size_t rr_ = 0;
+  bool reaper_scheduled_ = false;
+  std::function<void()> ready_cb_;
 
-  /// Unsplit traffic (microflow_id == 0) passes straight through.
+  /// Unsplit traffic (microflow_id == 0) and late/duplicate split packets
+  /// pass straight through.
   std::deque<net::PacketPtr> passthrough_;
+  /// Default-path segments deposited per flow — the supply side of the
+  /// pre-split ordering gate.
+  std::unordered_map<net::FlowId, std::uint64_t> passthrough_segs_;
 
   sim::Time pending_charge_ = 0;
   std::uint64_t ooo_arrivals_ = 0;
   std::uint64_t batches_merged_ = 0;
   std::uint64_t packets_merged_ = 0;
+  std::uint64_t segs_dispatched_ = 0;
+  std::uint64_t segs_merged_ = 0;
+  std::uint64_t drops_recovered_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t late_deliveries_ = 0;
+  util::RunningStats recovery_ns_;
   std::size_t buffered_ = 0;
   std::size_t max_buffered_ = 0;
 };

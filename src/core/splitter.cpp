@@ -18,6 +18,10 @@ BatchAssigner::Assignment BatchAssigner::assign(net::FlowId flow,
     return {};  // still a mouse: leave on the default path
 
   Assignment out;
+  if (st.batch == 0) {
+    out.first_split = true;
+    out.prior_segs = st.seen_segs - segs;
+  }
   if (st.batch == 0 || st.in_batch >= config_.batch_size) {
     // Open the next micro-flow and pick its splitting core round-robin —
     // equal-size batches spread evenly give similar per-core load (§III-A).
@@ -57,6 +61,8 @@ void FlowSplitter::on_forward(net::PacketPtr pkt, std::size_t next_index,
   ++split_;
   pkt->microflow_id = a.microflow_id;
   Reassembler* ra = lookup_(*pkt);
+  if (a.first_split && ra != nullptr)
+    ra->note_flow_split(pkt->flow_id, a.prior_segs);
   if (a.new_batch) {
     // Batch handoff + IPI are paid once per micro-flow, which is what makes
     // MFLOW's steering cheaper per packet than FALCON's per-skb handoff.
@@ -66,6 +72,43 @@ void FlowSplitter::on_forward(net::PacketPtr pkt, std::size_t next_index,
   if (ra != nullptr)
     ra->note_dispatch(pkt->flow_id, a.microflow_id, pkt->gro_segs);
   fc.charge(sim::Tag::kSteer, costs.mflow_split_per_pkt);
+
+  if (net::FaultInjector* faults = machine_.fault_injector()) {
+    switch (faults->decide(net::FaultPoint::kSplitQueue)) {
+      case net::FaultAction::kDrop:
+        // Lost at the splitting-queue deposit; the dispatch above is
+        // retracted synchronously so the merge never waits for it.
+        faults->note_dropped_segs(pkt->gro_segs);
+        if (ra != nullptr)
+          ra->note_drop(pkt->flow_id, a.microflow_id, pkt->gro_segs);
+        return;
+      case net::FaultAction::kCorrupt:
+        faults->corrupt(*pkt);  // dies at the next verifying stage
+        break;
+      case net::FaultAction::kDuplicate:
+        machine_.deliver_to_stage(next_index, a.target_core, from_core,
+                                  std::make_unique<net::Packet>(*pkt),
+                                  /*charge_handoff=*/false);
+        break;
+      case net::FaultAction::kDelay: {
+        // Shared holder keeps the packet owned even if the simulation ends
+        // before the delayed event fires (EventFn must be copyable).
+        auto held = std::make_shared<net::PacketPtr>(std::move(pkt));
+        const std::size_t idx = next_index;
+        const int target = a.target_core;
+        machine_.simulator().after(
+            faults->delay_ns(net::FaultPoint::kSplitQueue),
+            [this, idx, target, from_core, held] {
+              machine_.deliver_to_stage(idx, target, from_core,
+                                        std::move(*held),
+                                        /*charge_handoff=*/false);
+            });
+        return;
+      }
+      case net::FaultAction::kNone:
+        break;
+    }
+  }
   machine_.deliver_to_stage(next_index, a.target_core, from_core,
                             std::move(pkt), /*charge_handoff=*/false);
 }

@@ -29,6 +29,11 @@ class BatchAssigner {
     std::uint64_t microflow_id = 0;  // 0 => flow not split (mouse flow)
     int target_core = -1;
     bool new_batch = false;  // first packet of its micro-flow
+    /// Flow just crossed the elephant threshold with this packet.
+    bool first_split = false;
+    /// Default-path segments the flow had already sent before it split —
+    /// they may still be in flight, so batch 1 must wait behind them.
+    std::uint64_t prior_segs = 0;
   };
 
   /// Classify + assign one packet of `flow`. `segs` counts the wire

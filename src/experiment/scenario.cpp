@@ -220,6 +220,12 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
                                cfg.costs);
   workload::WireLink wire(sim, server, cfg.costs.wire_latency);
 
+  net::FaultInjector injector(cfg.faults);
+  if (cfg.faults.any()) {
+    server.set_fault_injector(&injector);
+    wire.set_fault_injector(&injector);
+  }
+
   std::vector<std::unique_ptr<workload::TcpSender>> tcp_senders;
   std::vector<std::unique_ptr<workload::UdpSender>> udp_senders;
   std::unordered_map<net::FlowId, workload::TcpSender*> sender_by_flow;
@@ -284,6 +290,11 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
   std::uint64_t offered0 = 0;
   for (const auto& s : tcp_senders) offered0 += s->bytes_sent();
   for (const auto& s : udp_senders) offered0 += s->bytes_sent();
+  const std::uint64_t inj_drops0 = injector.total_drops();
+  const std::uint64_t inj_drop_segs0 = injector.dropped_segs();
+  const std::uint64_t inj_corrupt0 = injector.total_corruptions();
+  const std::uint64_t inj_dup0 = injector.total_duplicates();
+  const std::uint64_t inj_delay0 = injector.total_delays();
 
   events += sim.run_until(cfg.warmup + cfg.measure);
 
@@ -309,10 +320,20 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
       static_cast<double>(offered1 - offered0) * 8.0 / secs / 1e9;
 
   res.nic_drops = server.nic().total_drops() - drops0;
+  res.injected_drops = injector.total_drops() - inj_drops0;
+  res.injected_drop_segs = injector.dropped_segs() - inj_drop_segs0;
+  res.injected_corruptions = injector.total_corruptions() - inj_corrupt0;
+  res.injected_duplicates = injector.total_duplicates() - inj_dup0;
+  res.injected_delays = injector.total_delays() - inj_delay0;
   if (engine) {
     res.ooo_arrivals = engine->ooo_arrivals();
     res.batches_merged = engine->batches_merged();
     res.final_batch = engine->config().batch_size;
+    res.drops_recovered = engine->drops_recovered();
+    res.evictions = engine->evictions();
+    res.late_deliveries = engine->late_deliveries();
+    res.recovery_latency_ns = engine->recovery_latency_ns();
+    res.flows_blocked = engine->any_flow_blocked();
   }
 
   for (int c = 0; c < server.num_cores(); ++c) {

@@ -10,9 +10,11 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "net/fault.hpp"
 #include "sim/interference.hpp"
 #include "stack/costs.hpp"
 #include "util/histogram.hpp"
+#include "util/stats.hpp"
 
 namespace mflow::exp {
 
@@ -71,6 +73,10 @@ struct ScenarioConfig {
   /// 0 = drive to saturation; otherwise one message per sender per this
   /// interval (latency-under-controlled-load runs).
   sim::Time pace_per_message = 0;
+
+  /// Fault injection (drops/corruption/duplication/delay at the NIC ring,
+  /// steering handoff, and splitting-queue deposit). Default: no faults.
+  net::FaultPlan faults{};
 };
 
 struct CoreUsage {
@@ -91,6 +97,25 @@ struct ScenarioResult {
   std::uint64_t batches_merged = 0;
   std::uint64_t events = 0;         // simulator events (diagnostics)
   std::uint32_t final_batch = 0;    // batch size at run end (adaptive mode)
+
+  // Fault-injection accounting, deltas over the measurement window.
+  std::uint64_t injected_drops = 0;       // packets dropped by the injector
+  std::uint64_t injected_drop_segs = 0;   // wire segments those carried
+  std::uint64_t injected_corruptions = 0;
+  std::uint64_t injected_duplicates = 0;
+  std::uint64_t injected_delays = 0;
+  // Reassembler recovery (MFLOW only): see core/reassembler.hpp.
+  std::uint64_t drops_recovered = 0;   // segments written off via retraction
+  std::uint64_t evictions = 0;         // timeout-forced merge-head advances
+  std::uint64_t late_deliveries = 0;   // out-of-order post-eviction arrivals
+  util::RunningStats recovery_latency_ns;
+  /// Some flow had buffered-but-unready merge work at the instant the run
+  /// ended. Benign for batches still in flight (the common case mid-
+  /// traffic); it is a wedge only if it persists once the pipeline drains —
+  /// which run_scenario's fixed-duration cut cannot distinguish. Tests that
+  /// need the strict property drain a finite workload to quiescence and ask
+  /// the engine directly.
+  bool flows_blocked = false;
 
   double mean_latency_us() const { return latency.mean() / 1000.0; }
   double p50_latency_us() const {

@@ -1,0 +1,83 @@
+#include "net/fault.hpp"
+
+#include "net/headers.hpp"
+
+namespace mflow::net {
+
+std::string_view fault_point_name(FaultPoint p) {
+  switch (p) {
+    case FaultPoint::kNicRing: return "nic-ring";
+    case FaultPoint::kHandoff: return "handoff";
+    case FaultPoint::kSplitQueue: return "split-queue";
+  }
+  return "?";
+}
+
+const FaultRates& FaultPlan::at(FaultPoint p) const {
+  switch (p) {
+    case FaultPoint::kNicRing: return nic_ring;
+    case FaultPoint::kHandoff: return handoff;
+    case FaultPoint::kSplitQueue: return split_queue;
+  }
+  return nic_ring;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(std::move(plan)), rng_(plan_.seed) {}
+
+FaultAction FaultInjector::decide(FaultPoint point) {
+  const FaultRates& r = plan_.at(point);
+  FaultAction action = FaultAction::kNone;
+  if (r.drop > 0 && rng_.chance(r.drop)) {
+    action = FaultAction::kDrop;
+  } else if (r.corrupt > 0 && rng_.chance(r.corrupt)) {
+    action = FaultAction::kCorrupt;
+  } else if (r.duplicate > 0 && rng_.chance(r.duplicate)) {
+    action = FaultAction::kDuplicate;
+  } else if (r.delay > 0 && rng_.chance(r.delay)) {
+    action = FaultAction::kDelay;
+  }
+  ++counts_[static_cast<std::size_t>(point)][static_cast<std::size_t>(action)];
+  return action;
+}
+
+void FaultInjector::corrupt(Packet& pkt) {
+  // Flip the outermost IPv4 header-checksum bytes: every verification point
+  // (outer IP receive, VXLAN decap) recomputes this checksum, so the packet
+  // is guaranteed to die at the next verifying stage, not silently pass.
+  auto bytes = pkt.buf.data();
+  constexpr std::size_t kIpv4ChecksumOff = EthernetHeader::kSize + 10;
+  if (bytes.size() > kIpv4ChecksumOff + 1) {
+    bytes[kIpv4ChecksumOff] ^= 0xFF;
+    bytes[kIpv4ChecksumOff + 1] ^= 0xA5;
+  }
+}
+
+std::uint64_t FaultInjector::count(FaultPoint p, FaultAction a) const {
+  return counts_[static_cast<std::size_t>(p)][static_cast<std::size_t>(a)];
+}
+
+namespace {
+template <typename F>
+std::uint64_t sum_points(F&& per_point) {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kFaultPointCount; ++i)
+    total += per_point(static_cast<FaultPoint>(i));
+  return total;
+}
+}  // namespace
+
+std::uint64_t FaultInjector::total_drops() const {
+  return sum_points([this](FaultPoint p) { return drops(p); });
+}
+std::uint64_t FaultInjector::total_corruptions() const {
+  return sum_points([this](FaultPoint p) { return corruptions(p); });
+}
+std::uint64_t FaultInjector::total_duplicates() const {
+  return sum_points([this](FaultPoint p) { return duplicates(p); });
+}
+std::uint64_t FaultInjector::total_delays() const {
+  return sum_points([this](FaultPoint p) { return delays(p); });
+}
+
+}  // namespace mflow::net

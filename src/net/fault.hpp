@@ -1,0 +1,117 @@
+// Deterministic fault injection for the packet path.
+//
+// The paper's prototype assumes a lossless handoff between the splitting
+// cores and the merge point; real deployments see ring overruns, bit flips,
+// and stalled cores. The injector perturbs packets at three points —
+//   kNicRing    wire -> NIC RX ring (before any software touches the skb),
+//   kHandoff    inter-core steering handoff (RPS/FALCON remote enqueue),
+//   kSplitQueue MFLOW splitting-queue deposit (post-dispatch accounting),
+// — under a seeded RNG so every faulty run is replayable. The injector is a
+// decision oracle: the call site owns the mechanics (dropping the skb,
+// scheduling the delayed delivery, cloning the duplicate) because only it
+// knows the queues and clocks involved. Corruption flips real header bytes,
+// so it is *checksum-visible*: the packet survives until a stage verifies
+// (IP checksum, VXLAN flags) and is dropped there. Verifying stages report
+// such deaths via Machine::note_lost_in_flight; losses that bypass even
+// that (e.g. corruption before the flow was split, wedging the pre-split
+// ordering gate) are what the reassembler's eviction backstop exists for.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+#include "util/rng.hpp"
+
+namespace mflow::net {
+
+enum class FaultPoint : std::uint8_t { kNicRing, kHandoff, kSplitQueue };
+constexpr std::size_t kFaultPointCount = 3;
+std::string_view fault_point_name(FaultPoint p);
+
+enum class FaultAction : std::uint8_t {
+  kNone,
+  kDrop,
+  kCorrupt,
+  kDuplicate,
+  kDelay,
+};
+
+/// Per-point fault probabilities (independent Bernoulli draws, evaluated in
+/// the order drop -> corrupt -> duplicate -> delay; the first hit wins).
+struct FaultRates {
+  double drop = 0.0;
+  double corrupt = 0.0;
+  double duplicate = 0.0;
+  double delay = 0.0;
+  sim::Time delay_ns = sim::us(50);
+
+  bool any() const {
+    return drop > 0 || corrupt > 0 || duplicate > 0 || delay > 0;
+  }
+};
+
+struct FaultPlan {
+  FaultRates nic_ring;
+  FaultRates handoff;
+  FaultRates split_queue;
+  std::uint64_t seed = 0x5eed;
+
+  bool any() const {
+    return nic_ring.any() || handoff.any() || split_queue.any();
+  }
+  const FaultRates& at(FaultPoint p) const;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  /// Draw the fate of one packet crossing `point`. Advances the RNG only
+  /// for rates that are non-zero, so enabling a new fault type does not
+  /// reshuffle the others' decisions.
+  FaultAction decide(FaultPoint point);
+
+  /// Delay to apply when decide() returned kDelay at `point`.
+  sim::Time delay_ns(FaultPoint point) const { return plan_.at(point).delay_ns; }
+
+  /// Flip header bytes in place so a later checksum/flags verification
+  /// fails. Touches the outermost IPv4 header checksum region (present in
+  /// every packet this model builds).
+  void corrupt(Packet& pkt);
+
+  // --- accounting (per point and total) --------------------------------------
+  std::uint64_t drops(FaultPoint p) const { return count(p, FaultAction::kDrop); }
+  std::uint64_t corruptions(FaultPoint p) const {
+    return count(p, FaultAction::kCorrupt);
+  }
+  std::uint64_t duplicates(FaultPoint p) const {
+    return count(p, FaultAction::kDuplicate);
+  }
+  std::uint64_t delays(FaultPoint p) const {
+    return count(p, FaultAction::kDelay);
+  }
+  std::uint64_t total_drops() const;
+  std::uint64_t total_corruptions() const;
+  std::uint64_t total_duplicates() const;
+  std::uint64_t total_delays() const;
+  /// Segment-weighted drop count: a dropped super-skb loses all its
+  /// coalesced wire segments. Call sites add via note_dropped_segs().
+  std::uint64_t dropped_segs() const { return dropped_segs_; }
+  void note_dropped_segs(std::uint32_t segs) { dropped_segs_ += segs; }
+
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  std::uint64_t count(FaultPoint p, FaultAction a) const;
+
+  FaultPlan plan_;
+  util::Rng rng_;
+  // counts_[point][action]
+  std::array<std::array<std::uint64_t, 5>, kFaultPointCount> counts_{};
+  std::uint64_t dropped_segs_ = 0;
+};
+
+}  // namespace mflow::net

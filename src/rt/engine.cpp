@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "rt/calibrate.hpp"
+#include "util/rng.hpp"
 
 namespace mflow::rt {
 
@@ -19,6 +20,10 @@ EngineResult Engine::run(
 
   std::atomic<bool> produce_done{false};
   std::atomic<std::size_t> workers_done{0};
+  // Packets lost to backpressure (retry budget exhausted) or injected
+  // faults. The consumer terminates on consumed + dropped == total, so
+  // every loss must be counted by whoever gave up on the packet.
+  std::atomic<std::uint64_t> dropped{0};
 
   const auto t0 = std::chrono::steady_clock::now();
 
@@ -29,11 +34,16 @@ EngineResult Engine::run(
   for (std::size_t w = 0; w < W; ++w) {
     workers.emplace_back([&, w] {
       auto& in = *split_rings[w];
+      util::Rng faults(config_.fault_seed + 0x9e37 * (w + 1));
       while (true) {
         if (auto pkt = in.try_pop()) {
+          const bool last = pkt->last;
           if (pkt->cost_ns > 0) spin_ns(pkt->cost_ns);
-          merger.deposit(w, *pkt);
-          if (pkt->last) break;
+          const bool lost = config_.fault_drop_rate > 0.0 &&
+                            faults.chance(config_.fault_drop_rate);
+          if (lost || !merger.deposit(w, *pkt, config_.max_push_spins))
+            dropped.fetch_add(1, std::memory_order_release);
+          if (last) break;
         } else if (produce_done.load(std::memory_order_acquire) &&
                    in.empty()) {
           break;
@@ -45,19 +55,22 @@ EngineResult Engine::run(
     });
   }
 
-  // Consumer thread: batch-based merge + order verification.
+  // Consumer thread: batch-based merge + order verification. Gap-tolerant:
+  // a drop leaves a hole in the seq space, so "in order" means survivor
+  // seqs strictly increase (equivalent to exact 0..N-1 when nothing drops).
   std::uint64_t consumed = 0;
-  std::uint64_t expected_seq = 0;
+  std::uint64_t next_seq_floor = 0;
   bool in_order = true;
   std::jthread consumer([&] {
-    while (consumed < total) {
+    while (consumed + dropped.load(std::memory_order_acquire) < total) {
       if (auto pkt = merger.pop_ready()) {
-        if (pkt->seq != expected_seq) in_order = false;
-        ++expected_seq;
+        if (pkt->seq < next_seq_floor) in_order = false;
+        next_seq_floor = pkt->seq + 1;
         ++consumed;
         if (on_output) on_output(*pkt);
       } else if (workers_done.load(std::memory_order_acquire) == W) {
-        // All producers drained: a dry micro-flow boundary can be skipped.
+        // All producers drained: a dry micro-flow boundary — whether never
+        // filled or emptied by drops — can be skipped.
         merger.force_advance();
       } else {
         std::this_thread::yield();
@@ -79,7 +92,17 @@ EngineResult Engine::run(
     ++in_batch;
     RtPacket pkt{i, batch, config_.cost_ns_per_packet, i + 1 == total};
     auto& ring = *split_rings[target];
-    while (!ring.try_push(pkt)) std::this_thread::yield();
+    std::uint32_t spins = 0;
+    while (!ring.try_push(pkt)) {
+      if (config_.max_push_spins != 0 &&
+          ++spins >= config_.max_push_spins) {
+        // Splitting ring stayed full past the retry budget: shed the
+        // packet here rather than wedging the generator.
+        dropped.fetch_add(1, std::memory_order_release);
+        break;
+      }
+      std::this_thread::yield();
+    }
   }
   produce_done.store(true, std::memory_order_release);
 
@@ -89,10 +112,11 @@ EngineResult Engine::run(
 
   EngineResult res;
   res.packets = consumed;
+  res.packets_dropped = dropped.load(std::memory_order_acquire);
   res.batches_merged = merger.batches_merged();
   res.wall_seconds =
       std::chrono::duration<double>(t1 - t0).count();
-  res.in_order = in_order && consumed == total;
+  res.in_order = in_order && consumed + res.packets_dropped == total;
   return res;
 }
 

@@ -37,13 +37,25 @@ struct EngineConfig {
   std::uint32_t batch_size = 256;
   std::size_t ring_capacity = 1024;  // power of two
   std::uint32_t cost_ns_per_packet = 300;
+  /// Backpressure bound: a full SPSC ring is retried (with yield) at most
+  /// this many times before the packet is dropped and recovered — the
+  /// pipeline degrades instead of spinning behind a stalled consumer.
+  /// 0 retries forever (the old lossless behaviour).
+  std::uint32_t max_push_spins = 1u << 16;
+  /// Injected loss probability at the worker->merger deposit, to exercise
+  /// the drop-and-recover path under real concurrency.
+  double fault_drop_rate = 0.0;
+  std::uint64_t fault_seed = 0x5eed;
 };
 
 struct EngineResult {
-  std::uint64_t packets = 0;
+  std::uint64_t packets = 0;          // delivered (survivors)
+  std::uint64_t packets_dropped = 0;  // backpressure + injected drops
   std::uint64_t batches_merged = 0;
   double wall_seconds = 0.0;
-  bool in_order = false;  // output seq exactly 0..packets-1
+  /// Survivor seqs strictly increasing AND delivered + dropped == total
+  /// (without drops this is exactly "output seq is 0..packets-1").
+  bool in_order = false;
   double packets_per_second() const {
     return wall_seconds > 0 ? static_cast<double>(packets) / wall_seconds
                             : 0.0;

@@ -11,9 +11,15 @@ RtReassembler::RtReassembler(std::size_t workers,
         std::make_unique<SpscRing<RtPacket>>(ring_capacity_pow2));
 }
 
-void RtReassembler::deposit(std::size_t w, const RtPacket& pkt) {
+bool RtReassembler::deposit(std::size_t w, const RtPacket& pkt,
+                            std::uint32_t max_spins) {
   auto& ring = *rings_[w];
-  while (!ring.try_push(pkt)) std::this_thread::yield();
+  std::uint32_t spins = 0;
+  while (!ring.try_push(pkt)) {
+    if (max_spins != 0 && ++spins >= max_spins) return false;
+    std::this_thread::yield();
+  }
+  return true;
 }
 
 std::optional<RtPacket> RtReassembler::pop_ready() {

@@ -29,8 +29,12 @@ class RtReassembler {
   RtReassembler(std::size_t workers, std::size_t ring_capacity_pow2);
 
   /// Worker `w` deposits a processed packet (SPSC per worker).
-  /// Spins (with yield) on a full ring — backpressure, never loss.
-  void deposit(std::size_t w, const RtPacket& pkt);
+  /// A full ring is retried (with yield) at most `max_spins` times;
+  /// 0 means retry forever. Returns false when the retry budget is
+  /// exhausted — the caller owns the loss and must account for it so the
+  /// consumer's conservation check still terminates.
+  [[nodiscard]] bool deposit(std::size_t w, const RtPacket& pkt,
+                             std::uint32_t max_spins = 0);
 
   /// Consumer: next packet in original flow order, or nullopt if the head
   /// of the current micro-flow hasn't arrived yet.

@@ -63,6 +63,8 @@ struct CostModel {
   Time mflow_dispatch_per_batch = 500;  // batch handoff + IPI, amortized
   Time mflow_merge_per_batch = 400;     // locate/switch buffer queue
   Time mflow_merge_per_skb = 40;
+  Time mflow_evict_per_batch = 600;     // write off a stalled batch's missing
+                                        // segments and force the counter on
 
   // --- wire ------------------------------------------------------------------------
   Time wire_latency = sim::us(5);

@@ -1,5 +1,7 @@
 #include "stack/ip_rx.hpp"
 
+#include "stack/machine.hpp"
+
 namespace mflow::stack {
 
 void IpRxStage::process(net::PacketPtr pkt, StageContext& ctx) {
@@ -9,6 +11,7 @@ void IpRxStage::process(net::PacketPtr pkt, StageContext& ctx) {
   const auto l3 = bytes.subspan(net::EthernetHeader::kSize);
   if (!net::Ipv4Header::verify(l3)) {
     ++checksum_drops_;
+    ctx.machine.note_lost_in_flight(*pkt);
     return;
   }
   ++accepted_;

@@ -124,8 +124,43 @@ void Machine::inject_into_path(std::size_t index, int from_core,
   fc.charge(sim::Tag::kSteer,
             steer_cost + (handoff ? params_.costs.remote_enqueue
                                   : params_.costs.local_enqueue));
+  if (handoff && faults_ != nullptr) {
+    switch (faults_->decide(net::FaultPoint::kHandoff)) {
+      case net::FaultAction::kDrop:
+        faults_->note_dropped_segs(pkt->gro_segs);
+        note_lost_in_flight(*pkt);
+        return;  // the skb vanishes between the cores
+      case net::FaultAction::kCorrupt:
+        faults_->corrupt(*pkt);
+        break;
+      case net::FaultAction::kDuplicate:
+        deliver_to_stage(index, target, from_core,
+                         std::make_unique<net::Packet>(*pkt),
+                         /*charge_handoff=*/false);
+        break;
+      case net::FaultAction::kDelay: {
+        // EventFn must be copyable, so the unique_ptr rides in a shared
+        // holder; if the simulation ends before the event fires, the holder
+        // still frees the packet.
+        auto held = std::make_shared<net::PacketPtr>(std::move(pkt));
+        sim_.after(faults_->delay_ns(net::FaultPoint::kHandoff),
+                   [this, index, target, from_core, held] {
+                     deliver_to_stage(index, target, from_core,
+                                      std::move(*held),
+                                      /*charge_handoff=*/false);
+                   });
+        return;
+      }
+      case net::FaultAction::kNone:
+        break;
+    }
+  }
   deliver_to_stage(index, target, from_core, std::move(pkt),
                    /*charge_handoff=*/false);
+}
+
+void Machine::note_lost_in_flight(const net::Packet& pkt) {
+  if (pkt.microflow_id != 0 && split_drop_) split_drop_(pkt);
 }
 
 void Machine::deliver_to_stage(std::size_t index, int target_core,

@@ -15,6 +15,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "net/fault.hpp"
 #include "net/nic.hpp"
 #include "sim/core.hpp"
 #include "sim/simulator.hpp"
@@ -102,6 +103,22 @@ class Machine {
   using Terminal = std::function<void(net::PacketPtr, int from_core)>;
   void set_terminal(Terminal fn) { terminal_ = std::move(fn); }
 
+  // --- fault injection ---------------------------------------------------------
+  /// Perturb packets crossing the inter-core steering handoff (non-owning;
+  /// the same injector is usually also installed on the wire and splitter).
+  void set_fault_injector(net::FaultInjector* inj) { faults_ = inj; }
+  net::FaultInjector* fault_injector() { return faults_; }
+
+  /// Notification that a packet died inside the path (verification drop,
+  /// injected fault) — `handler` receives every lost packet that belonged
+  /// to a split micro-flow, so merge bookkeeping can retract it.
+  using SplitDropHandler = std::function<void(const net::Packet&)>;
+  void set_split_drop_handler(SplitDropHandler handler) {
+    split_drop_ = std::move(handler);
+  }
+  /// Stages call this before freeing a packet they refuse to forward.
+  void note_lost_in_flight(const net::Packet& pkt);
+
   // --- measurement ---------------------------------------------------------------
   /// Zero core accounting and socket stats (warmup boundary).
   void reset_measurement();
@@ -133,6 +150,8 @@ class Machine {
 
   std::unordered_map<std::uint16_t, std::unique_ptr<Socket>> sockets_;
   Terminal terminal_;
+  net::FaultInjector* faults_ = nullptr;
+  SplitDropHandler split_drop_;
   std::uint64_t ingested_ = 0;
 };
 

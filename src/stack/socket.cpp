@@ -90,6 +90,12 @@ void Socket::ingest(net::PacketPtr pkt, int from_core) {
                                     machine_.costs().ipi_cost);
 }
 
+void Socket::notify_merge_ready() {
+  const std::size_t idx = reader_rr_ % reader_cores_.size();
+  const int reader_core = next_reader_core();
+  machine_.core(reader_core).raise(*readers_[idx], /*remote=*/false);
+}
+
 void Socket::deliver_to_app(net::PacketPtr pkt, sim::Core& core) {
   const CostModel& costs = machine_.costs();
   stats_.skbs += 1;

@@ -91,6 +91,10 @@ class Socket {
   /// buffer queues instead of the single receive queue.
   void set_merge_buffer(MergeBuffer* mb) { merge_ = mb; }
 
+  /// Wake a reader without a new deposit: an eviction or drop retraction
+  /// just turned already-buffered data ready.
+  void notify_merge_ready();
+
   /// Only meaningful with tcp_in_reader: the reader-context TCP receiver.
   TcpReceiver& tcp_receiver() { return tcp_rx_; }
 

@@ -1,11 +1,14 @@
 #include "stack/vxlan.hpp"
 
+#include "stack/machine.hpp"
+
 namespace mflow::stack {
 
 void VxlanStage::process(net::PacketPtr pkt, StageContext& ctx) {
   const net::DecapResult res = net::vxlan_decap(*pkt);
   if (!res.ok || res.vni != expected_vni_) {
     ++failures_;
+    ctx.machine.note_lost_in_flight(*pkt);
     return;  // malformed or foreign-VNI packet: dropped, skb freed
   }
   ++decapsulated_;

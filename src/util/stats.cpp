@@ -59,9 +59,14 @@ double percentile(std::vector<double> xs, double q) {
   if (xs.empty()) return 0.0;
   std::sort(xs.begin(), xs.end());
   q = std::clamp(q, 0.0, 1.0);
-  const auto rank = static_cast<std::size_t>(
-      std::ceil(q * static_cast<double>(xs.size())));
-  return xs[rank == 0 ? 0 : rank - 1];
+  // Linear interpolation between closest ranks (the "R-7" definition used
+  // by numpy and spreadsheets). Nearest-rank with ceil() skewed p50/p99
+  // high on the small samples the latency benches collect.
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= xs.size()) return xs.back();
+  return xs[lo] + frac * (xs[lo + 1] - xs[lo]);
 }
 
 }  // namespace mflow::util

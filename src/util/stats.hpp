@@ -37,7 +37,10 @@ double stddev(std::span<const double> xs);
 /// Arithmetic mean of a sample span (0 for empty).
 double mean(std::span<const double> xs);
 
-/// Exact percentile (nearest-rank) of a copy-sorted sample.
+/// Percentile of a copy-sorted sample, linearly interpolated between the
+/// closest ranks (numpy's default). q is clamped to [0, 1]; q=0 is the
+/// minimum, q=1 the maximum, and a single-element sample returns it for
+/// every q.
 double percentile(std::vector<double> xs, double q);
 
 }  // namespace mflow::util

@@ -10,8 +10,38 @@ void WireLink::transmit(net::PacketPtr pkt) {
   sim_.after(latency_, [this] {
     net::PacketPtr p = std::move(in_flight_.front());
     in_flight_.pop_front();
-    dst_.nic().deliver(std::move(p), sim_.now());
+    deliver(std::move(p));
   });
+}
+
+void WireLink::deliver(net::PacketPtr pkt) {
+  if (faults_ != nullptr) {
+    switch (faults_->decide(net::FaultPoint::kNicRing)) {
+      case net::FaultAction::kDrop:
+        faults_->note_dropped_segs(pkt->gro_segs);
+        return;  // ring overrun: the frame never existed as far as
+                 // software is concerned
+      case net::FaultAction::kCorrupt:
+        faults_->corrupt(*pkt);
+        break;
+      case net::FaultAction::kDuplicate:
+        dst_.nic().deliver(std::make_unique<net::Packet>(*pkt), sim_.now());
+        break;
+      case net::FaultAction::kDelay: {
+        // Shared holder keeps the packet owned even if the simulation ends
+        // before the delayed event fires (EventFn must be copyable).
+        auto held = std::make_shared<net::PacketPtr>(std::move(pkt));
+        sim_.after(faults_->delay_ns(net::FaultPoint::kNicRing),
+                   [this, held] {
+                     dst_.nic().deliver(std::move(*held), sim_.now());
+                   });
+        return;
+      }
+      case net::FaultAction::kNone:
+        break;
+    }
+  }
+  dst_.nic().deliver(std::move(pkt), sim_.now());
 }
 
 ClientHost::ClientHost(sim::Simulator& sim, int num_cores,

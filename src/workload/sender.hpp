@@ -29,12 +29,19 @@ class WireLink {
 
   void transmit(net::PacketPtr pkt);
 
+  /// Perturb packets at the wire->NIC-ring boundary (kNicRing faults:
+  /// overruns, bit errors, PFC pauses). Non-owning.
+  void set_fault_injector(net::FaultInjector* inj) { faults_ = inj; }
+
   std::uint64_t packets() const { return packets_; }
 
  private:
+  void deliver(net::PacketPtr pkt);
+
   sim::Simulator& sim_;
   stack::Machine& dst_;
   sim::Time latency_;
+  net::FaultInjector* faults_ = nullptr;
   std::deque<net::PacketPtr> in_flight_;
   std::uint64_t packets_ = 0;
 };

@@ -1,0 +1,391 @@
+// Fault injection and loss-tolerant reassembly.
+//
+// The seed reassembler assumed the splitting-core -> merge-point handoff was
+// lossless: one packet lost in flight wedged its flow's merge counter
+// forever. These tests cover the two recovery paths (synchronous note_drop
+// retraction and the sim-time eviction reaper), the pre-split ordering gate,
+// the injector itself, and the end-to-end acceptance scenario — including a
+// run that reproduces the seed wedge by disabling both recovery paths.
+#include <gtest/gtest.h>
+
+#include <span>
+#include <vector>
+
+#include "core/reassembler.hpp"
+#include "experiment/scenario.hpp"
+#include "net/fault.hpp"
+#include "sim/simulator.hpp"
+
+using namespace mflow;
+
+namespace {
+
+net::PacketPtr mk(net::FlowId flow, std::uint64_t wire_seq,
+                  std::uint64_t microflow, std::uint32_t segs = 1) {
+  auto p = net::make_udp_datagram(
+      net::FlowKey{net::Ipv4Addr(1, 1, 1, 1), net::Ipv4Addr(2, 2, 2, 2), 1,
+                   2, net::Ipv4Header::kProtoUdp},
+      100);
+  p->flow_id = flow;
+  p->wire_seq = wire_seq;
+  p->microflow_id = microflow;
+  p->gro_segs = segs;
+  return p;
+}
+
+/// Dispatch `n` single-seg packets into `batch` and return them (the caller
+/// chooses which ones actually get deposited — the rest are "lost").
+std::vector<net::PacketPtr> dispatch_batch(core::Reassembler& ra,
+                                           net::FlowId flow,
+                                           std::uint64_t batch, int n,
+                                           std::uint64_t first_seq) {
+  ra.note_batch_open(flow, batch);
+  std::vector<net::PacketPtr> pkts;
+  for (int i = 0; i < n; ++i) {
+    ra.note_dispatch(flow, batch, 1);
+    pkts.push_back(mk(flow, first_seq + static_cast<std::uint64_t>(i), batch));
+  }
+  return pkts;
+}
+
+}  // namespace
+
+// ---- note_drop ----------------------------------------------------------------
+
+TEST(FaultRecovery, WholeBatchDropAdvancesMerge) {
+  stack::CostModel costs;
+  core::Reassembler ra(costs);
+  auto b1 = dispatch_batch(ra, 1, 1, 3, 0);
+  auto b2 = dispatch_batch(ra, 1, 2, 2, 3);
+  for (auto& p : b2) ra.deposit(std::move(p), 3);
+  EXPECT_FALSE(ra.pop_ready_available());  // batch 1 missing entirely
+  ra.note_drop(1, 1, 3);                   // all of batch 1 lost
+  std::vector<std::uint64_t> order;
+  while (auto p = ra.pop_ready()) order.push_back(p->wire_seq);
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{3, 4}));
+  EXPECT_EQ(ra.drops_recovered(), 3u);
+  EXPECT_EQ(ra.segs_dispatched(), ra.segs_merged() + ra.drops_recovered());
+  EXPECT_FALSE(ra.any_flow_blocked());
+}
+
+TEST(FaultRecovery, PartialBatchDropDeliversSurvivors) {
+  stack::CostModel costs;
+  core::Reassembler ra(costs);
+  auto b1 = dispatch_batch(ra, 1, 1, 3, 0);
+  auto b2 = dispatch_batch(ra, 1, 2, 1, 3);
+  ra.deposit(std::move(b1[0]), 2);  // b1[1] is lost
+  ra.deposit(std::move(b1[2]), 2);
+  ra.deposit(std::move(b2[0]), 3);
+  EXPECT_NE(ra.pop_ready(), nullptr);  // wire 0
+  EXPECT_NE(ra.pop_ready(), nullptr);  // wire 2 (same batch, consumable)
+  EXPECT_EQ(ra.pop_ready(), nullptr);  // batch 1 still short one segment
+  ra.note_drop(1, 1, 1);
+  auto p = ra.pop_ready();
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->wire_seq, 3u);
+  EXPECT_EQ(ra.drops_recovered(), 1u);
+  EXPECT_EQ(ra.segs_dispatched(), ra.segs_merged() + ra.drops_recovered());
+}
+
+TEST(FaultRecovery, FinalOpenBatchDropDoesNotWedgeLaterDeposits) {
+  stack::CostModel costs;
+  core::Reassembler ra(costs);
+  // Batch 1 stays open (no later batch): a loss inside it must not block
+  // the segments that keep arriving for the same batch.
+  auto b1 = dispatch_batch(ra, 1, 1, 3, 0);
+  ra.deposit(std::move(b1[0]), 2);
+  ra.note_drop(1, 1, 1);  // b1[1] lost
+  ra.deposit(std::move(b1[2]), 2);
+  std::vector<std::uint64_t> order;
+  while (auto p = ra.pop_ready()) order.push_back(p->wire_seq);
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{0, 2}));
+  EXPECT_EQ(ra.buffered_packets(), 0u);
+  EXPECT_FALSE(ra.any_flow_blocked());
+}
+
+TEST(FaultRecovery, NoteDropIsBoundedAndIdempotent) {
+  stack::CostModel costs;
+  core::Reassembler ra(costs);
+  auto b1 = dispatch_batch(ra, 1, 1, 2, 0);
+  auto b2 = dispatch_batch(ra, 1, 2, 1, 2);
+  ra.deposit(std::move(b2[0]), 3);
+  // Over-retraction (duplicate loss reports, retraction racing a deposit)
+  // must clamp at what is actually outstanding.
+  ra.note_drop(1, 1, 100);
+  EXPECT_EQ(ra.drops_recovered(), 2u);
+  ra.note_drop(1, 1, 1);  // batch already complete: no-op
+  EXPECT_EQ(ra.drops_recovered(), 2u);
+  auto p = ra.pop_ready();
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->wire_seq, 2u);
+  // Retraction for a batch the counter already passed is ignored.
+  ra.note_drop(1, 1, 1);
+  EXPECT_EQ(ra.drops_recovered(), 2u);
+  // Unknown flow: no crash, no accounting.
+  ra.note_drop(99, 1, 1);
+  EXPECT_EQ(ra.drops_recovered(), 2u);
+  EXPECT_EQ(ra.buffered_packets(), 0u);
+}
+
+// ---- eviction -----------------------------------------------------------------
+
+TEST(FaultRecovery, EvictionRecoversSilentLoss) {
+  stack::CostModel costs;
+  sim::Simulator sim(1);
+  core::Reassembler ra(costs, &sim,
+                       core::ReassemblerParams{.eviction_timeout = sim::ms(1)});
+  auto b1 = dispatch_batch(ra, 1, 1, 2, 0);
+  auto b2 = dispatch_batch(ra, 1, 2, 1, 2);
+  ra.deposit(std::move(b1[0]), 2);  // b1[1] silently lost — nobody calls
+  ra.deposit(std::move(b2[0]), 3);  // note_drop
+  EXPECT_NE(ra.pop_ready(), nullptr);
+  EXPECT_EQ(ra.pop_ready(), nullptr);
+  EXPECT_TRUE(ra.any_flow_blocked());
+  sim.run();  // mark-and-sweep reaper: evicts within 2 timeouts
+  EXPECT_EQ(ra.evictions(), 1u);
+  EXPECT_EQ(ra.drops_recovered(), 1u);
+  auto p = ra.pop_ready();
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->wire_seq, 2u);
+  EXPECT_FALSE(ra.any_flow_blocked());
+  EXPECT_EQ(ra.segs_dispatched(), ra.segs_merged() + ra.drops_recovered());
+  EXPECT_GT(ra.recovery_latency_ns().count(), 0u);
+  EXPECT_EQ(ra.take_pending_charge() > 0, true);  // eviction sweep charged
+}
+
+TEST(FaultRecovery, LateArrivalAfterEvictionDeliversOutOfOrder) {
+  stack::CostModel costs;
+  sim::Simulator sim(1);
+  core::Reassembler ra(costs, &sim,
+                       core::ReassemblerParams{.eviction_timeout = sim::us(100)});
+  auto b1 = dispatch_batch(ra, 1, 1, 1, 0);
+  auto b2 = dispatch_batch(ra, 1, 2, 1, 1);
+  ra.deposit(std::move(b2[0]), 3);  // batch 1's packet is delayed, not lost
+  sim.run();                        // eviction writes batch 1 off
+  EXPECT_EQ(ra.evictions(), 1u);
+  EXPECT_NE(ra.pop_ready(), nullptr);  // batch 2 flows
+  ra.deposit(std::move(b1[0]), 2);     // straggler finally shows up
+  EXPECT_EQ(ra.late_deliveries(), 1u);
+  auto p = ra.pop_ready();  // delivered anyway (out of order), not leaked
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->wire_seq, 0u);
+  EXPECT_EQ(ra.buffered_packets(), 0u);
+}
+
+TEST(FaultRecovery, SeedBehaviourWedgesForeverWithoutEviction) {
+  // The paper's lossless assumption (eviction_timeout = 0, nobody calls
+  // note_drop): one silent loss and the flow is permanently blocked.
+  stack::CostModel costs;
+  sim::Simulator sim(1);
+  core::Reassembler ra(costs, &sim, core::ReassemblerParams{});
+  auto b1 = dispatch_batch(ra, 1, 1, 2, 0);
+  auto b2 = dispatch_batch(ra, 1, 2, 1, 2);
+  ra.deposit(std::move(b1[0]), 2);
+  ra.deposit(std::move(b2[0]), 3);
+  EXPECT_NE(ra.pop_ready(), nullptr);
+  sim.run();  // nothing scheduled: no reaper without a timeout
+  EXPECT_EQ(ra.pop_ready(), nullptr);
+  EXPECT_TRUE(ra.any_flow_blocked());
+  EXPECT_EQ(ra.drops_recovered(), 0u);
+  EXPECT_EQ(ra.evictions(), 0u);
+}
+
+// ---- pre-split ordering gate ---------------------------------------------------
+
+TEST(PreSplitGate, HoldsBatchOneUntilPassthroughDrains) {
+  stack::CostModel costs;
+  core::Reassembler ra(costs);
+  // Flow crossed the elephant threshold with 2 default-path packets still
+  // in flight behind the split point.
+  ra.note_flow_split(1, 2);
+  auto b1 = dispatch_batch(ra, 1, 1, 1, 2);
+  ra.deposit(std::move(b1[0]), 2);
+  EXPECT_FALSE(ra.pop_ready_available());  // would overtake the stragglers
+  ra.deposit(mk(1, 0, /*microflow=*/0), 1);
+  EXPECT_NE(ra.pop_ready(), nullptr);  // passthrough flows immediately
+  EXPECT_FALSE(ra.pop_ready_available());  // still one straggler short
+  ra.deposit(mk(1, 1, 0), 1);
+  std::vector<std::uint64_t> order;
+  while (auto p = ra.pop_ready()) order.push_back(p->wire_seq);
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{1, 2}));  // original order
+}
+
+TEST(PreSplitGate, GraceTimeoutOpensGateWhenStragglersNeverArrive) {
+  stack::CostModel costs;
+  sim::Simulator sim(1);
+  core::Reassembler ra(costs, &sim,
+                       core::ReassemblerParams{.gate_grace = sim::us(100)});
+  ra.note_flow_split(1, 2);  // 2 stragglers that will never arrive (lost)
+  auto b1 = dispatch_batch(ra, 1, 1, 1, 2);
+  ra.deposit(std::move(b1[0]), 2);
+  EXPECT_FALSE(ra.pop_ready_available());
+  bool woke = false;
+  ra.set_ready_callback([&] { woke = true; });
+  sim.run();  // grace elapses: the gate stops waiting
+  EXPECT_TRUE(woke);
+  auto p = ra.pop_ready();
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->wire_seq, 2u);
+}
+
+// ---- the injector itself -------------------------------------------------------
+
+TEST(FaultInjector, DeterministicUnderSeed) {
+  net::FaultPlan plan;
+  plan.split_queue.drop = 0.3;
+  plan.split_queue.duplicate = 0.2;
+  plan.seed = 7;
+  net::FaultInjector a(plan), b(plan);
+  for (int i = 0; i < 1000; ++i)
+    ASSERT_EQ(a.decide(net::FaultPoint::kSplitQueue),
+              b.decide(net::FaultPoint::kSplitQueue));
+  EXPECT_EQ(a.total_drops(), b.total_drops());
+  EXPECT_GT(a.total_drops(), 0u);
+  EXPECT_GT(a.total_duplicates(), 0u);
+  EXPECT_EQ(a.drops(net::FaultPoint::kSplitQueue), a.total_drops());
+  EXPECT_EQ(a.drops(net::FaultPoint::kNicRing), 0u);
+}
+
+TEST(FaultInjector, ZeroRatesNeverFire) {
+  net::FaultInjector inj(net::FaultPlan{});
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(inj.decide(net::FaultPoint::kHandoff), net::FaultAction::kNone);
+  EXPECT_EQ(inj.total_drops() + inj.total_corruptions() +
+                inj.total_duplicates() + inj.total_delays(),
+            0u);
+}
+
+TEST(FaultInjector, CorruptionIsChecksumVisible) {
+  auto pkt = net::make_udp_datagram(
+      net::FlowKey{net::Ipv4Addr(1, 1, 1, 1), net::Ipv4Addr(2, 2, 2, 2), 1,
+                   2, net::Ipv4Header::kProtoUdp},
+      100);
+  const std::span<const std::uint8_t> ip_hdr =
+      pkt->buf.data().subspan(net::EthernetHeader::kSize);
+  ASSERT_TRUE(net::Ipv4Header::verify(ip_hdr));
+  net::FaultPlan plan;
+  plan.nic_ring.corrupt = 1.0;
+  net::FaultInjector inj(plan);
+  inj.corrupt(*pkt);
+  // The flip lands in the outer IPv4 header: a verifying stage will drop
+  // the packet instead of software silently consuming garbage.
+  EXPECT_FALSE(net::Ipv4Header::verify(ip_hdr));
+}
+
+// ---- acceptance: end-to-end scenario under injected loss -----------------------
+
+namespace {
+
+exp::ScenarioConfig run_faulty_udp(double drop, sim::Time eviction_timeout,
+                                   double delay_rate = 0.0) {
+  exp::ScenarioConfig cfg;
+  cfg.mode = exp::Mode::kMflow;
+  cfg.protocol = net::Ipv4Header::kProtoUdp;
+  cfg.message_size = 1448;  // one datagram per message
+  cfg.warmup = 0;           // so engine stats align with injector totals
+  cfg.measure = sim::ms(10);
+  auto mcfg = core::udp_device_scaling_config();
+  mcfg.merge_eviction_timeout = eviction_timeout;
+  cfg.mflow = mcfg;
+  cfg.faults.split_queue.drop = drop;
+  cfg.faults.split_queue.delay = delay_rate;
+  // "Lost" within the run's horizon: the delayed copy lands only after the
+  // simulation ends, so nothing ever retracts it — eviction's job.
+  cfg.faults.split_queue.delay_ns = sim::ms(100);
+  return cfg;
+}
+
+}  // namespace
+
+TEST(FaultScenario, OnePercentLossRecoversExactlyAndKeepsGoodput) {
+  exp::ScenarioConfig lossless = run_faulty_udp(0.0, sim::ms(1));
+  exp::ScenarioConfig lossy = run_faulty_udp(0.01, sim::ms(1));
+  const auto base = exp::run_scenario(lossless);
+  const auto res = exp::run_scenario(lossy);
+  // Every injected drop was retracted — no more, no fewer.
+  EXPECT_GT(res.injected_drops, 0u);
+  EXPECT_EQ(res.drops_recovered, res.injected_drop_segs);
+  EXPECT_EQ(res.evictions, 0u);  // known drops retract synchronously
+  // Survivors flow: goodput within a few percent of the lossless run
+  // (1% loss can cost at most ~1% goodput plus merge jitter).
+  EXPECT_GT(res.goodput_gbps, base.goodput_gbps * 0.95);
+  EXPECT_GT(res.messages, 0u);
+}
+
+TEST(FaultScenario, SilentLossIsEvictedNotWedged) {
+  // Packets delayed past the end of the run are losses nobody announces:
+  // only the eviction reaper can recover them.
+  const auto res =
+      exp::run_scenario(run_faulty_udp(0.0, sim::ms(1), /*delay_rate=*/0.01));
+  EXPECT_GT(res.injected_delays, 0u);
+  EXPECT_GT(res.evictions, 0u);
+  EXPECT_GT(res.drops_recovered, 0u);
+  EXPECT_GT(res.recovery_latency_ns.count(), 0u);
+  // Recovery happens within ~2 eviction timeouts of the stall.
+  EXPECT_LT(res.recovery_latency_ns.mean(), 3e6);
+  EXPECT_GT(res.messages, 1000u);  // traffic kept flowing throughout
+}
+
+TEST(FaultScenario, SeedBehaviourStallsOnSameScenario) {
+  // Same silent-loss scenario with eviction disabled (the seed's lossless
+  // assumption): the flow wedges at the first unannounced loss and goodput
+  // collapses. Losses are rare and the eviction timeout short, so the
+  // recovering run's stall duty cycle stays small — the whole difference
+  // between the two runs is the wedge.
+  const auto good = exp::run_scenario(
+      run_faulty_udp(0.0, sim::us(200), /*delay_rate=*/0.001));
+  const auto seed =
+      exp::run_scenario(run_faulty_udp(0.0, /*eviction=*/0, 0.001));
+  EXPECT_EQ(seed.evictions, 0u);
+  EXPECT_EQ(seed.drops_recovered, 0u);
+  EXPECT_TRUE(seed.flows_blocked);  // wedged, and nothing left to clear it
+  // The wedged run delivers a small fraction of the recovering run.
+  EXPECT_LT(seed.goodput_gbps, good.goodput_gbps * 0.2);
+}
+
+TEST(FaultScenario, TightElephantThresholdTransitionStaysInOrder) {
+  // A flow that crosses the elephant threshold almost immediately: batch 1
+  // is dispatched while the first default-path packets are still in flight.
+  // Without the pre-split gate the split path overtakes them (reorder at
+  // the socket); with it, message accounting stays gap-free.
+  exp::ScenarioConfig cfg;
+  cfg.mode = exp::Mode::kMflow;
+  cfg.protocol = net::Ipv4Header::kProtoTcp;
+  cfg.message_size = 16384;
+  cfg.warmup = sim::ms(3);
+  cfg.measure = sim::ms(8);
+  auto mcfg = core::udp_device_scaling_config();  // kBeforeStage split
+  mcfg.tcp_in_reader = true;
+  mcfg.elephant_threshold_pkts = 30;  // tight: transition mid-first-message
+  cfg.mflow = mcfg;
+  const auto res = exp::run_scenario(cfg);
+  EXPECT_GT(res.batches_merged, 0u);  // the flow really did get split
+  // Message accounting only advances on in-order byte arrival; completions
+  // matching goodput proves the transition introduced no gaps.
+  const double expected =
+      res.goodput_gbps * 1e9 / 8 / 16384 * sim::to_seconds(sim::ms(8));
+  EXPECT_NEAR(static_cast<double>(res.messages), expected, expected * 0.05);
+}
+
+// ---- adaptive controller dead zone --------------------------------------------
+
+TEST(AdaptiveBatch, TrickleReorderingStillShrinksBatch) {
+  // Regression: the controller used to shrink only at an *exactly* zero
+  // reorder rate, so background interference jitter (a handful of OOO
+  // arrivals per interval) pinned the batch at its starting size forever.
+  exp::ScenarioConfig cfg;
+  cfg.mode = exp::Mode::kMflow;
+  cfg.protocol = net::Ipv4Header::kProtoTcp;
+  cfg.message_size = 65536;
+  cfg.warmup = sim::ms(4);
+  cfg.measure = sim::ms(30);
+  ASSERT_TRUE(cfg.interference.enabled);  // the trickle source
+  auto mcfg = core::udp_device_scaling_config();
+  mcfg.tcp_in_reader = true;
+  mcfg.batch_size = 2048;
+  cfg.mflow = mcfg;
+  cfg.adaptive_batch = true;
+  const auto res = exp::run_scenario(cfg);
+  EXPECT_GT(res.ooo_arrivals, 0u);    // reordering was nonzero...
+  EXPECT_LT(res.final_batch, 2048u);  // ...and the batch still probed down
+}

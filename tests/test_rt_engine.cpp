@@ -70,10 +70,10 @@ TEST(Calibrate, RatePositiveAndStable) {
 TEST(RtReassembler, MergesRoundRobinBatches) {
   RtReassembler ra(2, 64);
   // Batch 1 -> worker 0, batch 2 -> worker 1, batch 3 -> worker 0.
-  ra.deposit(1, RtPacket{2, 2, 0, false});  // batch 2 arrives first
-  ra.deposit(0, RtPacket{0, 1, 0, false});
-  ra.deposit(0, RtPacket{1, 1, 0, false});
-  ra.deposit(0, RtPacket{3, 3, 0, false});
+  ASSERT_TRUE(ra.deposit(1, RtPacket{2, 2, 0, false}));  // batch 2 first
+  ASSERT_TRUE(ra.deposit(0, RtPacket{0, 1, 0, false}));
+  ASSERT_TRUE(ra.deposit(0, RtPacket{1, 1, 0, false}));
+  ASSERT_TRUE(ra.deposit(0, RtPacket{3, 3, 0, false}));
   std::vector<std::uint64_t> seqs;
   while (auto p = ra.pop_ready()) seqs.push_back(p->seq);
   // Batch 2's ring is dry and no later batch proves it complete — that is
@@ -119,6 +119,59 @@ INSTANTIATE_TEST_SUITE_P(
                       RtSweep{4, 1024, 3000},  // partial final batch
                       RtSweep{2, 4096, 1000}   // single huge batch
                       ));
+
+TEST(RtReassembler, DepositRetryBudgetBoundsTheSpin) {
+  RtReassembler ra(1, 4);
+  for (std::uint64_t i = 0; i < 4; ++i)
+    ASSERT_TRUE(ra.deposit(0, RtPacket{i, 1, 0, false}));
+  // Ring full and the consumer never runs: a bounded deposit must give up
+  // instead of yielding forever.
+  EXPECT_FALSE(ra.deposit(0, RtPacket{4, 1, 0, false}, /*max_spins=*/8));
+  // Consuming one slot makes the same deposit succeed.
+  ASSERT_TRUE(ra.pop_ready().has_value());
+  EXPECT_TRUE(ra.deposit(0, RtPacket{4, 1, 0, false}, /*max_spins=*/8));
+}
+
+TEST(RtEngine, InjectedDropsRecoverWithoutWedging) {
+  EngineConfig cfg;
+  cfg.workers = 3;
+  cfg.batch_size = 16;
+  cfg.cost_ns_per_packet = 0;
+  cfg.fault_drop_rate = 0.02;
+  cfg.fault_seed = 42;
+  constexpr std::uint64_t kTotal = 50000;
+  std::uint64_t last_seq = 0;
+  bool first = true;
+  std::uint64_t observed = 0;
+  const auto res = Engine(cfg).run(kTotal, [&](const RtPacket& pkt) {
+    if (!first) {
+      EXPECT_GT(pkt.seq, last_seq);
+    }
+    last_seq = pkt.seq;
+    first = false;
+    ++observed;
+  });
+  // ~2% of 50k packets vanish mid-pipeline; the merge must neither deliver
+  // survivors out of order nor hang waiting for the holes.
+  EXPECT_GT(res.packets_dropped, 0u);
+  EXPECT_EQ(res.packets + res.packets_dropped, kTotal);
+  EXPECT_EQ(observed, res.packets);
+  EXPECT_TRUE(res.in_order);
+}
+
+TEST(RtEngine, TinyRingWithBoundedRetryDegradesInsteadOfSpinning) {
+  EngineConfig cfg;
+  cfg.workers = 2;
+  cfg.batch_size = 8;
+  cfg.ring_capacity = 8;
+  cfg.cost_ns_per_packet = 2000;  // workers slower than the generator
+  cfg.max_push_spins = 4;        // almost no patience
+  const auto res = Engine(cfg).run(20000);
+  // Conservation and survivor ordering hold whether or not backpressure
+  // actually triggered on this host.
+  EXPECT_EQ(res.packets + res.packets_dropped, 20000u);
+  EXPECT_TRUE(res.in_order);
+}
 
 TEST(RtEngine, ZeroCostStillOrdered) {
   EngineConfig cfg;

@@ -62,10 +62,39 @@ TEST(StatsHelpers, SpanMeanStddev) {
   EXPECT_NEAR(mflow::util::stddev(xs), 1.1180339887, 1e-9);
 }
 
-TEST(StatsHelpers, PercentileNearestRank) {
+TEST(StatsHelpers, PercentileInterpolatesBetweenRanks) {
   std::vector<double> xs{10, 20, 30, 40, 50, 60, 70, 80, 90, 100};
-  EXPECT_DOUBLE_EQ(mflow::util::percentile(xs, 0.5), 50.0);
+  // Median of an even-sized sample sits between the middle elements; the
+  // old nearest-rank ceil() reported 50 here, skewing small-sample p50.
+  EXPECT_DOUBLE_EQ(mflow::util::percentile(xs, 0.5), 55.0);
   EXPECT_DOUBLE_EQ(mflow::util::percentile(xs, 1.0), 100.0);
   EXPECT_DOUBLE_EQ(mflow::util::percentile(xs, 0.0), 10.0);
   EXPECT_DOUBLE_EQ(mflow::util::percentile({}, 0.5), 0.0);
+}
+
+TEST(StatsHelpers, PercentileExactValues) {
+  std::vector<double> odd{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(mflow::util::percentile(odd, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(mflow::util::percentile(odd, 0.25), 2.0);
+  // q between ranks interpolates linearly: pos = 0.9 * 4 = 3.6.
+  EXPECT_DOUBLE_EQ(mflow::util::percentile(odd, 0.9), 4.6);
+  std::vector<double> pair{10, 20};
+  EXPECT_DOUBLE_EQ(mflow::util::percentile(pair, 0.5), 15.0);
+  EXPECT_DOUBLE_EQ(mflow::util::percentile(pair, 0.75), 17.5);
+}
+
+TEST(StatsHelpers, PercentileSingleElementAndClamping) {
+  std::vector<double> one{42.0};
+  EXPECT_DOUBLE_EQ(mflow::util::percentile(one, 0.0), 42.0);
+  EXPECT_DOUBLE_EQ(mflow::util::percentile(one, 0.5), 42.0);
+  EXPECT_DOUBLE_EQ(mflow::util::percentile(one, 1.0), 42.0);
+  // Out-of-range q clamps instead of indexing out of bounds.
+  std::vector<double> xs{1, 2, 3};
+  EXPECT_DOUBLE_EQ(mflow::util::percentile(xs, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(mflow::util::percentile(xs, 1.5), 3.0);
+}
+
+TEST(StatsHelpers, PercentileUnsortedInput) {
+  std::vector<double> xs{90, 10, 50, 30, 70};
+  EXPECT_DOUBLE_EQ(mflow::util::percentile(xs, 0.5), 50.0);
 }
