@@ -15,11 +15,23 @@
 #include <iostream>
 #include <string>
 
+#include "experiment/report.hpp"
 #include "experiment/scenario.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
 using namespace mflow;
+
+namespace {
+
+// Recovery stats come from the trace registry snapshot; the result-struct
+// fields remain only as the -DMFLOW_TRACE=OFF fallback.
+unsigned long long stat(const exp::ScenarioResult& r, std::string_view name,
+                        std::uint64_t fallback) {
+  return r.stats.empty() ? fallback : r.stats.counter(name);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
@@ -31,6 +43,7 @@ int main(int argc, char** argv) {
   // and its recovery latency visible in the sweep.
   const double delay = cli.get_double("delay", 0.001);
 
+  exp::ScenarioResult phase_case;
   for (std::uint32_t batch : {32u, 256u, 1024u}) {
     util::Table table({"loss %", "goodput", "offered", "recovered segs",
                        "evictions", "recovery mean (us)", "late deliveries",
@@ -52,20 +65,38 @@ int main(int argc, char** argv) {
       // owns stage transitions, so the generic handoff point never fires.
       cfg.faults.split_queue.corrupt = corrupt;
       cfg.faults.nic_ring.drop = loss / 2;
+      cfg.trace.enabled = true;
+      cfg.trace.sample_period = 8;
       const auto res = exp::run_scenario(cfg);
+      const double recovery_us =
+          (res.stats.empty() ? res.recovery_latency_ns.mean()
+                             : res.stats.gauge(
+                                   "fault.recovery_latency_mean_ns")) /
+          1000.0;
+      const double p99 = res.stats.empty()
+                             ? res.p99_latency_us()
+                             : res.stats.gauge("latency.p99_us");
       table.add({util::Table::Cell(loss * 100.0, 2),
                  util::fmt_gbps(res.goodput_gbps),
                  util::fmt_gbps(res.offered_gbps),
-                 static_cast<unsigned long long>(res.drops_recovered),
-                 static_cast<unsigned long long>(res.evictions),
-                 util::Table::Cell(res.recovery_latency_ns.mean() / 1000.0, 1),
-                 static_cast<unsigned long long>(res.late_deliveries),
-                 static_cast<unsigned long long>(res.ooo_arrivals),
-                 util::Table::Cell(res.p99_latency_us(), 1)});
+                 stat(res, "reasm.drops_recovered", res.drops_recovered),
+                 stat(res, "reasm.evictions", res.evictions),
+                 util::Table::Cell(recovery_us, 1),
+                 stat(res, "reasm.late_deliveries", res.late_deliveries),
+                 stat(res, "reasm.ooo_arrivals", res.ooo_arrivals),
+                 util::Table::Cell(p99, 1)});
+      if (batch == 256 && loss == 0.05) phase_case = res;
     }
     table.print(std::cout,
                 "Ablation: injected loss, batch size " + std::to_string(batch));
     std::cout << "\n";
   }
+  // Where the surviving packets spend their time under loss: the eviction
+  // backstop shows up as a fat reasm_hold tail.
+  exp::print_phase_breakdown(std::cout,
+                             "Per-packet phases at 5% loss, batch 256",
+                             phase_case);
+  exp::print_counters(std::cout, "Trace registry, 5% loss, batch 256",
+                      phase_case);
   return 0;
 }

@@ -1,0 +1,103 @@
+// Ablation: what does per-packet tracing cost?
+//
+// Runs the fig08-style TCP throughput scenario three ways and compares
+// *wall-clock* simulation time (virtual-time results are identical by
+// construction — the tracer never schedules events or charges CPU):
+//
+//   off        tracing compiled in, TraceConfig.enabled = false — the
+//              default everyone pays: one global load + branch per
+//              tracepoint
+//   on         tracing enabled, every packet sampled
+//   sampled    tracing enabled, every 64th packet per flow
+//
+// Build with -DMFLOW_TRACE=OFF and rerun to measure the compiled-out
+// baseline (the binary prints which variant it is). The guard test
+// (tests/test_trace.cpp) separately asserts the virtual-time results agree
+// within the 2% acceptance bound.
+#include <chrono>
+#include <iostream>
+
+#include "experiment/report.hpp"
+#include "experiment/scenario.hpp"
+#include "trace/trace.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace mflow;
+
+namespace {
+
+struct Run {
+  std::string label;
+  double wall_s = 0.0;
+  double goodput = 0.0;
+  std::uint64_t messages = 0;
+  std::uint64_t events_recorded = 0;
+};
+
+Run timed(const std::string& label, exp::ScenarioConfig cfg) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto res = exp::run_scenario(cfg);
+  const auto t1 = std::chrono::steady_clock::now();
+  Run r;
+  r.label = label;
+  r.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  r.goodput = res.goodput_gbps;
+  r.messages = res.messages;
+  r.events_recorded = res.tracer ? res.tracer->recorded() : 0;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const auto measure = sim::ms(cli.get_double("measure-ms", 30));
+  const int reps = static_cast<int>(cli.get_double("reps", 3));
+
+  std::cout << "tracing "
+            << (trace::compiled_in() ? "compiled in" : "COMPILED OUT")
+            << " (rebuild with -DMFLOW_TRACE=OFF for the other variant)\n\n";
+
+  exp::ScenarioConfig base;
+  base.mode = exp::Mode::kMflow;
+  base.measure = measure;
+
+  auto best_of = [&](const std::string& label, exp::ScenarioConfig cfg) {
+    Run best = timed(label, cfg);
+    for (int i = 1; i < reps; ++i) {
+      Run r = timed(label, cfg);
+      if (r.wall_s < best.wall_s) best = r;
+    }
+    return best;
+  };
+
+  exp::ScenarioConfig on = base;
+  on.trace.enabled = true;
+  exp::ScenarioConfig sampled = base;
+  sampled.trace.enabled = true;
+  sampled.trace.sample_period = 64;
+
+  const Run off = best_of("off", base);
+  const Run full = best_of("on", on);
+  const Run samp = best_of("sampled /64", sampled);
+
+  util::Table t({"variant", "wall s", "vs off", "goodput", "msgs",
+                 "events recorded"});
+  for (const Run& r : {off, full, samp}) {
+    t.add({r.label, util::Table::Cell(r.wall_s, 3),
+           util::Table::Cell(off.wall_s > 0 ? r.wall_s / off.wall_s : 0.0, 2),
+           util::fmt_gbps(r.goodput), r.messages, r.events_recorded});
+  }
+  t.print(std::cout, "Trace overhead ablation (best of " +
+                         std::to_string(reps) + ", fig08 TCP scenario)");
+
+  // Virtual-time invariance: the same messages must come out regardless.
+  std::cout << "\nvirtual-time invariance: "
+            << (off.messages == full.messages &&
+                        off.messages == samp.messages
+                    ? "OK (identical message counts)"
+                    : "VIOLATED")
+            << "\n";
+  return 0;
+}

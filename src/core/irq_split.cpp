@@ -1,5 +1,7 @@
 #include "core/irq_split.hpp"
 
+#include "trace/trace.hpp"
+
 namespace mflow::core {
 
 /// Second half: skb allocation on a splitting core, feeding the path.
@@ -11,12 +13,20 @@ class IrqSplitter::SecondHalf final : public sim::Pollable {
   bool poll(sim::Core& core, int budget) override {
     stack::Machine& m = owner_.machine_;
     const stack::CostModel& costs = m.costs();
+    trace::Tracer* tr = trace::active();
     int n = 0;
     while (n < budget) {
       net::PacketPtr pkt = ring_.pop();
       if (!pkt) break;
+      if (tr != nullptr)
+        tr->packet(trace::EventKind::kRingDequeue, core.vnow(), core.id(),
+                   pkt->flow_id, pkt->wire_seq, pkt->microflow_id);
       core.charge(sim::Tag::kSkbAlloc, costs.skb_alloc);
       pkt->skb_allocated = true;
+      if (tr != nullptr)
+        tr->packet(trace::EventKind::kSkbAlloc, core.vnow(), core.id(),
+                   pkt->flow_id, pkt->wire_seq, pkt->microflow_id, 0,
+                   costs.skb_alloc);
       // Tell the driver its request slot is reusable — batched to limit
       // cross-core contention on the driver ring (paper: every ~128).
       if (++since_release_ >= costs.release_batch) {
@@ -47,17 +57,28 @@ class IrqSplitter::FirstHalf final : public sim::Pollable {
     IrqSplitter& o = owner_;
     stack::Machine& m = o.machine_;
     const stack::CostModel& costs = m.costs();
+    trace::Tracer* tr = trace::active();
     int n = 0;
     while (n < budget) {
       net::PacketPtr pkt = o.driver_ring_.pop();
       if (!pkt) break;
       ++n;
+      if (tr != nullptr)
+        tr->packet(trace::EventKind::kRingDequeue, core.vnow(), core.id(),
+                   pkt->flow_id, pkt->wire_seq, pkt->microflow_id);
       core.charge(sim::Tag::kDriver, costs.driver_poll_per_pkt);
       const auto a = o.assigner_.assign(pkt->flow_id, 1);
       if (a.microflow_id == 0) {
         // Mouse flow: do the whole stage 1 here, as the stock driver would.
+        if (tr != nullptr)
+          tr->packet(trace::EventKind::kSplitDecision, core.vnow(), core.id(),
+                     pkt->flow_id, pkt->wire_seq, 0);
         core.charge(sim::Tag::kSkbAlloc, costs.skb_alloc);
         pkt->skb_allocated = true;
+        if (tr != nullptr)
+          tr->packet(trace::EventKind::kSkbAlloc, core.vnow(), core.id(),
+                     pkt->flow_id, pkt->wire_seq, 0, 0,
+                     costs.driver_poll_per_pkt + costs.skb_alloc);
         m.inject_into_path(0, o.irq_core_, std::move(pkt));
         continue;
       }
@@ -71,6 +92,15 @@ class IrqSplitter::FirstHalf final : public sim::Pollable {
       }
       if (ra != nullptr) ra->note_dispatch(pkt->flow_id, a.microflow_id, 1);
       core.charge(sim::Tag::kSteer, costs.mflow_split_per_pkt);
+      if (tr != nullptr) {
+        tr->registry().add("split.dispatched");
+        tr->packet(trace::EventKind::kSplitDecision, core.vnow(), core.id(),
+                   pkt->flow_id, pkt->wire_seq, a.microflow_id,
+                   a.microflow_id);
+        tr->packet(trace::EventKind::kSplitDeposit, core.vnow(), core.id(),
+                   pkt->flow_id, pkt->wire_seq, a.microflow_id,
+                   static_cast<std::uint64_t>(a.target_core));
+      }
 
       const std::size_t slot = o.core_slot(a.target_core);
       net::RxRing& ring = *o.request_rings_[slot];
@@ -79,9 +109,18 @@ class IrqSplitter::FirstHalf final : public sim::Pollable {
 
       if (net::FaultInjector* faults = m.fault_injector()) {
         const auto action = faults->decide(net::FaultPoint::kSplitQueue);
+        if (tr != nullptr && action != net::FaultAction::kNone) {
+          tr->registry().add("fault.split_queue_verdicts");
+          tr->packet(trace::EventKind::kFaultVerdict, core.vnow(), core.id(),
+                     flow, pkt->wire_seq, batch,
+                     static_cast<std::uint64_t>(action));
+        }
         if (action == net::FaultAction::kDrop) {
           // Request lost on the per-core ring: retract the dispatch.
           faults->note_dropped_segs(1);
+          if (tr != nullptr)
+            tr->packet(trace::EventKind::kDrop, core.vnow(), core.id(), flow,
+                       pkt->wire_seq, batch);
           if (ra != nullptr) ra->note_drop(flow, batch, 1);
           continue;
         }
@@ -114,13 +153,19 @@ class IrqSplitter::FirstHalf final : public sim::Pollable {
         }
       }
 
+      const std::uint64_t wseq = pkt->wire_seq;
       if (ring.push(std::move(pkt))) {
         ++o.dispatched_;
         m.core(a.target_core).raise(*o.second_halves_[slot], /*remote=*/true);
-      } else if (ra != nullptr) {
+      } else {
         // Request-ring overrun: retract the dispatch so merging never waits
         // for a packet that will not arrive.
-        ra->note_drop(flow, batch, 1);
+        if (tr != nullptr) {
+          tr->registry().add("split.request_ring_drops");
+          tr->packet(trace::EventKind::kDrop, core.vnow(), core.id(), flow,
+                     wseq, batch);
+        }
+        if (ra != nullptr) ra->note_drop(flow, batch, 1);
       }
     }
     return !o.driver_ring_.empty();

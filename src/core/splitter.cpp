@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "trace/trace.hpp"
+
 namespace mflow::core {
 
 BatchAssigner::Assignment BatchAssigner::assign(net::FlowId flow,
@@ -47,11 +49,15 @@ void FlowSplitter::on_forward(net::PacketPtr pkt, std::size_t next_index,
   const auto a = assigner_.assign(pkt->flow_id, pkt->gro_segs);
   sim::Core& fc = machine_.core(from_core);
   const stack::CostModel& costs = machine_.costs();
+  trace::Tracer* tr = trace::active();
 
   if (a.microflow_id == 0) {
     // Mouse flow: fall through to the default transition (stay local under
     // the machine's steering policy).
     ++passed_;
+    if (tr != nullptr)
+      tr->packet(trace::EventKind::kSplitDecision, fc.vnow(), from_core,
+                 pkt->flow_id, pkt->wire_seq, 0);
     fc.charge(sim::Tag::kSteer, costs.local_enqueue);
     machine_.deliver_to_stage(next_index, from_core, from_core,
                               std::move(pkt), /*charge_handoff=*/false);
@@ -72,13 +78,32 @@ void FlowSplitter::on_forward(net::PacketPtr pkt, std::size_t next_index,
   if (ra != nullptr)
     ra->note_dispatch(pkt->flow_id, a.microflow_id, pkt->gro_segs);
   fc.charge(sim::Tag::kSteer, costs.mflow_split_per_pkt);
+  if (tr != nullptr) {
+    tr->registry().add("split.dispatched");
+    tr->packet(trace::EventKind::kSplitDecision, fc.vnow(), from_core,
+               pkt->flow_id, pkt->wire_seq, a.microflow_id, a.microflow_id);
+    tr->packet(trace::EventKind::kSplitDeposit, fc.vnow(), from_core,
+               pkt->flow_id, pkt->wire_seq, a.microflow_id,
+               static_cast<std::uint64_t>(a.target_core));
+  }
 
   if (net::FaultInjector* faults = machine_.fault_injector()) {
-    switch (faults->decide(net::FaultPoint::kSplitQueue)) {
+    const net::FaultAction action =
+        faults->decide(net::FaultPoint::kSplitQueue);
+    if (tr != nullptr && action != net::FaultAction::kNone) {
+      tr->registry().add("fault.split_queue_verdicts");
+      tr->packet(trace::EventKind::kFaultVerdict, fc.vnow(), from_core,
+                 pkt->flow_id, pkt->wire_seq, a.microflow_id,
+                 static_cast<std::uint64_t>(action));
+    }
+    switch (action) {
       case net::FaultAction::kDrop:
         // Lost at the splitting-queue deposit; the dispatch above is
         // retracted synchronously so the merge never waits for it.
         faults->note_dropped_segs(pkt->gro_segs);
+        if (tr != nullptr)
+          tr->packet(trace::EventKind::kDrop, fc.vnow(), from_core,
+                     pkt->flow_id, pkt->wire_seq, a.microflow_id);
         if (ra != nullptr)
           ra->note_drop(pkt->flow_id, a.microflow_id, pkt->gro_segs);
         return;

@@ -50,6 +50,49 @@ void print_core_breakdown(std::ostream& os, const std::string& title,
   t.print(os, title);
 }
 
+void print_phase_breakdown(std::ostream& os, const std::string& title,
+                           const ScenarioResult& result) {
+  const trace::PhaseBreakdown& pb = result.phases;
+  if (pb.empty()) return;
+  const double e2e_mean = pb.end_to_end.mean();
+  util::Table t({"phase", "packets", "mean us", "p50 us", "p99 us", "share"});
+  for (const std::string& name : pb.phase_order) {
+    const auto it = pb.phases.find(name);
+    if (it == pb.phases.end()) continue;
+    const util::Histogram& h = it->second;
+    const double share = e2e_mean > 0.0 ? h.mean() / e2e_mean : 0.0;
+    t.add({name, static_cast<std::int64_t>(h.count()),
+           util::Table::Cell(h.mean() / 1000.0, 2),
+           util::Table::Cell(static_cast<double>(h.p50()) / 1000.0, 2),
+           util::Table::Cell(static_cast<double>(h.p99()) / 1000.0, 2),
+           util::fmt_pct(share)});
+  }
+  t.add({"= end-to-end", static_cast<std::int64_t>(pb.end_to_end.count()),
+         util::Table::Cell(e2e_mean / 1000.0, 2),
+         util::Table::Cell(static_cast<double>(pb.end_to_end.p50()) / 1000.0,
+                           2),
+         util::Table::Cell(static_cast<double>(pb.end_to_end.p99()) / 1000.0,
+                           2),
+         util::fmt_pct(1.0)});
+  t.print(os, title);
+  if (pb.incomplete > 0)
+    os << "  (" << pb.incomplete
+       << " journeys incomplete: dropped, GRO-absorbed, or truncated)\n";
+}
+
+void print_counters(std::ostream& os, const std::string& title,
+                    const ScenarioResult& result, bool include_zero) {
+  if (result.stats.empty()) return;
+  util::Table t({"stat", "value"});
+  for (const auto& [name, value] : result.stats.counters) {
+    if (value == 0 && !include_zero) continue;
+    t.add({name, static_cast<std::int64_t>(value)});
+  }
+  for (const auto& [name, value] : result.stats.gauges)
+    t.add({name, util::Table::Cell(value, 3)});
+  t.print(os, title);
+}
+
 std::string throughput_row(const ScenarioResult& r) {
   std::ostringstream os;
   os << r.mode << ": " << util::fmt_gbps(r.goodput_gbps)

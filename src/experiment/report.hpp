@@ -28,6 +28,17 @@ void print_core_breakdown(std::ostream& os, const std::string& title,
                           const ScenarioResult& result, int max_cores = 16,
                           double min_total = 0.005);
 
+/// Per-phase latency attribution table (requires cfg.trace.enabled; no-op
+/// when the result carries no trace). Shares of the mean end-to-end latency
+/// plus per-phase p50/p99 from the trace registry's histograms.
+void print_phase_breakdown(std::ostream& os, const std::string& title,
+                           const ScenarioResult& result);
+
+/// Counter/gauge registry snapshot (requires cfg.trace.enabled). Counters
+/// whose value is zero are skipped unless `include_zero`.
+void print_counters(std::ostream& os, const std::string& title,
+                    const ScenarioResult& result, bool include_zero = false);
+
 /// Convenience CSV-ish line for sweep outputs.
 std::string throughput_row(const ScenarioResult& r);
 

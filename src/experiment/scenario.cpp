@@ -83,6 +83,13 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
 
   sim::Simulator sim(cfg.seed);
 
+  // --- tracing ---------------------------------------------------------------
+  std::shared_ptr<trace::Tracer> tracer;
+  if (cfg.trace.enabled && trace::compiled_in()) {
+    tracer = std::make_shared<trace::Tracer>(cfg.trace);
+    trace::set_current(tracer.get());
+  }
+
   // --- receiver machine -----------------------------------------------------
   overlay::PathSpec spec;
   spec.overlay = overlay;
@@ -286,6 +293,7 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
   std::uint64_t events = sim.run_until(cfg.warmup);
   server.reset_measurement();
   if (engine) engine->reset_stats();
+  if (tracer) tracer->clear();  // drop warmup events and counters
   const std::uint64_t drops0 = server.nic().total_drops();
   std::uint64_t offered0 = 0;
   for (const auto& s : tcp_senders) offered0 += s->bytes_sent();
@@ -346,6 +354,36 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
           static_cast<double>(cfg.measure);
     u.total = core.utilization(cfg.measure);
     res.cores.push_back(u);
+  }
+
+  if (tracer) {
+    trace::set_current(nullptr);
+    // Canonical registry names: subsystem totals the live tracepoint
+    // counters cannot see (or that are authoritative here) land under the
+    // same snapshot the benches read, replacing per-struct field access.
+    trace::Registry& reg = tracer->registry();
+    reg.set_gauge("goodput_gbps", res.goodput_gbps);
+    reg.set_gauge("offered_gbps", res.offered_gbps);
+    reg.set_gauge("latency.mean_us", res.mean_latency_us());
+    reg.set_gauge("latency.p50_us", res.p50_latency_us());
+    reg.set_gauge("latency.p99_us", res.p99_latency_us());
+    reg.set_counter("messages", res.messages);
+    reg.set_counter("nic.drops", res.nic_drops);
+    reg.set_counter("fault.injected_drops", res.injected_drops);
+    reg.set_counter("fault.injected_drop_segs", res.injected_drop_segs);
+    reg.set_counter("fault.injected_corruptions", res.injected_corruptions);
+    reg.set_counter("fault.injected_duplicates", res.injected_duplicates);
+    reg.set_counter("fault.injected_delays", res.injected_delays);
+    reg.set_counter("reasm.ooo_arrivals", res.ooo_arrivals);
+    reg.set_counter("reasm.batches_merged", res.batches_merged);
+    reg.set_counter("reasm.drops_recovered", res.drops_recovered);
+    reg.set_counter("reasm.evictions", res.evictions);
+    reg.set_counter("reasm.late_deliveries", res.late_deliveries);
+    reg.set_gauge("fault.recovery_latency_mean_ns",
+                  res.recovery_latency_ns.mean());
+    res.phases = trace::attribute(*tracer);
+    res.stats = reg.snapshot();
+    res.tracer = std::move(tracer);
   }
   return res;
 }

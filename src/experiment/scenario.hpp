@@ -5,6 +5,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -13,6 +14,9 @@
 #include "net/fault.hpp"
 #include "sim/interference.hpp"
 #include "stack/costs.hpp"
+#include "trace/attribution.hpp"
+#include "trace/registry.hpp"
+#include "trace/trace.hpp"
 #include "util/histogram.hpp"
 #include "util/stats.hpp"
 
@@ -77,6 +81,11 @@ struct ScenarioConfig {
   /// Fault injection (drops/corruption/duplication/delay at the NIC ring,
   /// steering handoff, and splitting-queue deposit). Default: no faults.
   net::FaultPlan faults{};
+
+  /// Per-packet tracing (src/trace). Disabled by default; events recorded
+  /// during warmup are discarded at the measurement boundary. No effect
+  /// when tracing is compiled out (-DMFLOW_TRACE=OFF).
+  trace::TraceConfig trace{};
 };
 
 struct CoreUsage {
@@ -116,6 +125,15 @@ struct ScenarioResult {
   /// need the strict property drain a finite workload to quiescence and ask
   /// the engine directly.
   bool flows_blocked = false;
+
+  // Tracing output (populated only when cfg.trace.enabled and tracing is
+  // compiled in). `tracer` keeps the raw event buffers alive for exporters;
+  // `phases` is the per-phase latency attribution over the measurement
+  // window; `stats` is the counter/gauge registry snapshot — the uniform
+  // stat surface benches read instead of the per-subsystem fields above.
+  std::shared_ptr<trace::Tracer> tracer;
+  trace::PhaseBreakdown phases;
+  trace::Registry::Snapshot stats;
 
   double mean_latency_us() const { return latency.mean() / 1000.0; }
   double p50_latency_us() const {

@@ -1,5 +1,7 @@
 #include "net/nic.hpp"
 
+#include "trace/trace.hpp"
+
 namespace mflow::net {
 
 Nic::Nic(NicParams params) : params_(params) {
@@ -19,9 +21,25 @@ void Nic::deliver(PacketPtr pkt, sim::Time now) {
   pkt->t_wire = now;
   pkt->wire_seq = flow_seq_[pkt->flow_id]++;
   const int q = rss_queue(pkt->flow);
+  trace::Tracer* tr = trace::active();
+  if (tr != nullptr) {
+    tr->registry().add("nic.wire_packets");
+    tr->packet(trace::EventKind::kWireArrival, now, /*core=*/-1,
+               pkt->flow_id, pkt->wire_seq, pkt->microflow_id,
+               static_cast<std::uint64_t>(q));
+  }
+  const std::uint64_t flow = pkt->flow_id;
+  const std::uint64_t seq = pkt->wire_seq;
   if (rings_[static_cast<std::size_t>(q)].push(std::move(pkt))) {
     ++delivered_;
+    if (tr != nullptr)
+      tr->packet(trace::EventKind::kRingEnqueue, now, /*core=*/-1, flow, seq,
+                 0, static_cast<std::uint64_t>(q));
     if (irq_) irq_(q);
+  } else if (tr != nullptr) {
+    tr->registry().add("nic.ring_drops");
+    tr->packet(trace::EventKind::kRingDrop, now, /*core=*/-1, flow, seq, 0,
+               static_cast<std::uint64_t>(q));
   }
 }
 

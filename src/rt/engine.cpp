@@ -4,9 +4,56 @@
 #include <chrono>
 
 #include "rt/calibrate.hpp"
+#include "trace/trace.hpp"
 #include "util/rng.hpp"
 
 namespace mflow::rt {
+
+namespace {
+
+/// Thread-local trace buffer for the rt engine. Each thread appends to its
+/// own vector while running and hands the whole batch to the tracer with
+/// absorb() before the engine joins it — no shared mutable state while the
+/// workers are live, which keeps the tsan preset quiet.
+class ThreadTrace {
+ public:
+  ThreadTrace(trace::Tracer* tr,
+              std::chrono::steady_clock::time_point t0, int core)
+      : tr_(tr), t0_(t0), core_(static_cast<std::int16_t>(core)) {}
+
+  ~ThreadTrace() { flush(); }
+
+  void event(trace::EventKind kind, std::uint64_t seq,
+             std::uint64_t microflow, std::uint64_t aux = 0,
+             sim::Time dur = 0) {
+    if (tr_ == nullptr || !tr_->sampled(seq)) return;
+    trace::TraceEvent ev;
+    ev.ts = static_cast<sim::Time>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0_)
+            .count());
+    ev.dur = dur;
+    ev.seq = seq;
+    ev.microflow = microflow;
+    ev.aux = aux;
+    ev.kind = kind;
+    ev.core = core_;
+    buf_.push_back(ev);
+  }
+
+  void flush() {
+    if (tr_ != nullptr && !buf_.empty()) tr_->absorb(std::move(buf_));
+    buf_.clear();
+  }
+
+ private:
+  trace::Tracer* tr_;
+  std::chrono::steady_clock::time_point t0_;
+  std::int16_t core_;
+  std::vector<trace::TraceEvent> buf_;
+};
+
+}  // namespace
 
 EngineResult Engine::run(
     std::uint64_t total,
@@ -26,6 +73,9 @@ EngineResult Engine::run(
   std::atomic<std::uint64_t> dropped{0};
 
   const auto t0 = std::chrono::steady_clock::now();
+  // Captured once before any thread spawns; the spawn happens-before makes
+  // the pointer safely visible to every worker without atomics.
+  trace::Tracer* tr = trace::active();
 
   // Worker threads: pop from their splitting ring, "process" (calibrated
   // spin), deposit into their buffer ring.
@@ -35,14 +85,22 @@ EngineResult Engine::run(
     workers.emplace_back([&, w] {
       auto& in = *split_rings[w];
       util::Rng faults(config_.fault_seed + 0x9e37 * (w + 1));
+      ThreadTrace wt(tr, t0, static_cast<int>(w));
       while (true) {
         if (auto pkt = in.try_pop()) {
           const bool last = pkt->last;
+          wt.event(trace::EventKind::kRingDequeue, pkt->seq, pkt->batch);
           if (pkt->cost_ns > 0) spin_ns(pkt->cost_ns);
+          wt.event(trace::EventKind::kStageExit, pkt->seq, pkt->batch,
+                   /*aux=*/0xFF, static_cast<sim::Time>(pkt->cost_ns));
           const bool lost = config_.fault_drop_rate > 0.0 &&
                             faults.chance(config_.fault_drop_rate);
-          if (lost || !merger.deposit(w, *pkt, config_.max_push_spins))
+          if (lost || !merger.deposit(w, *pkt, config_.max_push_spins)) {
             dropped.fetch_add(1, std::memory_order_release);
+            wt.event(trace::EventKind::kDrop, pkt->seq, pkt->batch);
+          } else {
+            wt.event(trace::EventKind::kReasmHold, pkt->seq, pkt->batch);
+          }
           if (last) break;
         } else if (produce_done.load(std::memory_order_acquire) &&
                    in.empty()) {
@@ -51,6 +109,7 @@ EngineResult Engine::run(
           std::this_thread::yield();
         }
       }
+      wt.flush();
       workers_done.fetch_add(1, std::memory_order_release);
     });
   }
@@ -62,11 +121,13 @@ EngineResult Engine::run(
   std::uint64_t next_seq_floor = 0;
   bool in_order = true;
   std::jthread consumer([&] {
+    ThreadTrace ct(tr, t0, static_cast<int>(W));  // track one past workers
     while (consumed + dropped.load(std::memory_order_acquire) < total) {
       if (auto pkt = merger.pop_ready()) {
         if (pkt->seq < next_seq_floor) in_order = false;
         next_seq_floor = pkt->seq + 1;
         ++consumed;
+        ct.event(trace::EventKind::kReasmRelease, pkt->seq, pkt->batch);
         if (on_output) on_output(*pkt);
       } else if (workers_done.load(std::memory_order_acquire) == W) {
         // All producers drained: a dry micro-flow boundary — whether never
@@ -83,6 +144,7 @@ EngineResult Engine::run(
   std::uint64_t batch = 0;
   std::uint32_t in_batch = config_.batch_size;
   std::size_t target = W - 1;
+  ThreadTrace gt(tr, t0, static_cast<int>(W) + 1);  // generator track
   for (std::uint64_t i = 0; i < total; ++i) {
     if (in_batch >= config_.batch_size) {
       ++batch;
@@ -91,6 +153,8 @@ EngineResult Engine::run(
     }
     ++in_batch;
     RtPacket pkt{i, batch, config_.cost_ns_per_packet, i + 1 == total};
+    gt.event(trace::EventKind::kSplitDeposit, i, batch,
+             static_cast<std::uint64_t>(target));
     auto& ring = *split_rings[target];
     std::uint32_t spins = 0;
     while (!ring.try_push(pkt)) {
@@ -99,12 +163,14 @@ EngineResult Engine::run(
         // Splitting ring stayed full past the retry budget: shed the
         // packet here rather than wedging the generator.
         dropped.fetch_add(1, std::memory_order_release);
+        gt.event(trace::EventKind::kDrop, i, batch);
         break;
       }
       std::this_thread::yield();
     }
   }
   produce_done.store(true, std::memory_order_release);
+  gt.flush();
 
   consumer.join();
   workers.clear();  // join all

@@ -101,6 +101,15 @@ class Core {
   /// Earliest virtual time at which this core can start new work.
   Time free_at() const { return free_at_; }
 
+  /// Virtual time at which the CPU work charged so far completes. Inside a
+  /// poll this is the slice start plus everything charged in the slice, so
+  /// consecutive per-packet tracepoints see service time advance even
+  /// though event-queue time only moves between slices.
+  Time vnow() const {
+    if (in_poll_) return sim_.now() + slice_ns_;
+    return free_at_ > sim_.now() ? free_at_ : sim_.now();
+  }
+
   // --- accounting ----------------------------------------------------------
   Time busy_ns(Tag tag) const {
     return busy_[static_cast<std::size_t>(tag)];

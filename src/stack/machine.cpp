@@ -1,6 +1,7 @@
 #include "stack/machine.hpp"
 
 #include "stack/driver.hpp"
+#include "trace/trace.hpp"
 
 namespace mflow::stack {
 
@@ -75,7 +76,12 @@ void Machine::start() {
     sim::Core& c = core(d.core_id);
     // NAPI: the device interrupt is masked while its pollable is scheduled;
     // only a fresh wakeup pays top-half cost.
-    if (!d.pollable->scheduled()) c.inject(sim::Tag::kIrq, params_.costs.irq);
+    if (!d.pollable->scheduled()) {
+      c.inject(sim::Tag::kIrq, params_.costs.irq);
+      if (trace::Tracer* tr = trace::active())
+        tr->mark(trace::EventKind::kIrqRaise, sim_.now(), d.core_id,
+                 static_cast<std::uint64_t>(q));
+    }
     c.raise(*d.pollable, /*remote=*/false);
   });
 }
@@ -124,10 +130,25 @@ void Machine::inject_into_path(std::size_t index, int from_core,
   fc.charge(sim::Tag::kSteer,
             steer_cost + (handoff ? params_.costs.remote_enqueue
                                   : params_.costs.local_enqueue));
+  trace::Tracer* tr = trace::active();
+  if (handoff && tr != nullptr)
+    tr->packet(trace::EventKind::kHandoff, fc.vnow(), from_core, pkt->flow_id,
+               pkt->wire_seq, pkt->microflow_id,
+               static_cast<std::uint64_t>(target));
   if (handoff && faults_ != nullptr) {
-    switch (faults_->decide(net::FaultPoint::kHandoff)) {
+    const net::FaultAction action = faults_->decide(net::FaultPoint::kHandoff);
+    if (tr != nullptr && action != net::FaultAction::kNone) {
+      tr->registry().add("fault.handoff_verdicts");
+      tr->packet(trace::EventKind::kFaultVerdict, fc.vnow(), from_core,
+                 pkt->flow_id, pkt->wire_seq, pkt->microflow_id,
+                 static_cast<std::uint64_t>(action));
+    }
+    switch (action) {
       case net::FaultAction::kDrop:
         faults_->note_dropped_segs(pkt->gro_segs);
+        if (tr != nullptr)
+          tr->packet(trace::EventKind::kDrop, fc.vnow(), from_core,
+                     pkt->flow_id, pkt->wire_seq, pkt->microflow_id);
         note_lost_in_flight(*pkt);
         return;  // the skb vanishes between the cores
       case net::FaultAction::kCorrupt:
@@ -171,6 +192,10 @@ void Machine::deliver_to_stage(std::size_t index, int target_core,
     fc.charge(sim::Tag::kSteer, target_core != from_core
                                     ? params_.costs.remote_enqueue
                                     : params_.costs.local_enqueue);
+  if (trace::Tracer* tr = trace::active())
+    tr->packet(trace::EventKind::kEnqueue, fc.vnow(), target_core,
+               pkt->flow_id, pkt->wire_seq, pkt->microflow_id,
+               static_cast<std::uint64_t>(path_[index]->id()));
   StageQueue& q = queue(index, target_core);
   q.enqueue(std::move(pkt));
   const bool remote = target_core != from_core;

@@ -1,6 +1,7 @@
 #include "stack/socket.hpp"
 
 #include "stack/machine.hpp"
+#include "trace/trace.hpp"
 
 namespace mflow::stack {
 
@@ -16,9 +17,11 @@ class Socket::Reader : public sim::Pollable {
     const CostModel& costs = s.machine_.costs();
     core.charge(sim::Tag::kCopy, costs.recv_wakeup);
     int n = 0;
+    trace::Tracer* tr = trace::active();
     while (n < budget) {
       net::PacketPtr pkt;
-      if (s.merge_ != nullptr) {
+      const bool merged = s.merge_ != nullptr;
+      if (merged) {
         pkt = s.merge_->pop_ready();
         const sim::Time merge_ns = s.merge_->take_pending_charge();
         if (merge_ns > 0) core.charge(sim::Tag::kMerge, merge_ns);
@@ -29,6 +32,11 @@ class Socket::Reader : public sim::Pollable {
         pkt = std::move(s.rx_queue_.front());
         s.rx_queue_.pop_front();
       }
+      if (tr != nullptr)
+        tr->packet(merged ? trace::EventKind::kReasmRelease
+                          : trace::EventKind::kReaderPop,
+                   core.vnow(), core.id(), pkt->flow_id, pkt->wire_seq,
+                   pkt->microflow_id);
 
       if (s.config_.tcp_in_reader &&
           pkt->flow.protocol == net::Ipv4Header::kProtoTcp) {
@@ -77,6 +85,11 @@ int Socket::next_reader_core() {
 }
 
 void Socket::ingest(net::PacketPtr pkt, int from_core) {
+  if (trace::Tracer* tr = trace::active())
+    tr->packet(merge_ != nullptr ? trace::EventKind::kReasmHold
+                                 : trace::EventKind::kSocketEnqueue,
+               machine_.core(from_core).vnow(), from_core, pkt->flow_id,
+               pkt->wire_seq, pkt->microflow_id);
   if (merge_ != nullptr) {
     merge_->deposit(std::move(pkt), from_core);
   } else {
@@ -100,9 +113,18 @@ void Socket::deliver_to_app(net::PacketPtr pkt, sim::Core& core) {
   const CostModel& costs = machine_.costs();
   stats_.skbs += 1;
   stats_.segments += pkt->gro_segs;
-  core.charge(sim::Tag::kCopy,
-              static_cast<sim::Time>(costs.copy_per_byte *
-                                     static_cast<double>(pkt->payload_len)));
+  trace::Tracer* tr = trace::active();
+  if (tr != nullptr)
+    tr->packet(trace::EventKind::kCopyStart, core.vnow(), core.id(),
+               pkt->flow_id, pkt->wire_seq, pkt->microflow_id);
+  const auto copy_ns = static_cast<sim::Time>(
+      costs.copy_per_byte * static_cast<double>(pkt->payload_len));
+  core.charge(sim::Tag::kCopy, copy_ns);
+  if (tr != nullptr) {
+    tr->registry().add("socket.delivered_skbs");
+    tr->packet(trace::EventKind::kCopyDone, core.vnow(), core.id(),
+               pkt->flow_id, pkt->wire_seq, pkt->microflow_id, 0, copy_ns);
+  }
   stats_.payload_bytes += pkt->payload_len;
   account_message_bytes(*pkt, machine_.simulator().now());
   // skb freed here: payload handed to the application.

@@ -1,6 +1,7 @@
 #include "stack/stage.hpp"
 
 #include "stack/machine.hpp"
+#include "trace/trace.hpp"
 
 namespace mflow::stack {
 
@@ -30,7 +31,21 @@ bool StageQueue::poll(sim::Core& core, int budget) {
   while (n < budget && !fifo_.empty()) {
     net::PacketPtr pkt = std::move(fifo_.front());
     fifo_.pop_front();
-    core.charge(stage_.tag(), stage_.cost(*pkt));
+    const sim::Time cost = stage_.cost(*pkt);
+    if (trace::Tracer* tr = trace::active()) {
+      const auto stage_id = static_cast<std::uint64_t>(stage_.id());
+      tr->packet(trace::EventKind::kStageEnter, core.vnow(), core.id(),
+                 pkt->flow_id, pkt->wire_seq, pkt->microflow_id, stage_id);
+      core.charge(stage_.tag(), cost);
+      // Exit is stamped before process() runs so downstream enqueue events
+      // sort after the service span; intra-process charges (steer, GRO
+      // flush) land in the queueing gap into the next stage.
+      tr->packet(trace::EventKind::kStageExit, core.vnow(), core.id(),
+                 pkt->flow_id, pkt->wire_seq, pkt->microflow_id, stage_id,
+                 cost);
+    } else {
+      core.charge(stage_.tag(), cost);
+    }
     stage_.process(std::move(pkt), ctx);
     ++n;
   }

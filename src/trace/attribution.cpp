@@ -1,0 +1,142 @@
+#include "trace/attribution.hpp"
+
+#include <algorithm>
+
+namespace mflow::trace {
+
+namespace {
+
+// Phase closed by `ev` when `prev` preceded it (see header table).
+std::string classify(const TraceEvent& prev, const TraceEvent& ev) {
+  switch (ev.kind) {
+    case EventKind::kRingDequeue:
+      return prev.kind == EventKind::kSplitDeposit ? "split_queue"
+                                                   : "ring_wait";
+    case EventKind::kSkbAlloc:
+      return "svc:driver";
+    case EventKind::kStageEnter:
+      return prev.kind == EventKind::kSplitDeposit ? "split_queue" : "queue";
+    case EventKind::kStageExit:
+      return std::string("svc:") + std::string(stage_short_name(ev.aux));
+    case EventKind::kReasmRelease:
+      return "reasm_hold";
+    case EventKind::kReaderPop:
+      return "socket_wait";
+    case EventKind::kCopyStart:
+      return "reader_proc";
+    case EventKind::kCopyDone:
+      return "copy";
+    // Producer-side markers fire at the producer's charge point; any
+    // residual gap into them is queueing delay.
+    case EventKind::kWireArrival:
+    case EventKind::kRingEnqueue:
+    case EventKind::kEnqueue:
+    case EventKind::kHandoff:
+    case EventKind::kSplitDecision:
+    case EventKind::kSplitDeposit:
+    case EventKind::kSocketEnqueue:
+    case EventKind::kReasmHold:
+    case EventKind::kFaultVerdict:
+      return "queue";
+    default:
+      return "other";
+  }
+}
+
+void add_phase(PacketJourney& j, const std::string& name, sim::Time ns) {
+  for (auto& [n, v] : j.phases) {
+    if (n == name) {
+      v += ns;
+      return;
+    }
+  }
+  j.phases.emplace_back(name, ns);
+}
+
+}  // namespace
+
+std::string_view stage_short_name(std::uint64_t aux) {
+  // Must track stack::StageId order (asserted by test_trace.cpp).
+  switch (aux) {
+    case 0: return "driver";
+    case 1: return "gro";
+    case 2: return "ip_outer";
+    case 3: return "vxlan";
+    case 4: return "bridge";
+    case 5: return "veth";
+    case 6: return "ip";
+    case 7: return "tcp";
+    case 8: return "udp";
+    case 9: return "socket";
+    case 0xFF: return "rt";
+    default: return "?";
+  }
+}
+
+sim::Time PacketJourney::phase_ns(std::string_view name) const {
+  for (const auto& [n, v] : phases)
+    if (n == name) return v;
+  return 0;
+}
+
+std::vector<PacketJourney> build_journeys(const Tracer& tracer) {
+  const std::vector<TraceEvent> events = tracer.sorted_events();
+
+  // Group per packet, preserving the global order within each group.
+  std::map<PacketKey, std::vector<const TraceEvent*>> by_packet;
+  for (const TraceEvent& ev : events) {
+    // Core/flow-scoped marks carry no packet identity.
+    if (ev.kind == EventKind::kIrqRaise || ev.kind == EventKind::kReasmEvict)
+      continue;
+    by_packet[PacketKey{ev.flow, ev.seq}].push_back(&ev);
+  }
+
+  std::vector<PacketJourney> out;
+  out.reserve(by_packet.size());
+  for (auto& [key, evs] : by_packet) {
+    PacketJourney j;
+    j.key = key;
+    j.start = evs.front()->ts;
+    j.end = evs.back()->ts;
+    j.e2e = j.end - j.start;
+    for (const TraceEvent* ev : evs)
+      if (ev->microflow != 0) j.microflow = ev->microflow;
+    for (std::size_t i = 1; i < evs.size(); ++i) {
+      const sim::Time gap = evs[i]->ts - evs[i - 1]->ts;
+      if (gap <= 0) continue;
+      add_phase(j, classify(*evs[i - 1], *evs[i]), gap);
+    }
+    j.complete = evs.front()->kind == EventKind::kWireArrival &&
+                 evs.back()->kind == EventKind::kCopyDone;
+    out.push_back(std::move(j));
+  }
+  return out;
+}
+
+PhaseBreakdown attribute(const std::vector<PacketJourney>& journeys) {
+  PhaseBreakdown b;
+  for (const PacketJourney& j : journeys) {
+    if (!j.complete) {
+      ++b.incomplete;
+      continue;
+    }
+    ++b.complete;
+    b.end_to_end.record(static_cast<std::uint64_t>(std::max<sim::Time>(
+        0, j.e2e)));
+    for (const auto& [name, ns] : j.phases) {
+      auto it = b.phases.find(name);
+      if (it == b.phases.end()) {
+        it = b.phases.emplace(name, util::Histogram{6}).first;
+        b.phase_order.push_back(name);
+      }
+      it->second.record(static_cast<std::uint64_t>(std::max<sim::Time>(0, ns)));
+    }
+  }
+  return b;
+}
+
+PhaseBreakdown attribute(const Tracer& tracer) {
+  return attribute(build_journeys(tracer));
+}
+
+}  // namespace mflow::trace

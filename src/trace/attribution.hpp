@@ -1,0 +1,80 @@
+// Per-packet latency attribution.
+//
+// A traced packet's events, ordered by timestamp, partition its life into
+// consecutive gaps; each gap is assigned a named phase by the kind of the
+// event that closes it (and, where it matters, the kind that opened it):
+//
+//   ring_wait    NIC ring enqueue -> driver dequeue
+//   svc:driver   descriptor poll + skb allocation service
+//   svc:<stage>  per-stage service time (gro, vxlan, bridge, ...)
+//   queue        softirq queueing between stages (includes steer/dispatch)
+//   split_queue  splitting-queue residency (split deposit -> splitting core)
+//   reasm_hold   buffered at the MFLOW merge point (incl. merge bookkeeping)
+//   socket_wait  socket receive queue -> reader wakeup
+//   reader_proc  reader-context work before the copy (deferred TCP, framing)
+//   copy         kernel->user copy
+//   other        anything unclassified (should stay ~0)
+//
+// Phases sum to the packet's end-to-end latency (last ts - first ts)
+// *exactly*, by construction — the invariant tests/test_trace.cpp asserts.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+#include "util/histogram.hpp"
+
+namespace mflow::trace {
+
+struct PacketKey {
+  std::uint64_t flow = 0;
+  std::uint64_t seq = 0;
+  bool operator<(const PacketKey& o) const {
+    return flow != o.flow ? flow < o.flow : seq < o.seq;
+  }
+};
+
+struct PacketJourney {
+  PacketKey key;
+  std::uint64_t microflow = 0;
+  /// Phase name -> total ns attributed (insertion-ordered by first use).
+  std::vector<std::pair<std::string, sim::Time>> phases;
+  sim::Time start = 0;  // first event (wire arrival when complete)
+  sim::Time end = 0;    // last event (copy done when complete)
+  sim::Time e2e = 0;    // end - start == sum of phases
+  /// Journey runs wire arrival -> copy completion (not GRO-absorbed,
+  /// dropped, or truncated by ring-buffer overwrite).
+  bool complete = false;
+
+  sim::Time phase_ns(std::string_view name) const;
+};
+
+struct PhaseBreakdown {
+  /// Stable display order: first-seen across journeys.
+  std::vector<std::string> phase_order;
+  /// Per-phase per-packet latency distributions (complete journeys only).
+  std::map<std::string, util::Histogram> phases;
+  util::Histogram end_to_end{6};
+  std::uint64_t complete = 0;
+  std::uint64_t incomplete = 0;
+
+  bool empty() const { return complete == 0 && incomplete == 0; }
+};
+
+/// Map a kStageEnter/kStageExit aux value to the stage's short name.
+/// Mirrors stack::stage_name (enforced by test_trace.cpp; trace sits below
+/// the stack layer so it cannot call it); 0xFF names the rt engine's
+/// synthetic processing stage.
+std::string_view stage_short_name(std::uint64_t aux);
+
+/// Reconstruct every traced packet's journey from the tracer's buffers.
+std::vector<PacketJourney> build_journeys(const Tracer& tracer);
+
+/// Fold journeys into per-phase latency histograms.
+PhaseBreakdown attribute(const Tracer& tracer);
+PhaseBreakdown attribute(const std::vector<PacketJourney>& journeys);
+
+}  // namespace mflow::trace

@@ -1,0 +1,122 @@
+#include "trace/export.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "trace/attribution.hpp"
+
+namespace mflow::trace {
+
+namespace {
+
+// Chrome timestamps are microseconds; keep ns resolution as decimals.
+std::string us(sim::Time ns) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(3)
+     << static_cast<double>(ns) / 1000.0;
+  return os.str();
+}
+
+int tid_of(const TraceEvent& ev) {
+  return ev.core >= 0 ? static_cast<int>(ev.core) : 1000;
+}
+
+std::string span_name(const TraceEvent& ev) {
+  switch (ev.kind) {
+    case EventKind::kStageExit:
+      return std::string("svc:") + std::string(stage_short_name(ev.aux));
+    case EventKind::kSkbAlloc: return "svc:driver";
+    case EventKind::kCopyDone: return "copy";
+    default: return std::string(event_kind_name(ev.kind));
+  }
+}
+
+std::string packet_id(const TraceEvent& ev) {
+  std::ostringstream os;
+  os << "0x" << std::hex << ((ev.flow << 24) ^ ev.seq);
+  return os.str();
+}
+
+void common_args(std::ostream& os, const TraceEvent& ev) {
+  os << "\"args\":{\"flow\":" << ev.flow << ",\"seq\":" << ev.seq
+     << ",\"microflow\":" << ev.microflow << ",\"aux\":" << ev.aux << "}";
+}
+
+}  // namespace
+
+void export_chrome_json(const Tracer& tracer, std::ostream& os) {
+  const auto events = tracer.sorted_events();
+  os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",";
+    first = false;
+    os << "\n";
+  };
+
+  // Track metadata: one named thread per virtual core (+ the global track).
+  sep();
+  os << "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\","
+        "\"args\":{\"name\":\"mflow\"}}";
+  std::map<int, bool> tids;
+  for (const TraceEvent& ev : events) tids[tid_of(ev)] = ev.core < 0;
+  for (const auto& [tid, global] : tids) {
+    sep();
+    os << "{\"ph\":\"M\",\"pid\":0,\"tid\":" << tid
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+       << (global ? std::string("nic/global")
+                  : "core " + std::to_string(tid))
+       << "\"}}";
+  }
+
+  for (const TraceEvent& ev : events) {
+    const bool span = ev.dur > 0 && (ev.kind == EventKind::kStageExit ||
+                                     ev.kind == EventKind::kSkbAlloc ||
+                                     ev.kind == EventKind::kCopyDone);
+    if (span) {
+      sep();
+      os << "{\"ph\":\"X\",\"pid\":0,\"tid\":" << tid_of(ev) << ",\"ts\":"
+         << us(ev.ts - ev.dur) << ",\"dur\":" << us(ev.dur)
+         << ",\"cat\":\"stage\",\"name\":\"" << span_name(ev) << "\",";
+      common_args(os, ev);
+      os << "}";
+    } else if (ev.kind != EventKind::kStageEnter) {
+      // Enter instants are implied by the matching service span.
+      sep();
+      os << "{\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":" << tid_of(ev)
+         << ",\"ts\":" << us(ev.ts) << ",\"cat\":\"event\",\"name\":\""
+         << event_kind_name(ev.kind) << "\",";
+      common_args(os, ev);
+      os << "}";
+    }
+
+    // Flow arrows stitching a packet's journey across core tracks.
+    const char* ph = nullptr;
+    if (ev.kind == EventKind::kWireArrival) ph = "s";
+    else if (ev.kind == EventKind::kRingDequeue ||
+             ev.kind == EventKind::kReasmRelease) ph = "t";
+    else if (ev.kind == EventKind::kCopyDone) ph = "f";
+    if (ph != nullptr) {
+      sep();
+      os << "{\"ph\":\"" << ph << "\",\"pid\":0,\"tid\":" << tid_of(ev)
+         << ",\"ts\":" << us(ev.ts) << ",\"cat\":\"pkt\",\"name\":\"pkt\","
+         << "\"id\":\"" << packet_id(ev) << "\"";
+      if (ph[0] == 'f') os << ",\"bp\":\"e\"";
+      os << "}";
+    }
+  }
+  os << "\n]}\n";
+}
+
+void export_csv(const Tracer& tracer, std::ostream& os) {
+  os << "ts_ns,core,kind,flow,seq,microflow,aux,dur_ns\n";
+  for (const TraceEvent& ev : tracer.sorted_events()) {
+    os << ev.ts << "," << ev.core << "," << event_kind_name(ev.kind) << ","
+       << ev.flow << "," << ev.seq << "," << ev.microflow << "," << ev.aux
+       << "," << ev.dur << "\n";
+  }
+}
+
+}  // namespace mflow::trace

@@ -1,0 +1,21 @@
+// Trace exporters.
+//
+//  - export_chrome_json: Chrome trace-event JSON, loadable in Perfetto /
+//    chrome://tracing. Virtual cores become named threads ("core N"; -1 is
+//    the "nic/global" track), stage service and copy spans become complete
+//    ("X") events, markers become instants, and each sampled packet's
+//    journey is stitched across cores with flow arrows (s/t/f events keyed
+//    by a flow+seq id).
+//  - export_csv: one row per event, for the bench scripts.
+#pragma once
+
+#include <iosfwd>
+
+#include "trace/trace.hpp"
+
+namespace mflow::trace {
+
+void export_chrome_json(const Tracer& tracer, std::ostream& os);
+void export_csv(const Tracer& tracer, std::ostream& os);
+
+}  // namespace mflow::trace

@@ -1,0 +1,50 @@
+#include "trace/registry.hpp"
+
+namespace mflow::trace {
+
+void Registry::add(std::string_view name, std::uint64_t delta) {
+  std::lock_guard lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    counters_.emplace(std::string(name), delta);
+  else
+    it->second += delta;
+}
+
+void Registry::set_counter(std::string_view name, std::uint64_t value) {
+  std::lock_guard lock(mu_);
+  counters_[std::string(name)] = value;
+}
+
+void Registry::set_gauge(std::string_view name, double value) {
+  std::lock_guard lock(mu_);
+  gauges_[std::string(name)] = value;
+}
+
+std::uint64_t Registry::counter(std::string_view name) const {
+  std::lock_guard lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double Registry::gauge(std::string_view name) const {
+  std::lock_guard lock(mu_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+Registry::Snapshot Registry::snapshot() const {
+  std::lock_guard lock(mu_);
+  Snapshot s;
+  s.counters.insert(counters_.begin(), counters_.end());
+  s.gauges.insert(gauges_.begin(), gauges_.end());
+  return s;
+}
+
+void Registry::clear() {
+  std::lock_guard lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+}
+
+}  // namespace mflow::trace

@@ -1,0 +1,57 @@
+// Named counter/gauge registry: the uniform stat surface replacing the
+// ad-hoc per-subsystem stat structs at the reporting layer. Components
+// increment counters live at tracepoints; run_scenario additionally
+// snapshots subsystem totals into canonical names ("nic.drops",
+// "reasm.evictions", "latency.p50_us", ...) that experiment/report and the
+// bench binaries read back uniformly.
+//
+// Thread-safe: rt worker threads may add() concurrently (mutex; the DES
+// path is single-threaded so contention is nil).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace mflow::trace {
+
+class Registry {
+ public:
+  /// Monotonic counter increment (creates the counter at 0 first).
+  void add(std::string_view name, std::uint64_t delta = 1);
+  /// Overwrite a counter with an externally computed total.
+  void set_counter(std::string_view name, std::uint64_t value);
+  /// Overwrite a gauge (point-in-time double).
+  void set_gauge(std::string_view name, double value);
+
+  /// 0 / 0.0 when the name was never touched.
+  std::uint64_t counter(std::string_view name) const;
+  double gauge(std::string_view name) const;
+
+  struct Snapshot {
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, double> gauges;
+
+    std::uint64_t counter(std::string_view name) const {
+      auto it = counters.find(std::string(name));
+      return it == counters.end() ? 0 : it->second;
+    }
+    double gauge(std::string_view name) const {
+      auto it = gauges.find(std::string(name));
+      return it == gauges.end() ? 0.0 : it->second;
+    }
+    bool empty() const { return counters.empty() && gauges.empty(); }
+  };
+  Snapshot snapshot() const;
+
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+};
+
+}  // namespace mflow::trace

@@ -2,12 +2,27 @@
 
 #include <atomic>
 #include <cstdio>
+#include <mutex>
+#include <utility>
 
 namespace mflow::util {
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
-const char* level_name(LogLevel level) {
+// Serializes sink swaps and emission: concurrent log_message calls from rt
+// engine threads print whole lines, never interleaved fragments.
+std::mutex& log_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+LogSink& sink_slot() {
+  static LogSink sink;
+  return sink;
+}
+}  // namespace
+
+const char* log_level_name(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug: return "DEBUG";
     case LogLevel::kInfo: return "INFO";
@@ -17,14 +32,23 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
-}  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(level); }
 LogLevel log_level() { return g_level.load(); }
 
+void set_log_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(log_mutex());
+  sink_slot() = std::move(sink);
+}
+
 void log_message(LogLevel level, const std::string& msg) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+  std::lock_guard<std::mutex> lock(log_mutex());
+  if (LogSink& sink = sink_slot()) {
+    sink(level, msg);
+    return;
+  }
+  std::fprintf(stderr, "[%s] %s\n", log_level_name(level), msg.c_str());
 }
 
 }  // namespace mflow::util

@@ -1,7 +1,10 @@
 // Tiny leveled logger. Disabled levels compile to a cheap branch; the
 // simulator's hot path never logs unless verbose mode is requested.
+// Emission is serialized under a mutex so rt engine threads can log without
+// interleaving lines (the level check itself stays lock-free).
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -12,6 +15,13 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 /// Global threshold; messages below it are discarded.
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+const char* log_level_name(LogLevel level);
+
+/// Redirect formatted lines somewhere other than stderr (tests, file
+/// capture). Pass nullptr to restore stderr. Called under the log mutex.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+void set_log_sink(LogSink sink);
 
 void log_message(LogLevel level, const std::string& msg);
 

@@ -1,0 +1,117 @@
+// util/log: level filtering, sink capture, and thread-safety of
+// log_message (concurrent writers must produce whole, uninterleaved lines).
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace mflow::util {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_log_level(LogLevel::kWarn);
+    set_log_sink([this](LogLevel level, const std::string& msg) {
+      std::lock_guard<std::mutex> lock(mu_);
+      captured_.emplace_back(level, msg);
+    });
+  }
+
+  void TearDown() override {
+    set_log_sink(nullptr);
+    set_log_level(LogLevel::kWarn);
+  }
+
+  std::vector<std::pair<LogLevel, std::string>> captured() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return captured_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<std::pair<LogLevel, std::string>> captured_;
+};
+
+TEST_F(LogTest, LevelFilteringDiscardsBelowThreshold) {
+  set_log_level(LogLevel::kWarn);
+  log_message(LogLevel::kDebug, "debug");
+  log_message(LogLevel::kInfo, "info");
+  log_message(LogLevel::kWarn, "warn");
+  log_message(LogLevel::kError, "error");
+  const auto got = captured();
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].first, LogLevel::kWarn);
+  EXPECT_EQ(got[0].second, "warn");
+  EXPECT_EQ(got[1].first, LogLevel::kError);
+  EXPECT_EQ(got[1].second, "error");
+}
+
+TEST_F(LogTest, OffDiscardsEverything) {
+  set_log_level(LogLevel::kOff);
+  log_message(LogLevel::kError, "nope");
+  EXPECT_TRUE(captured().empty());
+}
+
+TEST_F(LogTest, DebugThresholdPassesEverything) {
+  set_log_level(LogLevel::kDebug);
+  log_message(LogLevel::kDebug, "d");
+  log_message(LogLevel::kError, "e");
+  EXPECT_EQ(captured().size(), 2u);
+}
+
+TEST_F(LogTest, MacroRespectsThreshold) {
+  set_log_level(LogLevel::kInfo);
+  MFLOW_DEBUG() << "hidden " << 1;
+  MFLOW_INFO() << "shown " << 2;
+  const auto got = captured();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].second, "shown 2");
+}
+
+TEST_F(LogTest, LevelNames) {
+  EXPECT_STREQ(log_level_name(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(log_level_name(LogLevel::kInfo), "INFO");
+  EXPECT_STREQ(log_level_name(LogLevel::kWarn), "WARN");
+  EXPECT_STREQ(log_level_name(LogLevel::kError), "ERROR");
+  EXPECT_STREQ(log_level_name(LogLevel::kOff), "OFF");
+}
+
+TEST_F(LogTest, ConcurrentWritersAllArriveIntact) {
+  set_log_level(LogLevel::kInfo);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  {
+    std::vector<std::jthread> writers;
+    for (int t = 0; t < kThreads; ++t) {
+      writers.emplace_back([t] {
+        for (int i = 0; i < kPerThread; ++i)
+          log_message(LogLevel::kInfo,
+                      "t" + std::to_string(t) + ":" + std::to_string(i));
+      });
+    }
+  }
+  const auto got = captured();
+  ASSERT_EQ(got.size(),
+            static_cast<std::size_t>(kThreads) * kPerThread);
+  // Per-thread messages keep their order and none are torn.
+  std::vector<int> next(kThreads, 0);
+  for (const auto& [level, msg] : got) {
+    ASSERT_EQ(level, LogLevel::kInfo);
+    const auto colon = msg.find(':');
+    ASSERT_NE(colon, std::string::npos) << msg;
+    const int t = std::stoi(msg.substr(1, colon - 1));
+    const int i = std::stoi(msg.substr(colon + 1));
+    ASSERT_GE(t, 0);
+    ASSERT_LT(t, kThreads);
+    EXPECT_EQ(i, next[t]) << "messages from thread " << t << " reordered";
+    ++next[t];
+  }
+}
+
+}  // namespace
+}  // namespace mflow::util
