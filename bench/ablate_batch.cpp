@@ -5,8 +5,12 @@
 // scaling (saturated branches) very large batches also build per-branch
 // queues, re-introducing boundary skew — so "bigger is better" has a limit,
 // which is why the paper settles on 256 rather than "as large as possible".
+//
+// Deterministic DES results; each point is record()ed once into
+// BENCH_ablate_batch.json (see docs/BENCHMARKS.md).
 #include <iostream>
 
+#include "bench/harness.hpp"
 #include "experiment/scenario.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -17,7 +21,16 @@ int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
   const auto measure = sim::ms(cli.get_double("measure-ms", 25));
 
+  bench::HarnessConfig hc;
+  hc.bench_name = "ablate_batch";
+  hc.warmup = 0;
+  hc.repeats = 1;
+  hc.json_dir = cli.get("json-dir", ".");
+  hc.config = {{"measure_ms", std::to_string(measure / 1'000'000)}};
+  bench::Harness harness(hc);
+
   for (bool full_path : {false, true}) {
+    const std::string regime = full_path ? "full_path" : "device";
     util::Table table({"batch", "goodput", "ooo arrivals", "batches",
                        "p99 latency (us)"});
     for (std::uint32_t batch : {8u, 32u, 128u, 256u, 1024u, 4096u}) {
@@ -37,11 +50,16 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(res.ooo_arrivals),
                  static_cast<unsigned long long>(res.batches_merged),
                  util::Table::Cell(res.p99_latency_us(), 1)});
+      harness.record(regime + ".batch" + std::to_string(batch) + ".goodput",
+                     "Gbps", true, res.goodput_gbps);
+      harness.record(regime + ".batch" + std::to_string(batch) + ".p99_us",
+                     "us", false, res.p99_latency_us());
     }
     table.print(std::cout, full_path
                                ? "Ablation: batch size, full-path scaling"
                                : "Ablation: batch size, device scaling");
     std::cout << "\n";
   }
+  harness.finish(std::cout);
   return 0;
 }

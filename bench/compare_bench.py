@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Compare BENCH_*.json results against a baseline directory.
+
+Usage:
+    compare_bench.py BASELINE_DIR NEW_DIR [--tolerance 0.15] [--strict]
+
+For every BENCH_<name>.json present in BOTH directories, each case is
+compared direction-aware: a throughput case (higher_is_better) regresses
+when new < baseline * (1 - tolerance); a latency case regresses when
+new > baseline * (1 + tolerance). Exit code 1 if any case regresses.
+
+Cases or files present on only one side are reported as warnings (they
+don't fail the run unless --strict is given) so adding a bench case does
+not break CI until the baseline is refreshed — see docs/BENCHMARKS.md for
+the refresh procedure.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_benches(directory: Path) -> dict:
+    benches = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        with open(path) as f:
+            data = json.load(f)
+        benches[data.get("bench", path.stem)] = data
+    return benches
+
+
+def compare_case(base: dict, new: dict, tolerance: float):
+    """Returns (status, ratio) with status in {ok, regression, improvement}."""
+    b, n = base["best"], new["best"]
+    higher = base.get("higher_is_better", True)
+    if b == 0:
+        return ("ok", float("nan"))
+    ratio = n / b
+    if higher:
+        if ratio < 1 - tolerance:
+            return ("regression", ratio)
+        if ratio > 1 + tolerance:
+            return ("improvement", ratio)
+    else:
+        if ratio > 1 + tolerance:
+            return ("regression", ratio)
+        if ratio < 1 - tolerance:
+            return ("improvement", ratio)
+    return ("ok", ratio)
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline_dir", type=Path)
+    ap.add_argument("new_dir", type=Path)
+    ap.add_argument("--tolerance", type=float, default=0.15,
+                    help="allowed relative change before a case counts as a "
+                         "regression (default 0.15 = 15%%)")
+    ap.add_argument("--strict", action="store_true",
+                    help="missing/new cases and files fail the run too")
+    args = ap.parse_args()
+
+    baselines = load_benches(args.baseline_dir)
+    news = load_benches(args.new_dir)
+    if not baselines:
+        print(f"error: no BENCH_*.json in {args.baseline_dir}")
+        return 1
+
+    regressions, warnings = [], []
+    for bench_name, base in sorted(baselines.items()):
+        new = news.get(bench_name)
+        if new is None:
+            warnings.append(f"bench '{bench_name}' missing from {args.new_dir}")
+            continue
+        base_cases = {c["name"]: c for c in base.get("results", [])}
+        new_cases = {c["name"]: c for c in new.get("results", [])}
+        for name, bcase in sorted(base_cases.items()):
+            ncase = new_cases.get(name)
+            if ncase is None:
+                warnings.append(f"{bench_name}: case '{name}' missing from new run")
+                continue
+            status, ratio = compare_case(bcase, ncase, args.tolerance)
+            unit = bcase.get("unit", "")
+            line = (f"{bench_name}/{name}: {bcase['best']:.6g} -> "
+                    f"{ncase['best']:.6g} {unit} ({ratio:+.1%} of baseline)")
+            if status == "regression":
+                regressions.append(line)
+                print(f"REGRESSION  {line}")
+            elif status == "improvement":
+                print(f"improved    {line}")
+            else:
+                print(f"ok          {line}")
+        for name in sorted(set(new_cases) - set(base_cases)):
+            warnings.append(f"{bench_name}: new case '{name}' not in baseline "
+                            f"(refresh the baseline to track it)")
+    for bench_name in sorted(set(news) - set(baselines)):
+        warnings.append(f"bench '{bench_name}' has no checked-in baseline")
+
+    for w in warnings:
+        print(f"warning     {w}")
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond "
+              f"{args.tolerance:.0%} tolerance")
+        return 1
+    if args.strict and warnings:
+        print(f"\n--strict: {len(warnings)} warning(s) treated as failure")
+        return 1
+    print("\nall benches within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,7 @@
 #include <iostream>
 #include <map>
 
+#include "bench/harness.hpp"
 #include "experiment/report.hpp"
 #include "experiment/scenario.hpp"
 #include "util/cli.hpp"
@@ -24,6 +25,16 @@ int main(int argc, char** argv) {
   const auto measure = sim::ms(cli.get_double("measure-ms", 40));
   const bool csv = cli.get_bool("csv", false);
   const bool cpu = cli.get_bool("cpu", true);
+
+  // DES results are deterministic, so each goodput is record()ed once
+  // (repeats=1) into BENCH_fig08_throughput.json for the perf trajectory.
+  bench::HarnessConfig hc;
+  hc.bench_name = "fig08_throughput";
+  hc.warmup = 0;
+  hc.repeats = 1;
+  hc.json_dir = cli.get("json-dir", ".");
+  hc.config = {{"measure_ms", std::to_string(measure / 1'000'000)}};
+  bench::Harness harness(hc);
 
   const std::vector<std::uint32_t> sizes = {16, 4096, 65536};
   std::map<std::pair<std::string, std::uint32_t>, double> tcp_gbps, udp_gbps;
@@ -44,6 +55,9 @@ int main(int argc, char** argv) {
         row.push_back(util::fmt_gbps(res.goodput_gbps));
         auto& store = is_tcp ? tcp_gbps : udp_gbps;
         store[{res.mode, size}] = res.goodput_gbps;
+        harness.record((is_tcp ? "tcp." : "udp.") + res.mode + ".msg" +
+                           std::to_string(size),
+                       "Gbps", true, res.goodput_gbps);
 
         if (cpu && mode == exp::Mode::kMflow && size == 65536) {
           exp::print_core_breakdown(
@@ -91,5 +105,6 @@ int main(int argc, char** argv) {
            u_nat > 0 ? (u_mf < u_nat ? 1.0 : 0.0) : 0, 0.01},
           {"UDP vanilla/native", 0.25, u_nat > 0 ? u_van / u_nat : 0, 0.60},
       });
+  harness.finish(std::cout);
   return 0;
 }

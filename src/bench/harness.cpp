@@ -1,0 +1,164 @@
+#include "bench/harness.hpp"
+
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <thread>
+
+#include "util/table.hpp"
+
+#ifndef MFLOW_GIT_SHA
+#define MFLOW_GIT_SHA "unknown"
+#endif
+
+namespace mflow::bench {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  std::ostringstream os;
+  os << std::setprecision(12) << v;
+  return os.str();
+}
+
+std::string utc_now_iso8601() {
+  std::time_t now = std::time(nullptr);
+  std::tm tm_utc{};
+  gmtime_r(&now, &tm_utc);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+  return buf;
+}
+
+}  // namespace
+
+std::string git_sha() {
+  if (const char* env = std::getenv("MFLOW_GIT_SHA");
+      env != nullptr && env[0] != '\0')
+    return env;
+  return MFLOW_GIT_SHA;
+}
+
+Harness::Harness(HarnessConfig cfg) : cfg_(std::move(cfg)) {}
+
+const CaseResult& Harness::run_case(const std::string& name,
+                                    const std::string& unit,
+                                    bool higher_is_better,
+                                    const std::function<double()>& fn) {
+  CaseResult res;
+  res.name = name;
+  res.unit = unit;
+  res.higher_is_better = higher_is_better;
+  for (int i = 0; i < cfg_.warmup; ++i) (void)fn();
+  for (int i = 0; i < cfg_.repeats; ++i) res.values.push_back(fn());
+  res.best = res.values.front();
+  for (double v : res.values) {
+    if (higher_is_better ? v > res.best : v < res.best) res.best = v;
+  }
+  results_.push_back(std::move(res));
+  return results_.back();
+}
+
+const CaseResult& Harness::record(const std::string& name,
+                                  const std::string& unit,
+                                  bool higher_is_better, double value) {
+  CaseResult res;
+  res.name = name;
+  res.unit = unit;
+  res.higher_is_better = higher_is_better;
+  res.values.push_back(value);
+  res.best = value;
+  results_.push_back(std::move(res));
+  return results_.back();
+}
+
+std::string to_json(const HarnessConfig& cfg,
+                    const std::vector<CaseResult>& results) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"bench\": \"" << json_escape(cfg.bench_name) << "\",\n";
+  os << "  \"schema\": 1,\n";
+  os << "  \"git_sha\": \"" << json_escape(git_sha()) << "\",\n";
+  os << "  \"date\": \"" << utc_now_iso8601() << "\",\n";
+  os << "  \"host\": {\"cpus\": " << std::thread::hardware_concurrency()
+     << "},\n";
+  os << "  \"warmup\": " << cfg.warmup << ",\n";
+  os << "  \"repeats\": " << cfg.repeats << ",\n";
+  os << "  \"config\": {";
+  bool first = true;
+  for (const auto& [k, v] : cfg.config) {
+    if (!first) os << ", ";
+    first = false;
+    os << "\"" << json_escape(k) << "\": \"" << json_escape(v) << "\"";
+  }
+  os << "},\n";
+  os << "  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const CaseResult& r = results[i];
+    os << "    {\"name\": \"" << json_escape(r.name) << "\", \"unit\": \""
+       << json_escape(r.unit) << "\", \"higher_is_better\": "
+       << (r.higher_is_better ? "true" : "false")
+       << ", \"best\": " << json_number(r.best) << ", \"values\": [";
+    for (std::size_t j = 0; j < r.values.size(); ++j) {
+      if (j != 0) os << ", ";
+      os << json_number(r.values[j]);
+    }
+    os << "]}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n";
+  os << "}\n";
+  return os.str();
+}
+
+std::string Harness::finish(std::ostream& os) {
+  util::Table table({"case", "best", "unit", "dir", "repetitions"});
+  for (const CaseResult& r : results_) {
+    std::ostringstream reps;
+    reps << std::setprecision(6);
+    for (std::size_t j = 0; j < r.values.size(); ++j) {
+      if (j != 0) reps << " ";
+      reps << r.values[j];
+    }
+    table.add({r.name, util::Table::Cell(r.best, 4), r.unit,
+               r.higher_is_better ? "max" : "min", reps.str()});
+  }
+  table.print(os, "BENCH " + cfg_.bench_name + " (git " + git_sha() + ")");
+
+  if (cfg_.json_dir.empty() || cfg_.json_dir == "-") return "";
+  const std::string path =
+      cfg_.json_dir + "/BENCH_" + cfg_.bench_name + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    os << "warning: could not write " << path << "\n";
+    return "";
+  }
+  out << to_json(cfg_, results_);
+  os << "wrote " << path << "\n";
+  return path;
+}
+
+}  // namespace mflow::bench

@@ -1,0 +1,107 @@
+// Benchmark harness: warmup/repeat/best-of-N measurement with
+// machine-readable output.
+//
+// Every bench binary in bench/ funnels its numbers through a Harness so the
+// repo accumulates a perf trajectory instead of scrollback: alongside the
+// human-readable util::Table, finish() writes one `BENCH_<name>.json` per
+// binary (schema documented in docs/BENCHMARKS.md) that
+// bench/compare_bench.py diffs against the checked-in baselines in
+// bench/baselines/ — CI fails a PR that regresses a case by more than the
+// tolerance.
+//
+// Two measurement styles:
+//
+//  - run_case(): wall-clock benches (the rt engine, ring microbenches).
+//    Runs `warmup` throwaway repetitions, then `repeats` measured ones, and
+//    reports the BEST repetition (max for throughput-like metrics, min for
+//    latency-like ones) — best-of-N is the standard noise filter for
+//    single-machine runs, since interference only ever slows a run down.
+//
+//  - record(): deterministic metrics (DES results are bit-identical across
+//    runs), recorded once with repeats=1.
+//
+// Git provenance: the JSON carries a git sha resolved at configure time
+// (MFLOW_GIT_SHA compile definition) and overridable with the MFLOW_GIT_SHA
+// environment variable, so CI artifacts are attributable to a commit.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mflow::bench {
+
+/// One measured case: `values` holds every measured repetition, `best` the
+/// direction-aware pick (max if higher_is_better, else min).
+struct CaseResult {
+  std::string name;
+  std::string unit;
+  bool higher_is_better = true;
+  double best = 0.0;
+  std::vector<double> values;
+};
+
+struct HarnessConfig {
+  /// Short bench identifier; the JSON lands at
+  /// `<json_dir>/BENCH_<bench_name>.json`.
+  std::string bench_name;
+  /// Throwaway repetitions before measuring (warms caches/branch
+  /// predictors and forces lazy init). Ignored by record().
+  int warmup = 1;
+  /// Measured repetitions per run_case() call.
+  int repeats = 5;
+  /// Output directory for the JSON ("" or "-" suppresses the file, for
+  /// exploratory runs).
+  std::string json_dir = ".";
+  /// Free-form knobs echoed into the JSON `config` object, so a baseline
+  /// records what it measured (packet counts, ring sizes, ...).
+  std::map<std::string, std::string> config;
+};
+
+class Harness {
+ public:
+  explicit Harness(HarnessConfig cfg);
+
+  /// Measure `fn` warmup+repeats times; `fn` returns the metric for one
+  /// repetition (e.g. packets/s). Returns the recorded case (best already
+  /// picked) for callers that also print their own tables.
+  const CaseResult& run_case(const std::string& name, const std::string& unit,
+                             bool higher_is_better,
+                             const std::function<double()>& fn);
+
+  /// Record a deterministic one-shot metric (no warmup/repeats — DES
+  /// results don't vary across runs).
+  const CaseResult& record(const std::string& name, const std::string& unit,
+                           bool higher_is_better, double value);
+
+  /// Convenience for --json-dir style overrides after construction.
+  void set_json_dir(std::string dir) { cfg_.json_dir = std::move(dir); }
+  /// Add/overwrite one config note echoed into the JSON.
+  void note(const std::string& key, const std::string& value) {
+    cfg_.config[key] = value;
+  }
+
+  const std::vector<CaseResult>& results() const { return results_; }
+
+  /// Print the summary table to `os` and write BENCH_<name>.json (unless
+  /// json_dir suppresses it). Returns the JSON path ("" if suppressed).
+  std::string finish(std::ostream& os);
+
+ private:
+  HarnessConfig cfg_;
+  std::vector<CaseResult> results_;
+};
+
+/// Commit the binary was built from: $MFLOW_GIT_SHA if set, else the
+/// configure-time sha baked in by CMake, else "unknown".
+std::string git_sha();
+
+/// Serialize a finished result set to the BENCH_*.json schema (exposed for
+/// tests; finish() uses this).
+std::string to_json(const HarnessConfig& cfg,
+                    const std::vector<CaseResult>& results);
+
+}  // namespace mflow::bench

@@ -127,7 +127,7 @@ class IrqSplitter::FirstHalf final : public sim::Pollable {
         if (action == net::FaultAction::kCorrupt) {
           faults->corrupt(*pkt);
         } else if (action == net::FaultAction::kDuplicate) {
-          auto dup = std::make_unique<net::Packet>(*pkt);
+          auto dup = net::clone_packet(*pkt);
           if (ring.push(std::move(dup)))
             m.core(a.target_core).raise(*o.second_halves_[slot],
                                         /*remote=*/true);

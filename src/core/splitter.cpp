@@ -112,7 +112,7 @@ void FlowSplitter::on_forward(net::PacketPtr pkt, std::size_t next_index,
         break;
       case net::FaultAction::kDuplicate:
         machine_.deliver_to_stage(next_index, a.target_core, from_core,
-                                  std::make_unique<net::Packet>(*pkt),
+                                  net::clone_packet(*pkt),
                                   /*charge_handoff=*/false);
         break;
       case net::FaultAction::kDelay: {

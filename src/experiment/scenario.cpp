@@ -7,6 +7,7 @@
 #include "core/adaptive.hpp"
 #include "core/mflow.hpp"
 #include "overlay/topology.hpp"
+#include "rt/pool.hpp"
 #include "sim/simulator.hpp"
 #include "stack/machine.hpp"
 #include "steering/modes.hpp"
@@ -80,6 +81,14 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
   core::MflowConfig mcfg =
       cfg.mflow.value_or(is_tcp ? core::tcp_full_path_config()
                                 : core::udp_device_scaling_config());
+
+  // Sender-side slab pool. Declared BEFORE the simulator on purpose: queued
+  // events (e.g. delayed-fault redeliveries) can hold PacketPtrs into this
+  // pool, so the pool must outlive the simulator's event queue.
+  std::unique_ptr<rt::PacketPool> pool;
+  if (cfg.packet_pool_slabs > 0)
+    pool = std::make_unique<rt::PacketPool>(
+        rt::PoolConfig{.slabs = cfg.packet_pool_slabs});
 
   sim::Simulator sim(cfg.seed);
 
@@ -256,6 +265,7 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
                                     static_cast<std::uint64_t>(cfg.num_flows))
                           : cfg.window_bytes;
     sp.pace_per_message = cfg.pace_per_message;
+    sp.pool = pool.get();
     if (is_tcp) {
       tcp_senders.push_back(std::make_unique<workload::TcpSender>(
           clients, p.client_core, sp, wire));
@@ -381,6 +391,11 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
     reg.set_counter("reasm.late_deliveries", res.late_deliveries);
     reg.set_gauge("fault.recovery_latency_mean_ns",
                   res.recovery_latency_ns.mean());
+    if (pool) {
+      reg.set_counter("pool.acquired", pool->acquired());
+      reg.set_counter("pool.recycled", pool->recycled());
+      reg.set_counter("pool.exhausted", pool->exhausted());
+    }
     res.phases = trace::attribute(*tracer);
     res.stats = reg.snapshot();
     res.tracer = std::move(tracer);

@@ -86,6 +86,12 @@ struct ScenarioConfig {
   /// during warmup are discarded at the measurement boundary. No effect
   /// when tracing is compiled out (-DMFLOW_TRACE=OFF).
   trace::TraceConfig trace{};
+
+  /// Slab-pool size for sender-side packet construction (rt::PacketPool;
+  /// 0 disables pooling and every packet heap-allocates as before).
+  /// Recycling is deterministic (LIFO, single-threaded in the DES), so
+  /// pooled and unpooled runs produce bit-identical metrics.
+  std::size_t packet_pool_slabs = 16384;
 };
 
 struct CoreUsage {

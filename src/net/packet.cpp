@@ -25,6 +25,47 @@ void PacketBuffer::pull(std::size_t n) {
   head_ += n;
 }
 
+void PacketBuffer::reserve(std::size_t total_bytes) {
+  bytes_.reserve(total_bytes);
+}
+
+void PacketBuffer::reset(std::size_t headroom) {
+  // resize() never shrinks capacity, so a reserved buffer stays reserved —
+  // the whole point of recycling.
+  bytes_.resize(headroom);
+  head_ = headroom;
+}
+
+void Packet::reset() {
+  buf.reset();
+  payload_len = 0;
+  flow = FlowKey{};
+  flow_id = 0;
+  encapsulated = false;
+  wire_seq = 0;
+  tcp_seq = 0;
+  message_id = 0;
+  message_bytes = 0;
+  skb_allocated = false;
+  t_wire = 0;
+  gro_segs = 1;
+  microflow_id = 0;
+}
+
+void PacketDeleter::operator()(Packet* pkt) const noexcept {
+  if (pkt == nullptr) return;
+  if (recycler != nullptr)
+    recycler->recycle(pkt);
+  else
+    delete pkt;
+}
+
+PacketPtr make_packet() { return PacketPtr(new Packet()); }
+
+PacketPtr clone_packet(const Packet& src) {
+  return PacketPtr(new Packet(src));
+}
+
 namespace {
 
 constexpr MacAddr kSrcMac{0x02, 0x42, 0xac, 0x11, 0x00, 0x02};
@@ -51,8 +92,17 @@ void write_l2l3(PacketBuffer& buf, const FlowKey& flow,
 
 PacketPtr make_tcp_segment(const FlowKey& flow, std::uint64_t tcp_seq,
                            std::uint32_t payload_len) {
+  return make_tcp_segment(nullptr, flow, tcp_seq, payload_len);
+}
+
+PacketPtr make_tcp_segment(PacketPtr recycled, const FlowKey& flow,
+                           std::uint64_t tcp_seq, std::uint32_t payload_len) {
   assert(flow.protocol == Ipv4Header::kProtoTcp);
-  auto pkt = std::make_unique<Packet>();
+  PacketPtr pkt = std::move(recycled);
+  if (pkt)
+    pkt->reset();
+  else
+    pkt = make_packet();
   pkt->flow = flow;
   pkt->payload_len = payload_len;
   pkt->tcp_seq = tcp_seq;
@@ -71,8 +121,17 @@ PacketPtr make_tcp_segment(const FlowKey& flow, std::uint64_t tcp_seq,
 }
 
 PacketPtr make_udp_datagram(const FlowKey& flow, std::uint32_t payload_len) {
+  return make_udp_datagram(nullptr, flow, payload_len);
+}
+
+PacketPtr make_udp_datagram(PacketPtr recycled, const FlowKey& flow,
+                            std::uint32_t payload_len) {
   assert(flow.protocol == Ipv4Header::kProtoUdp);
-  auto pkt = std::make_unique<Packet>();
+  PacketPtr pkt = std::move(recycled);
+  if (pkt)
+    pkt->reset();
+  else
+    pkt = make_packet();
   pkt->flow = flow;
   pkt->payload_len = payload_len;
 

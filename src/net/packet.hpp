@@ -8,6 +8,13 @@
 // A Packet plays the role of both the raw DMA buffer (before skb allocation)
 // and the skb (after): `skb_allocated` flips when the driver stage runs,
 // which is exactly the boundary MFLOW's IRQ-splitting function exploits.
+//
+// Ownership: every packet travels as a `PacketPtr`, a unique_ptr whose
+// deleter knows how the packet was obtained. Heap packets (make_packet) are
+// deleted; pooled packets (rt::PacketPool, docs/PERFORMANCE.md) are handed
+// back to their pool's free list when the pointer dies — drop, GRO merge,
+// and copy-to-user all recycle through the exact same destructor path, so
+// no call site needs to know which kind it holds.
 #pragma once
 
 #include <cstdint>
@@ -22,18 +29,31 @@
 namespace mflow::net {
 
 /// skb-like byte buffer with headroom: push() prepends (encap), pull()
-/// strips (decap).
+/// strips (decap). Backed by a std::vector whose capacity is PRESERVED by
+/// reset(), which is what lets a packet pool reuse buffers without touching
+/// the allocator (the zero-allocation invariant of docs/PERFORMANCE.md).
 class PacketBuffer {
  public:
+  /// Default headroom leaves room for one full VXLAN outer stack (50 bytes)
+  /// plus an inner Ethernet header in front of whatever is appended.
   explicit PacketBuffer(std::size_t headroom = 64);
 
-  /// Append `n` bytes at the tail; returns the writable region.
+  /// Append `n` bytes at the tail; returns the writable region. May grow
+  /// the backing store (allocates when size exceeds reserved capacity).
   std::span<std::uint8_t> append(std::size_t n);
   /// Prepend `n` bytes (requires headroom); returns the writable region.
   std::span<std::uint8_t> push(std::size_t n);
   /// Strip `n` bytes from the front. Requires n <= size().
   void pull(std::size_t n);
 
+  /// Pre-allocate backing capacity for `total_bytes` (headroom included),
+  /// so later append()/reset() cycles never touch the heap.
+  void reserve(std::size_t total_bytes);
+  /// Drop all content and restore `headroom` bytes of headroom. Keeps the
+  /// backing capacity — a reset buffer can be refilled allocation-free.
+  void reset(std::size_t headroom = 64);
+
+  /// Valid bytes (front of packet first).
   std::span<const std::uint8_t> data() const {
     return {bytes_.data() + head_, bytes_.size() - head_};
   }
@@ -42,6 +62,8 @@ class PacketBuffer {
   }
   std::size_t size() const { return bytes_.size() - head_; }
   std::size_t headroom() const { return head_; }
+  /// Total backing capacity currently reserved (diagnostics / pool sizing).
+  std::size_t capacity() const { return bytes_.capacity(); }
 
  private:
   std::vector<std::uint8_t> bytes_;
@@ -56,6 +78,33 @@ constexpr std::uint32_t kVxlanOverhead =
     VxlanHeader::kSize;  // 50 bytes
 constexpr std::uint32_t kTcpMss = kMtu - Ipv4Header::kSize - TcpHeader::kSize;
 
+struct Packet;
+
+/// Something that takes dead packets back (rt::PacketPool implements this).
+/// The indirection keeps src/net free of any dependency on the pool.
+class PacketRecycler {
+ public:
+  /// Return `pkt` to the recycler's free list. Must be callable from any
+  /// thread and must not throw — it runs inside unique_ptr destruction.
+  virtual void recycle(Packet* pkt) noexcept = 0;
+
+ protected:
+  ~PacketRecycler() = default;  // never deleted through this interface
+};
+
+/// Deleter carried by every PacketPtr: recycles pooled packets, deletes
+/// heap ones. Default-constructed (recycler == nullptr) means heap.
+struct PacketDeleter {
+  PacketRecycler* recycler = nullptr;
+  void operator()(Packet* pkt) const noexcept;
+};
+
+/// The one way packets are owned and moved through the system.
+using PacketPtr = std::unique_ptr<Packet, PacketDeleter>;
+
+/// The packet itself. Aggregate on purpose: all metadata fields have
+/// defaults, and Packet::reset() must restore exactly those defaults when a
+/// pooled packet is recycled (keep the two in sync).
 struct Packet {
   PacketBuffer buf;              // real header bytes (+ nothing else)
   std::uint32_t payload_len = 0;  // virtual payload bytes
@@ -82,22 +131,45 @@ struct Packet {
   // the original flow. 0 = not split. (Paper stores this in the skb.)
   std::uint64_t microflow_id = 0;
 
+  /// Header bytes + virtual payload bytes: what the wire would carry.
   std::uint32_t wire_len() const {
     return static_cast<std::uint32_t>(buf.size()) + payload_len;
   }
+
+  /// Restore the pristine just-constructed state (buffer emptied with
+  /// default headroom, every metadata field back to its default) WITHOUT
+  /// releasing buffer capacity. Pools call this before handing a recycled
+  /// packet out, so a reused packet is indistinguishable from a fresh one.
+  void reset();
 };
 
-using PacketPtr = std::unique_ptr<Packet>;
-
 // --- construction & tunnel operations ---------------------------------------
+
+/// Heap-allocate an empty packet (deleter in plain-delete mode).
+PacketPtr make_packet();
+
+/// Deep-copy `src` into a fresh HEAP packet (used by fault duplication and
+/// batch-boundary splitting). The copy never aliases src's pool: duplicating
+/// a pooled packet must not create two owners of one slab.
+PacketPtr clone_packet(const Packet& src);
 
 /// Build a TCP segment with real Eth/IPv4/TCP headers for `flow`. The wire
 /// header's sequence field is the low 32 bits of `tcp_seq`.
 PacketPtr make_tcp_segment(const FlowKey& flow, std::uint64_t tcp_seq,
                            std::uint32_t payload_len);
 
+/// As above, but build into `recycled` (a pool slab or any packet to reuse)
+/// instead of allocating. The slab is reset first; a null slab falls back
+/// to the heap path, so callers can pass `pool->acquire()` unconditionally.
+PacketPtr make_tcp_segment(PacketPtr recycled, const FlowKey& flow,
+                           std::uint64_t tcp_seq, std::uint32_t payload_len);
+
 /// Build a UDP datagram (or fragment) with real Eth/IPv4/UDP headers.
 PacketPtr make_udp_datagram(const FlowKey& flow, std::uint32_t payload_len);
+
+/// Slab-reusing variant of make_udp_datagram (see make_tcp_segment above).
+PacketPtr make_udp_datagram(PacketPtr recycled, const FlowKey& flow,
+                            std::uint32_t payload_len);
 
 /// VXLAN-encapsulate in place: prepends outer Eth/IPv4/UDP/VXLAN (50 bytes).
 /// Outer UDP source port is derived from the inner flow hash, as RFC 7348

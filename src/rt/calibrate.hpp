@@ -1,6 +1,18 @@
 // Spin-work calibration: converts "nanoseconds of packet-processing cost"
 // into busy-loop iterations on this machine, so the real-thread engine's
 // stage costs are wall-clock meaningful.
+//
+// The engine charges each packet `cost_ns` of synthetic processing
+// (rt/engine.hpp); spin() burns that time as a dependent integer chain the
+// compiler cannot elide or vectorize away. The iterations-per-nanosecond
+// rate is measured once per process (thread-safe memoization) — cheap, but
+// it makes the very first engine run slightly slower, which is why the
+// bench harness's warmup runs matter (docs/BENCHMARKS.md).
+//
+// Accuracy: calibration is best-effort wall-clock — on a loaded or
+// frequency-scaling host the realized spin can deviate from the requested
+// nanoseconds. Benchmarks treat cost=0 (pure framework overhead) and
+// cost>0 (calibrated work) as separate regimes for exactly this reason.
 #pragma once
 
 #include <cstdint>

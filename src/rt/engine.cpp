@@ -1,6 +1,7 @@
 #include "rt/engine.hpp"
 
 #include <atomic>
+#include <bit>
 #include <chrono>
 
 #include "rt/calibrate.hpp"
@@ -10,6 +11,11 @@
 namespace mflow::rt {
 
 namespace {
+
+/// Packets staged per ring operation. Amortizes one acquire-load plus one
+/// release-store across the whole chunk; small enough that a chunk never
+/// approaches the default ring depth.
+constexpr std::size_t kChunk = 128;
 
 /// Thread-local trace buffer for the rt engine. Each thread appends to its
 /// own vector while running and hands the whole batch to the tracer with
@@ -59,11 +65,27 @@ EngineResult Engine::run(
     std::uint64_t total,
     const std::function<void(const RtPacket&)>& on_output) {
   const std::size_t W = config_.workers;
+
+  // Pool is declared FIRST so it is destroyed LAST: every ring below holds
+  // PacketPtrs whose destructors recycle into it. Auto-sizing covers every
+  // ring slot plus per-thread chunk staging, so lossless runs never see
+  // pool exhaustion.
+  const std::size_t pool_cap =
+      config_.pool_capacity != 0
+          ? config_.pool_capacity
+          : config_.ring_capacity * (2 * W + 2) + (W + 3) * kChunk;
+  PacketPool pool({.slabs = pool_cap});
+
   std::vector<std::unique_ptr<SpscRing<RtPacket>>> split_rings;
   for (std::size_t i = 0; i < W; ++i)
     split_rings.push_back(
         std::make_unique<SpscRing<RtPacket>>(config_.ring_capacity));
   RtReassembler merger(W, config_.ring_capacity);
+
+  // Consumer -> generator slab return path. Ring-based recycling keeps the
+  // steady state free of pool CAS traffic (the Treiber free list is only
+  // the fallback when this ring is full/empty — e.g. around drops).
+  SpscRing<net::PacketPtr> recycle_ring(std::bit_ceil(pool_cap + 1));
 
   std::atomic<bool> produce_done{false};
   std::atomic<std::size_t> workers_done{0};
@@ -77,8 +99,9 @@ EngineResult Engine::run(
   // the pointer safely visible to every worker without atomics.
   trace::Tracer* tr = trace::active();
 
-  // Worker threads: pop from their splitting ring, "process" (calibrated
-  // spin), deposit into their buffer ring.
+  // Worker threads: pop a chunk from their splitting ring, "process" each
+  // packet (calibrated spin), deposit the surviving chunk into their
+  // buffer ring.
   std::vector<std::jthread> workers;
   workers.reserve(W);
   for (std::size_t w = 0; w < W; ++w) {
@@ -86,27 +109,68 @@ EngineResult Engine::run(
       auto& in = *split_rings[w];
       util::Rng faults(config_.fault_seed + 0x9e37 * (w + 1));
       ThreadTrace wt(tr, t0, static_cast<int>(w));
+      std::vector<RtPacket> chunk(kChunk);
+      bool saw_last = false;
+      // Pure-forwarding configuration (no tracer, no synthetic cost, no
+      // fault injection): nothing in the per-packet loop below would fire,
+      // so whole chunks can be forwarded straight to the merger.
+      const bool forward_only = tr == nullptr &&
+                                config_.cost_ns_per_packet == 0 &&
+                                config_.fault_drop_rate <= 0.0;
       while (true) {
-        if (auto pkt = in.try_pop()) {
-          const bool last = pkt->last;
-          wt.event(trace::EventKind::kRingDequeue, pkt->seq, pkt->batch);
-          if (pkt->cost_ns > 0) spin_ns(pkt->cost_ns);
-          wt.event(trace::EventKind::kStageExit, pkt->seq, pkt->batch,
-                   /*aux=*/0xFF, static_cast<sim::Time>(pkt->cost_ns));
+        const std::size_t n = in.try_pop_batch(chunk.data(), kChunk);
+        if (n == 0) {
+          if (saw_last ||
+              (produce_done.load(std::memory_order_acquire) && in.empty()))
+            break;
+          std::this_thread::yield();
+          continue;
+        }
+        if (forward_only) {
+          // The end-of-stream packet is always the final element of its
+          // chunk (the generator emits in seq order).
+          saw_last = saw_last || chunk[n - 1].last;
+          const std::size_t ok =
+              merger.deposit_batch(w, chunk.data(), n, config_.max_push_spins);
+          for (std::size_t i = ok; i < n; ++i) {
+            dropped.fetch_add(1, std::memory_order_release);
+            chunk[i].skb.reset();
+          }
+          continue;
+        }
+        // Process in place; compact survivors to the front of the chunk so
+        // one deposit_batch publishes them all.
+        std::size_t m = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+          RtPacket& pkt = chunk[i];
+          saw_last = saw_last || pkt.last;
+          wt.event(trace::EventKind::kRingDequeue, pkt.seq, pkt.batch);
+          if (pkt.cost_ns > 0) spin_ns(pkt.cost_ns);
+          wt.event(trace::EventKind::kStageExit, pkt.seq, pkt.batch,
+                   /*aux=*/0xFF, static_cast<sim::Time>(pkt.cost_ns));
           const bool lost = config_.fault_drop_rate > 0.0 &&
                             faults.chance(config_.fault_drop_rate);
-          if (lost || !merger.deposit(w, *pkt, config_.max_push_spins)) {
+          if (lost) {
             dropped.fetch_add(1, std::memory_order_release);
-            wt.event(trace::EventKind::kDrop, pkt->seq, pkt->batch);
+            wt.event(trace::EventKind::kDrop, pkt.seq, pkt.batch);
+            pkt.skb.reset();  // recycle the slab now
+          } else if (m != i) {
+            chunk[m++] = std::move(pkt);
           } else {
-            wt.event(trace::EventKind::kReasmHold, pkt->seq, pkt->batch);
+            ++m;
           }
-          if (last) break;
-        } else if (produce_done.load(std::memory_order_acquire) &&
-                   in.empty()) {
-          break;
-        } else {
-          std::this_thread::yield();
+        }
+        const std::size_t ok =
+            merger.deposit_batch(w, chunk.data(), m, config_.max_push_spins);
+        // Scalar metadata survives the move into the ring, so tracing off
+        // the staged entries after deposit_batch is safe.
+        for (std::size_t i = 0; i < ok; ++i)
+          wt.event(trace::EventKind::kReasmHold, chunk[i].seq,
+                   chunk[i].batch);
+        for (std::size_t i = ok; i < m; ++i) {
+          dropped.fetch_add(1, std::memory_order_release);
+          wt.event(trace::EventKind::kDrop, chunk[i].seq, chunk[i].batch);
+          chunk[i].skb.reset();
         }
       }
       wt.flush();
@@ -122,55 +186,129 @@ EngineResult Engine::run(
   bool in_order = true;
   std::jthread consumer([&] {
     ThreadTrace ct(tr, t0, static_cast<int>(W));  // track one past workers
+    std::vector<RtPacket> out(kChunk);
+    std::vector<net::PacketPtr> spent(kChunk);
     while (consumed + dropped.load(std::memory_order_acquire) < total) {
-      if (auto pkt = merger.pop_ready()) {
-        if (pkt->seq < next_seq_floor) in_order = false;
-        next_seq_floor = pkt->seq + 1;
-        ++consumed;
-        ct.event(trace::EventKind::kReasmRelease, pkt->seq, pkt->batch);
-        if (on_output) on_output(*pkt);
-      } else if (workers_done.load(std::memory_order_acquire) == W) {
-        // All producers drained: a dry micro-flow boundary — whether never
-        // filled or emptied by drops — can be skipped.
-        merger.force_advance();
-      } else {
-        std::this_thread::yield();
+      const std::size_t n = merger.pop_ready_batch(out.data(), kChunk);
+      if (n == 0) {
+        if (workers_done.load(std::memory_order_acquire) == W) {
+          // All producers drained: a dry micro-flow boundary — whether
+          // never filled or emptied by drops — can be skipped.
+          merger.force_advance();
+        } else {
+          std::this_thread::yield();
+        }
+        continue;
       }
+      std::size_t s = 0;
+      for (std::size_t k = 0; k < n; ++k) {
+        RtPacket& pkt = out[k];
+        if (pkt.seq < next_seq_floor) in_order = false;
+        next_seq_floor = pkt.seq + 1;
+        ++consumed;
+        ct.event(trace::EventKind::kReasmRelease, pkt.seq, pkt.batch);
+        if (on_output) on_output(pkt);
+        if (pkt.skb) spent[s++] = std::move(pkt.skb);
+      }
+      // Copy-to-user done: hand the slabs back to the generator through the
+      // recycle ring in one batched push. Overflow is fine — the handle's
+      // destructor recycles through the pool free list instead.
+      for (std::size_t k = recycle_ring.try_push_batch(spent.data(), s);
+           k < s; ++k)
+        spent[k].reset();
     }
   });
 
   // Generator (this thread): round-robin micro-flow batches, as the
-  // splitting mechanisms do.
+  // splitting mechanisms do. Packets are staged in chunks (never crossing
+  // a micro-flow boundary, so a chunk targets exactly one worker) and
+  // pushed with one batched ring operation.
   std::uint64_t batch = 0;
   std::uint32_t in_batch = config_.batch_size;
   std::size_t target = W - 1;
   ThreadTrace gt(tr, t0, static_cast<int>(W) + 1);  // generator track
-  for (std::uint64_t i = 0; i < total; ++i) {
+  std::vector<RtPacket> stage(kChunk);
+  std::vector<net::PacketPtr> stash(kChunk);  // slabs popped off recycle ring
+  std::size_t stash_n = 0, stash_i = 0;
+  std::uint64_t i = 0;
+  while (i < total) {
     if (in_batch >= config_.batch_size) {
       ++batch;
       in_batch = 0;
       target = (target + 1) % W;
     }
-    ++in_batch;
-    RtPacket pkt{i, batch, config_.cost_ns_per_packet, i + 1 == total};
-    gt.event(trace::EventKind::kSplitDeposit, i, batch,
-             static_cast<std::uint64_t>(target));
-    auto& ring = *split_rings[target];
-    std::uint32_t spins = 0;
-    while (!ring.try_push(pkt)) {
-      if (config_.max_push_spins != 0 &&
-          ++spins >= config_.max_push_spins) {
-        // Splitting ring stayed full past the retry budget: shed the
-        // packet here rather than wedging the generator.
+    const std::uint64_t room_in_batch = config_.batch_size - in_batch;
+    const std::uint64_t want =
+        std::min<std::uint64_t>({kChunk, room_in_batch, total - i});
+
+    // Stage `want` packets, acquiring one slab each: recycle ring first
+    // (batched pop into the stash), pool free list second, bounded
+    // spin-wait third. A packet that never gets a slab is shed here.
+    std::size_t staged = 0;
+    for (std::uint64_t k = 0; k < want; ++k, ++i, ++in_batch) {
+      net::PacketPtr skb;
+      std::uint32_t spins = 0;
+      for (;;) {
+        if (stash_i == stash_n) {
+          stash_n = recycle_ring.try_pop_batch(stash.data(), kChunk);
+          stash_i = 0;
+        }
+        if (stash_i < stash_n) {
+          skb = std::move(stash[stash_i++]);
+          break;
+        }
+        if ((skb = pool.acquire())) break;
+        if (config_.max_push_spins != 0 &&
+            ++spins >= config_.max_push_spins)
+          break;
+        std::this_thread::yield();
+      }
+      gt.event(trace::EventKind::kSplitDeposit, i, batch,
+               static_cast<std::uint64_t>(target));
+      if (!skb) {
+        // Pool stayed dry past the retry budget: shed the packet here
+        // rather than wedging the generator.
         dropped.fetch_add(1, std::memory_order_release);
         gt.event(trace::EventKind::kDrop, i, batch);
-        break;
+        continue;
       }
-      std::this_thread::yield();
+      // Stamp the skb the way the splitter stamps real packets.
+      skb->flow_id = static_cast<net::FlowId>(batch);
+      skb->wire_seq = i;
+      skb->microflow_id = batch;
+      skb->payload_len = net::kTcpMss;
+      stage[staged++] = RtPacket{i, batch, config_.cost_ns_per_packet,
+                                 i + 1 == total, std::move(skb)};
+    }
+
+    // Push the staged chunk; a full ring is retried (with yield) within
+    // the shared budget, then the unpushed tail is shed.
+    auto& ring = *split_rings[target];
+    std::size_t done = 0;
+    std::uint32_t spins = 0;
+    while (done < staged) {
+      const std::size_t n =
+          ring.try_push_batch(stage.data() + done, staged - done);
+      done += n;
+      if (done == staged) break;
+      if (n == 0) {
+        if (config_.max_push_spins != 0 &&
+            ++spins >= config_.max_push_spins)
+          break;
+        std::this_thread::yield();
+      }
+    }
+    for (std::size_t k = done; k < staged; ++k) {
+      dropped.fetch_add(1, std::memory_order_release);
+      gt.event(trace::EventKind::kDrop, stage[k].seq, stage[k].batch);
+      stage[k].skb.reset();
     }
   }
   produce_done.store(true, std::memory_order_release);
   gt.flush();
+  // Slabs parked in the stash go back to the pool before the consumer's
+  // recycle pushes are cut off.
+  for (std::size_t k = stash_i; k < stash_n; ++k) stash[k].reset();
 
   consumer.join();
   workers.clear();  // join all
@@ -183,6 +321,9 @@ EngineResult Engine::run(
   res.wall_seconds =
       std::chrono::duration<double>(t1 - t0).count();
   res.in_order = in_order && consumed + res.packets_dropped == total;
+  res.pool_acquired = pool.acquired();
+  res.pool_recycled = pool.recycled();
+  res.pool_exhausted = pool.exhausted();
   return res;
 }
 

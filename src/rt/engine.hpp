@@ -1,19 +1,29 @@
 // Real-thread MFLOW pipeline engine.
 //
 // Executes the paper's split/process/merge structure with actual threads
-// and lock-free rings, on synthetic packets whose per-packet cost is
+// and lock-free rings, on pooled packets whose per-packet cost is
 // calibrated busy-work:
 //
 //   generator (caller thread)
-//        | assigns micro-flow batches round-robin
+//        | acquires a pool slab per packet, assigns micro-flow batches
+//        | round-robin, pushes CHUNKS into the splitting rings
 //        v
 //   per-worker SPSC splitting rings
-//        |            (worker threads: spin cost_ns of "processing")
+//        |            (worker threads: pop a chunk, spin cost_ns of
+//        |             "processing" per packet, deposit the chunk)
 //        v
 //   per-worker SPSC buffer rings
 //        |            (consumer thread: batch-based merge)
 //        v
-//   in-order output, verified against the generator's sequence
+//   in-order output, verified against the generator's sequence;
+//   each consumed packet's slab returns to the generator through an
+//   internal SPSC recycle ring (pool free-list only as fallback)
+//
+// Steady-state processing performs ZERO heap allocations: every packet
+// lives in a pre-sized rt::PacketPool slab, ring handoffs move the RAII
+// handle, and recycling is ring-based. tests/test_pool.cpp enforces this
+// with an allocation-counting guard; docs/PERFORMANCE.md documents the
+// slab lifecycle.
 //
 // With workers == 1 this degenerates to the vanilla single-core pipeline,
 // giving a baseline for the throughput comparison in bench/micro_rt.
@@ -28,24 +38,34 @@
 #include <thread>
 #include <vector>
 
+#include "rt/pool.hpp"
 #include "rt/reassembler.hpp"
 
 namespace mflow::rt {
 
 struct EngineConfig {
+  /// Worker (processing) thread count, excluding generator and consumer.
   std::size_t workers = 2;
+  /// Packets per micro-flow batch (the paper's split granularity).
   std::uint32_t batch_size = 256;
-  std::size_t ring_capacity = 1024;  // power of two
+  /// Depth of every SPSC ring (power of two — SpscRing enforces this).
+  std::size_t ring_capacity = 1024;
+  /// Calibrated busy-work per packet; 0 measures pure framework overhead.
   std::uint32_t cost_ns_per_packet = 300;
-  /// Backpressure bound: a full SPSC ring is retried (with yield) at most
-  /// this many times before the packet is dropped and recovered — the
-  /// pipeline degrades instead of spinning behind a stalled consumer.
-  /// 0 retries forever (the old lossless behaviour).
+  /// Backpressure bound: a full SPSC ring (or an exhausted pool) is
+  /// retried (with yield) at most this many times before the packet is
+  /// dropped and recovered — the pipeline degrades instead of spinning
+  /// behind a stalled consumer. 0 retries forever (lossless).
   std::uint32_t max_push_spins = 1u << 16;
   /// Injected loss probability at the worker->merger deposit, to exercise
   /// the drop-and-recover path under real concurrency.
   double fault_drop_rate = 0.0;
   std::uint64_t fault_seed = 0x5eed;
+  /// Packet-pool slabs for this run. 0 auto-sizes to cover every ring plus
+  /// in-flight staging, so a lossless run can never exhaust the pool.
+  /// Deliberately small values exercise pool backpressure (the generator
+  /// waits for recycled slabs instead of allocating).
+  std::size_t pool_capacity = 0;
 };
 
 struct EngineResult {
@@ -56,6 +76,10 @@ struct EngineResult {
   /// Survivor seqs strictly increasing AND delivered + dropped == total
   /// (without drops this is exactly "output seq is 0..packets-1").
   bool in_order = false;
+  /// Pool telemetry for the run (see rt::PacketPool counters).
+  std::uint64_t pool_acquired = 0;
+  std::uint64_t pool_recycled = 0;
+  std::uint64_t pool_exhausted = 0;
   double packets_per_second() const {
     return wall_seconds > 0 ? static_cast<double>(packets) / wall_seconds
                             : 0.0;
@@ -67,7 +91,10 @@ class Engine {
   explicit Engine(EngineConfig config) : config_(config) {}
 
   /// Push `total` packets through the split/process/merge pipeline.
-  /// `on_output` (optional) observes every merged packet in order.
+  /// `on_output` (optional) observes every merged packet in order; the
+  /// packet's skb is still attached at that point and is recycled right
+  /// after the callback returns (copy-to-user is the end of skb life,
+  /// exactly as in the kernel).
   EngineResult run(std::uint64_t total,
                    const std::function<void(const RtPacket&)>& on_output = {});
 

@@ -11,15 +11,35 @@ RtReassembler::RtReassembler(std::size_t workers,
         std::make_unique<SpscRing<RtPacket>>(ring_capacity_pow2));
 }
 
-bool RtReassembler::deposit(std::size_t w, const RtPacket& pkt,
+bool RtReassembler::deposit(std::size_t w, RtPacket&& pkt,
                             std::uint32_t max_spins) {
   auto& ring = *rings_[w];
   std::uint32_t spins = 0;
-  while (!ring.try_push(pkt)) {
+  // The rvalue try_push only consumes pkt on success, so a false return
+  // here leaves the packet (and its skb) with the caller.
+  while (!ring.try_push(std::move(pkt))) {
     if (max_spins != 0 && ++spins >= max_spins) return false;
     std::this_thread::yield();
   }
   return true;
+}
+
+std::size_t RtReassembler::deposit_batch(std::size_t w, RtPacket* pkts,
+                                         std::size_t count,
+                                         std::uint32_t max_spins) {
+  auto& ring = *rings_[w];
+  std::size_t done = 0;
+  std::uint32_t spins = 0;
+  while (done < count) {
+    const std::size_t n = ring.try_push_batch(pkts + done, count - done);
+    done += n;
+    if (done == count) break;
+    if (n == 0) {
+      if (max_spins != 0 && ++spins >= max_spins) break;
+      std::this_thread::yield();
+    }
+  }
+  return done;
 }
 
 std::optional<RtPacket> RtReassembler::pop_ready() {
@@ -36,6 +56,25 @@ std::optional<RtPacket> RtReassembler::pop_ready() {
     ++merge_counter_;
     ++batches_merged_;
   }
+}
+
+std::size_t RtReassembler::pop_ready_batch(RtPacket* out, std::size_t max) {
+  std::size_t got = 0;
+  while (got < max) {
+    auto& ring = *rings_[owner_of(merge_counter_)];
+    got += ring.try_pop_batch_while(
+        out + got, max - got,
+        [this](const RtPacket& p) { return p.batch == merge_counter_; });
+    const RtPacket* head = ring.peek();
+    if (head == nullptr) break;  // merge head dry — caller yields/advances
+    if (head->batch == merge_counter_) continue;  // more of this micro-flow
+                                                  // arrived — keep draining
+    // A later batch at the head: this micro-flow is complete (FIFO per
+    // worker), advance and keep draining into the same output chunk.
+    ++merge_counter_;
+    ++batches_merged_;
+  }
+  return got;
 }
 
 void RtReassembler::force_advance() {

@@ -6,6 +6,10 @@
 // implied by the splitter's round-robin, so the consumer needs no shared
 // mutable state beyond the rings themselves — the "global merging counter"
 // is consumer-private, exactly as recvmsg-context merging is in the paper.
+//
+// Packets are MOVE-ONLY: each RtPacket carries its pooled skb
+// (net::PacketPtr, see rt/pool.hpp), so a deposit transfers slab ownership
+// worker → consumer and a dropped deposit recycles the slab automatically.
 #pragma once
 
 #include <cstdint>
@@ -13,33 +17,58 @@
 #include <optional>
 #include <vector>
 
+#include "net/packet.hpp"
 #include "rt/spsc_ring.hpp"
 
 namespace mflow::rt {
 
+/// One unit of work flowing splitter -> worker -> merger. Move-only once an
+/// skb is attached (PacketPtr), but remains an aggregate so tests can brace-
+/// initialize metadata-only packets (skb == nullptr is legal everywhere).
 struct RtPacket {
   std::uint64_t seq = 0;       // position in the original flow
   std::uint64_t batch = 0;     // micro-flow id (1-based)
   std::uint32_t cost_ns = 0;   // synthetic per-packet processing cost
   bool last = false;           // end-of-stream marker
+  net::PacketPtr skb;          // pooled packet buffer (may be null)
 };
 
 class RtReassembler {
  public:
+  /// `workers` buffer rings, each `ring_capacity_pow2` deep (power of two,
+  /// enforced by SpscRing's constructor).
   RtReassembler(std::size_t workers, std::size_t ring_capacity_pow2);
 
   /// Worker `w` deposits a processed packet (SPSC per worker).
   /// A full ring is retried (with yield) at most `max_spins` times;
   /// 0 means retry forever. Returns false when the retry budget is
-  /// exhausted — the caller owns the loss and must account for it so the
-  /// consumer's conservation check still terminates.
-  [[nodiscard]] bool deposit(std::size_t w, const RtPacket& pkt,
+  /// exhausted — `pkt` is then left INTACT (its skb is not consumed), and
+  /// the caller owns the loss and must account for it so the consumer's
+  /// conservation check still terminates.
+  [[nodiscard]] bool deposit(std::size_t w, RtPacket&& pkt,
                              std::uint32_t max_spins = 0);
+
+  /// Deposit `count` packets from `pkts` in order; returns how many were
+  /// accepted (a prefix — the rest are left intact for the caller to retry
+  /// or drop). Amortizes ring atomics across the batch; spins/yields like
+  /// deposit() only when the ring is full mid-batch.
+  [[nodiscard]] std::size_t deposit_batch(std::size_t w, RtPacket* pkts,
+                                          std::size_t count,
+                                          std::uint32_t max_spins = 0);
 
   /// Consumer: next packet in original flow order, or nullopt if the head
   /// of the current micro-flow hasn't arrived yet.
   std::optional<RtPacket> pop_ready();
 
+  /// Consumer: pop up to `max` in-order packets into `out`, crossing
+  /// micro-flow boundaries when the next micro-flow's head has already
+  /// arrived. Returns how many were written; 0 means the merge head is dry
+  /// (same condition as pop_ready() == nullopt). Amortizes ring atomics
+  /// across whole micro-flow runs — the consumer-side twin of
+  /// deposit_batch().
+  std::size_t pop_ready_batch(RtPacket* out, std::size_t max);
+
+  /// Micro-flows fully merged so far (consumer-private counter).
   std::uint64_t batches_merged() const { return batches_merged_; }
 
   /// End-of-stream only: skip a micro-flow whose ring is dry after all

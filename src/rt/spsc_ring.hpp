@@ -5,17 +5,35 @@
 // exactly like the per-core, per-device splitting queues and buffer queues
 // of the paper — so no multi-producer machinery is needed anywhere.
 //
-// Memory ordering: the producer publishes with a release store of head_; the
-// consumer observes with an acquire load, and vice versa for tail_. Indices
-// are monotonically increasing uint64 (no wrap handling needed in practice);
-// capacity must be a power of two.
+// Performance shape (the full contract is written up in
+// docs/PERFORMANCE.md §SPSC):
+//
+//  - head_ (producer-owned) and tail_ (consumer-owned) live on separate
+//    cache lines, each padded to a full line together with the OTHER side's
+//    cached index, so the two threads never false-share;
+//  - each side keeps a cached copy of the opposite index (`cached_tail_` on
+//    the producer line, `cached_head_` on the consumer line) and only
+//    re-reads the shared atomic when the cache says the ring LOOKS full/
+//    empty — the common-case push/pop touches no foreign cache line at all;
+//  - try_push_batch / try_pop_batch amortize the one acquire-load and one
+//    release-store across a whole batch, which is where the engine gets its
+//    paper-style batching win.
+//
+// Memory ordering: the producer publishes slots with a release store of
+// head_; the consumer observes them with an acquire load, and symmetrically
+// for tail_. Cached indices are conservative (stale values only under-
+// estimate available space/items), so they need no ordering of their own.
+// Indices are monotonically increasing uint64 (no wrap handling needed in
+// practice); capacity must be a power of two — enforced with a hard error
+// in ALL build types, because a silent non-power-of-2 mask corrupts data.
 #pragma once
 
 #include <atomic>
 #include <bit>
-#include <cassert>
 #include <cstdint>
 #include <optional>
+#include <stdexcept>
+#include <utility>
 #include <vector>
 
 namespace mflow::rt {
@@ -23,40 +41,109 @@ namespace mflow::rt {
 template <typename T>
 class SpscRing {
  public:
+  /// Capacity must be a power of two; throws std::invalid_argument
+  /// otherwise (hard error even in release builds — see file header).
   explicit SpscRing(std::size_t capacity_pow2)
       : mask_(capacity_pow2 - 1), slots_(capacity_pow2) {
-    assert(std::has_single_bit(capacity_pow2));
+    if (capacity_pow2 == 0 || !std::has_single_bit(capacity_pow2)) {
+      throw std::invalid_argument(
+          "SpscRing capacity must be a non-zero power of two");
+    }
   }
 
   /// Producer side. Returns false when full (caller decides to spin/yield).
-  bool try_push(T value) {
+  bool try_push(const T& value) { return emplace(value); }
+
+  /// Rvalue push: `value` is moved from ONLY on success — on a full ring it
+  /// is left intact, so callers holding move-only handles (net::PacketPtr)
+  /// can retry without losing the packet.
+  bool try_push(T&& value) { return emplace(std::move(value)); }
+
+  /// Push up to `count` items from `items`; returns how many were moved in
+  /// (the first `n` elements — the rest are untouched). One release store
+  /// publishes the whole batch.
+  std::size_t try_push_batch(T* items, std::size_t count) {
     const std::uint64_t head = head_.load(std::memory_order_relaxed);
-    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
-    if (head - tail > mask_) return false;
-    slots_[head & mask_] = std::move(value);
-    head_.store(head + 1, std::memory_order_release);
-    return true;
+    std::size_t space = capacity() - static_cast<std::size_t>(head - cached_tail_);
+    if (space < count) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      space = capacity() - static_cast<std::size_t>(head - cached_tail_);
+      if (space == 0) return 0;
+    }
+    const std::size_t n = count < space ? count : space;
+    for (std::size_t i = 0; i < n; ++i)
+      slots_[(head + i) & mask_] = std::move(items[i]);
+    head_.store(head + n, std::memory_order_release);
+    return n;
   }
 
   /// Consumer side. Returns nullopt when empty.
   std::optional<T> try_pop() {
     const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
-    const std::uint64_t head = head_.load(std::memory_order_acquire);
-    if (tail == head) return std::nullopt;
-    T value = std::move(slots_[tail & mask_]);
+    if (tail == cached_head_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail == cached_head_) return std::nullopt;
+    }
+    std::optional<T> value(std::move(slots_[tail & mask_]));
     tail_.store(tail + 1, std::memory_order_release);
     return value;
   }
 
+  /// Pop up to `max` items into `out`; returns how many were written. One
+  /// release store frees the whole batch for the producer.
+  std::size_t try_pop_batch(T* out, std::size_t max) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    std::size_t avail = static_cast<std::size_t>(cached_head_ - tail);
+    if (avail < max) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      avail = static_cast<std::size_t>(cached_head_ - tail);
+      if (avail == 0) return 0;
+    }
+    const std::size_t n = max < avail ? max : avail;
+    for (std::size_t i = 0; i < n; ++i)
+      out[i] = std::move(slots_[(tail + i) & mask_]);
+    tail_.store(tail + n, std::memory_order_release);
+    return n;
+  }
+
+  /// Pop consecutive head items while `pred(item)` holds, up to `max`.
+  /// The first item that fails the predicate stays in the ring (along with
+  /// everything behind it). One release store frees the accepted prefix —
+  /// this is how the merger consumes a micro-flow run without giving up
+  /// batching at batch boundaries. Consumer-only.
+  template <typename Pred>
+  std::size_t try_pop_batch_while(T* out, std::size_t max, Pred&& pred) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    std::size_t avail = static_cast<std::size_t>(cached_head_ - tail);
+    if (avail < max) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      avail = static_cast<std::size_t>(cached_head_ - tail);
+      if (avail == 0) return 0;
+    }
+    const std::size_t n = max < avail ? max : avail;
+    std::size_t i = 0;
+    for (; i < n; ++i) {
+      T& slot = slots_[(tail + i) & mask_];
+      if (!pred(static_cast<const T&>(slot))) break;
+      out[i] = std::move(slot);
+    }
+    if (i != 0) tail_.store(tail + i, std::memory_order_release);
+    return i;
+  }
+
   /// Consumer-side peek without consuming (used by the batch merger to
   /// detect batch boundaries). The reference stays valid until try_pop().
-  const T* peek() const {
+  /// Consumer-only (updates the consumer's cached head index).
+  const T* peek() {
     const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
-    const std::uint64_t head = head_.load(std::memory_order_acquire);
-    if (tail == head) return nullptr;
+    if (tail == cached_head_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail == cached_head_) return nullptr;
+    }
     return &slots_[tail & mask_];
   }
 
+  /// Snapshot of current occupancy; exact only from producer or consumer.
   std::size_t size() const {
     return static_cast<std::size_t>(head_.load(std::memory_order_acquire) -
                                     tail_.load(std::memory_order_acquire));
@@ -65,10 +152,30 @@ class SpscRing {
   std::size_t capacity() const { return mask_ + 1; }
 
  private:
-  alignas(64) std::atomic<std::uint64_t> head_{0};  // producer-owned
-  alignas(64) std::atomic<std::uint64_t> tail_{0};  // consumer-owned
+  template <typename U>
+  bool emplace(U&& value) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head - cached_tail_ > mask_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head - cached_tail_ > mask_) return false;
+    }
+    slots_[head & mask_] = std::forward<U>(value);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Read-mostly header (shared by both sides, never written after ctor).
   std::size_t mask_;
   std::vector<T> slots_;
+
+  // Producer-owned line: published index + cached view of the consumer's.
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  std::uint64_t cached_tail_{0};
+
+  // Consumer-owned line, padded so nothing trails into a third shared line.
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+  std::uint64_t cached_head_{0};
+  char pad_[64 - 2 * sizeof(std::uint64_t)];
 };
 
 }  // namespace mflow::rt

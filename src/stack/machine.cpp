@@ -156,7 +156,7 @@ void Machine::inject_into_path(std::size_t index, int from_core,
         break;
       case net::FaultAction::kDuplicate:
         deliver_to_stage(index, target, from_core,
-                         std::make_unique<net::Packet>(*pkt),
+                         net::clone_packet(*pkt),
                          /*charge_handoff=*/false);
         break;
       case net::FaultAction::kDelay: {

@@ -25,7 +25,7 @@ void WireLink::deliver(net::PacketPtr pkt) {
         faults_->corrupt(*pkt);
         break;
       case net::FaultAction::kDuplicate:
-        dst_.nic().deliver(std::make_unique<net::Packet>(*pkt), sim_.now());
+        dst_.nic().deliver(net::clone_packet(*pkt), sim_.now());
         break;
       case net::FaultAction::kDelay: {
         // Shared holder keeps the packet owned even if the simulation ends
@@ -103,7 +103,11 @@ bool TcpSender::poll(sim::Core& core, int budget) {
                                        ? costs.client_tcp_per_seg_overlay
                                        : costs.client_tcp_per_seg_native);
 
-    auto pkt = net::make_tcp_segment(params_.flow, next_off_, len);
+    // Build into a recycled slab when a pool is attached (acquire() may
+    // return null on exhaustion — make_tcp_segment then heap-allocates).
+    auto pkt = net::make_tcp_segment(
+        params_.pool ? params_.pool->acquire() : net::PacketPtr{},
+        params_.flow, next_off_, len);
     pkt->flow_id = params_.flow_id;
     pkt->message_id = next_off_ / params_.message_size;
     pkt->message_bytes = params_.message_size;
@@ -149,7 +153,9 @@ void UdpSender::send_fragment(sim::Core& core) {
               costs.client_udp_per_pkt +
                   (params_.overlay ? costs.client_overlay_tx_per_pkt : 0));
 
-  auto pkt = net::make_udp_datagram(params_.flow, len);
+  auto pkt = net::make_udp_datagram(
+      params_.pool ? params_.pool->acquire() : net::PacketPtr{},
+      params_.flow, len);
   pkt->flow_id = params_.flow_id;
   pkt->message_id = next_message_id_;
   pkt->message_bytes = params_.message_size;

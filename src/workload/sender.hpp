@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "net/packet.hpp"
+#include "rt/pool.hpp"
 #include "sim/core.hpp"
 #include "sim/simulator.hpp"
 #include "stack/machine.hpp"
@@ -84,6 +85,11 @@ struct SenderParams {
   /// (the paper's 3-client UDP setup) must not collide on message ids.
   std::uint64_t message_id_start = 0;
   std::uint64_t message_id_stride = 1;
+  /// Optional slab pool (non-owning): segments/datagrams are built into
+  /// recycled slabs instead of fresh heap packets, so steady-state traffic
+  /// generation stops touching the allocator. Exhaustion falls back to the
+  /// heap — the pool is an optimization, never a correctness constraint.
+  rt::PacketPool* pool = nullptr;
 };
 
 /// Windowed TCP sender: keeps `window_bytes` in flight, continues on ACKs.

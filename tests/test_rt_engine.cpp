@@ -3,12 +3,15 @@
 // any worker count and batch size.
 #include <gtest/gtest.h>
 
+#include <deque>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "rt/calibrate.hpp"
 #include "rt/engine.hpp"
 #include "rt/spsc_ring.hpp"
+#include "util/rng.hpp"
 
 using namespace mflow::rt;
 
@@ -57,6 +60,112 @@ TEST(SpscRing, TwoThreadsTransferEverythingInOrder) {
     } else {
       std::this_thread::yield();
     }
+  }
+}
+
+TEST(SpscRing, NonPowerOfTwoCapacityThrows) {
+  // A bad mask silently corrupts data, so the check must be a hard error in
+  // every build type, not an assert.
+  EXPECT_THROW(SpscRing<int>(0), std::invalid_argument);
+  EXPECT_THROW(SpscRing<int>(3), std::invalid_argument);
+  EXPECT_THROW(SpscRing<int>(1000), std::invalid_argument);
+  EXPECT_NO_THROW(SpscRing<int>(1));
+  EXPECT_NO_THROW(SpscRing<int>(1024));
+}
+
+TEST(SpscRing, FailedRvaluePushLeavesValueIntact) {
+  SpscRing<std::unique_ptr<int>> ring(2);
+  ASSERT_TRUE(ring.try_push(std::make_unique<int>(1)));
+  ASSERT_TRUE(ring.try_push(std::make_unique<int>(2)));
+  auto keep = std::make_unique<int>(3);
+  EXPECT_FALSE(ring.try_push(std::move(keep)));
+  // The contract move-only packet handles rely on: a rejected push must not
+  // have consumed the value.
+  ASSERT_NE(keep, nullptr);
+  EXPECT_EQ(*keep, 3);
+  ASSERT_TRUE(ring.try_pop().has_value());
+  EXPECT_TRUE(ring.try_push(std::move(keep)));
+  EXPECT_EQ(keep, nullptr);
+}
+
+// Property test: a randomized interleaving of scalar and batch operations
+// must behave exactly like a plain deque of the same values.
+TEST(SpscRing, BatchOpsMatchScalarModel) {
+  mflow::util::Rng rng(0xbadc);
+  SpscRing<std::uint64_t> ring(64);
+  std::deque<std::uint64_t> model;
+  std::uint64_t next = 0;
+  std::array<std::uint64_t, 97> buf;
+  for (int step = 0; step < 20000; ++step) {
+    switch (rng.uniform(4)) {
+      case 0: {  // scalar push
+        const bool had_space = model.size() < 64u;
+        const bool ok = ring.try_push(next);
+        EXPECT_EQ(ok, had_space);
+        if (ok) model.push_back(next++);
+        break;
+      }
+      case 1: {  // scalar pop
+        auto v = ring.try_pop();
+        ASSERT_EQ(v.has_value(), !model.empty());
+        if (v) {
+          EXPECT_EQ(*v, model.front());
+          model.pop_front();
+        }
+        break;
+      }
+      case 2: {  // batch push of random size (may exceed free space)
+        const std::size_t want = 1 + rng.uniform(buf.size());
+        for (std::size_t i = 0; i < want; ++i) buf[i] = next + i;
+        const std::size_t pushed = ring.try_push_batch(buf.data(), want);
+        EXPECT_EQ(pushed, std::min<std::size_t>(want, 64 - model.size()));
+        for (std::size_t i = 0; i < pushed; ++i) model.push_back(next + i);
+        next += pushed;
+        break;
+      }
+      default: {  // batch pop of random size
+        const std::size_t want = 1 + rng.uniform(buf.size());
+        const std::size_t popped = ring.try_pop_batch(buf.data(), want);
+        EXPECT_EQ(popped, std::min(want, model.size()));
+        for (std::size_t i = 0; i < popped; ++i) {
+          EXPECT_EQ(buf[i], model.front());
+          model.pop_front();
+        }
+        break;
+      }
+    }
+  }
+}
+
+TEST(SpscRing, BatchCrossThreadTransferEverythingInOrder) {
+  SpscRing<std::uint64_t> ring(64);
+  constexpr std::uint64_t kN = 200000;
+  std::jthread producer([&] {
+    std::array<std::uint64_t, 24> chunk;
+    std::uint64_t sent = 0;
+    while (sent < kN) {
+      const std::size_t want = static_cast<std::size_t>(
+          std::min<std::uint64_t>(chunk.size(), kN - sent));
+      for (std::size_t i = 0; i < want; ++i) chunk[i] = sent + i;
+      std::size_t done = 0;
+      while (done < want) {
+        const std::size_t k = ring.try_push_batch(chunk.data() + done,
+                                                  want - done);
+        done += k;
+        if (k == 0) std::this_thread::yield();
+      }
+      sent += want;
+    }
+  });
+  std::array<std::uint64_t, 17> out;
+  std::uint64_t expected = 0;
+  while (expected < kN) {
+    const std::size_t k = ring.try_pop_batch(out.data(), out.size());
+    if (k == 0) {
+      std::this_thread::yield();
+      continue;
+    }
+    for (std::size_t i = 0; i < k; ++i) ASSERT_EQ(out[i], expected++);
   }
 }
 
