@@ -40,7 +40,7 @@ RunResult run_case(bool mflow_tx, sim::Time measure) {
   overlay::PathSpec spec;
   spec.protocol = net::Ipv4Header::kProtoUdp;
   rx.set_path(overlay::build_rx_path(rx.costs(), spec));
-  rx.set_steering(steer::make_vanilla());
+  rx.set_steering(steer::make_policy(exp::Mode::kVanilla));
   stack::SocketConfig sc;
   sc.protocol = net::Ipv4Header::kProtoUdp;
   sc.message_size = 65536;

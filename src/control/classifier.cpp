@@ -1,0 +1,44 @@
+#include "control/classifier.hpp"
+
+namespace mflow::control {
+
+FlowClass Classifier::update(net::FlowId flow, double rate_pps,
+                             sim::Time now) {
+  State& st = states_[flow];
+
+  // What does the instantaneous rate argue for, given the hysteresis band?
+  // Inside the band (demote_pps < rate < promote_pps) it argues for the
+  // committed state — any pending candidate is cancelled.
+  FlowClass wanted = st.committed;
+  if (rate_pps >= params_.promote_pps) {
+    wanted = FlowClass::kElephant;
+  } else if (rate_pps <= params_.demote_pps) {
+    wanted = FlowClass::kMouse;
+  }
+
+  if (wanted == st.committed) {
+    st.candidate = st.committed;
+    return st.committed;
+  }
+  if (st.candidate != wanted) {
+    st.candidate = wanted;
+    st.candidate_since = now;
+  }
+  if (now - st.candidate_since >= params_.dwell) {
+    st.committed = wanted;
+    ++transitions_;
+  }
+  return st.committed;
+}
+
+FlowClass Classifier::classify(net::FlowId flow) const {
+  auto it = states_.find(flow);
+  return it == states_.end() ? FlowClass::kMouse : it->second.committed;
+}
+
+void Classifier::clear() {
+  states_.clear();
+  transitions_ = 0;
+}
+
+}  // namespace mflow::control

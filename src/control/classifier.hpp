@@ -1,0 +1,66 @@
+// Elephant/mouse classification with hysteresis (control plane stage 2).
+//
+// A flow crossing the rate threshold is not reclassified immediately:
+// promotion and demotion use separate thresholds (a hysteresis band) AND
+// the candidate state must persist for a dwell time before it commits.
+// Both are needed — the band alone still flaps when a sender oscillates
+// across the whole band, and dwell alone still flaps at exactly the
+// threshold. Together a flow bouncing around the promote threshold stays
+// put until it spends `dwell` continuously on the far side, which is what
+// keeps the scaler from thrashing split degrees (every rescale costs a
+// drain through the reassembler).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "net/flow.hpp"
+#include "sim/time.hpp"
+
+namespace mflow::control {
+
+enum class FlowClass : std::uint8_t { kMouse, kElephant };
+
+inline const char* flow_class_name(FlowClass c) {
+  return c == FlowClass::kElephant ? "elephant" : "mouse";
+}
+
+struct ClassifierParams {
+  /// Rate at or above which a mouse becomes an elephant candidate.
+  double promote_pps = 100'000.0;
+  /// Rate at or below which an elephant becomes a mouse candidate. Must be
+  /// < promote_pps for the band to exist.
+  double demote_pps = 50'000.0;
+  /// Continuous time a candidate state must hold before it commits.
+  sim::Time dwell = sim::us(200);
+};
+
+class Classifier {
+ public:
+  explicit Classifier(ClassifierParams params = {}) : params_(params) {}
+
+  /// Observe `flow` at `rate_pps` at time `now`; returns the committed
+  /// class after applying hysteresis. New flows start as mice.
+  FlowClass update(net::FlowId flow, double rate_pps, sim::Time now);
+
+  /// Committed class (kMouse for never-seen flows).
+  FlowClass classify(net::FlowId flow) const;
+
+  /// Committed transitions so far (promotions + demotions) — flap meter.
+  std::uint64_t transitions() const { return transitions_; }
+
+  void clear();
+
+ private:
+  struct State {
+    FlowClass committed = FlowClass::kMouse;
+    FlowClass candidate = FlowClass::kMouse;
+    sim::Time candidate_since = 0;
+  };
+
+  ClassifierParams params_;
+  std::unordered_map<net::FlowId, State> states_;
+  std::uint64_t transitions_ = 0;
+};
+
+}  // namespace mflow::control

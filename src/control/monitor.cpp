@@ -1,0 +1,62 @@
+#include "control/monitor.hpp"
+
+namespace mflow::control {
+
+void FlowMonitor::record(net::FlowId flow, std::uint64_t total_segs,
+                         std::uint64_t total_bytes, sim::Time now) {
+  auto it = flows_.find(flow);
+  if (it == flows_.end()) {
+    it = flows_.emplace(flow, PerFlow{}).first;
+    it->second.pps_name =
+        "flow." + std::to_string(flow) + ".rate_pps";
+    it->second.bps_name =
+        "flow." + std::to_string(flow) + ".rate_bps";
+    order_.push_back(flow);
+  }
+  PerFlow& pf = it->second;
+  pf.samples.push_back(Sample{now, total_segs, total_bytes});
+  // Trim to the window, but always keep at least two samples so a sparse
+  // sampler (interval > window) still yields a rate.
+  while (pf.samples.size() > 2 &&
+         (pf.samples.size() > params_.max_samples ||
+          pf.samples.back().at - pf.samples[1].at >= params_.window)) {
+    pf.samples.pop_front();
+  }
+  if (registry_ != nullptr) {
+    registry_->set_gauge(pf.pps_name, rate(flow, /*bytes=*/false));
+    registry_->set_gauge(pf.bps_name, rate(flow, /*bytes=*/true));
+  }
+}
+
+double FlowMonitor::rate(net::FlowId flow, bool bytes) const {
+  auto it = flows_.find(flow);
+  if (it == flows_.end() || it->second.samples.size() < 2) return 0.0;
+  const Sample& first = it->second.samples.front();
+  const Sample& last = it->second.samples.back();
+  const sim::Time span = last.at - first.at;
+  if (span <= 0) return 0.0;
+  const std::uint64_t delta =
+      bytes ? last.bytes - first.bytes : last.segs - first.segs;
+  return static_cast<double>(delta) / sim::to_seconds(span);
+}
+
+double FlowMonitor::rate_pps(net::FlowId flow) const {
+  return rate(flow, /*bytes=*/false);
+}
+
+double FlowMonitor::rate_bps(net::FlowId flow) const {
+  return rate(flow, /*bytes=*/true) * 8.0;
+}
+
+std::uint64_t FlowMonitor::total_segs(net::FlowId flow) const {
+  auto it = flows_.find(flow);
+  if (it == flows_.end() || it->second.samples.empty()) return 0;
+  return it->second.samples.back().segs;
+}
+
+void FlowMonitor::clear() {
+  flows_.clear();
+  order_.clear();
+}
+
+}  // namespace mflow::control

@@ -1,0 +1,88 @@
+// FlowMonitor: per-flow rate estimation over sliding windows (control
+// plane stage 1 of monitor -> classifier -> scaler).
+//
+// The monitor is pull-based and engine-agnostic: whoever drives the
+// control loop periodically feeds it cumulative per-flow totals (wire
+// segments + payload bytes, exactly what BatchAssigner already counts at
+// the split point for every packet, mice included), and the monitor keeps
+// a short ring of timestamped samples per flow. A rate query answers with
+// the delta over the samples spanning the configured window — a sliding
+// window average, robust to the sampling interval jittering.
+//
+// When a trace::Registry is attached, every sample also publishes
+// `flow.<id>.rate_pps` / `flow.<id>.rate_bps` gauges, so the classifier's
+// inputs land in the same uniform stat surface the benches and exporters
+// already read (names are built once per flow and cached — no per-sample
+// formatting).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/flow.hpp"
+#include "sim/time.hpp"
+#include "trace/registry.hpp"
+
+namespace mflow::control {
+
+struct MonitorParams {
+  /// Sliding window the rates are averaged over. Short windows react fast
+  /// but amplify sender burstiness; the classifier's hysteresis (dwell)
+  /// compensates, so the default leans reactive.
+  sim::Time window = sim::ms(1);
+  /// Samples retained per flow; must cover window / sampling-interval.
+  std::size_t max_samples = 32;
+};
+
+class FlowMonitor {
+ public:
+  explicit FlowMonitor(MonitorParams params = {}) : params_(params) {}
+
+  /// Feed one cumulative observation for `flow` at time `now`. Totals are
+  /// monotonic (lifetime segments/bytes as counted at the split point);
+  /// the monitor differentiates internally.
+  void record(net::FlowId flow, std::uint64_t total_segs,
+              std::uint64_t total_bytes, sim::Time now);
+
+  /// Average rate over the sliding window ending at the last sample.
+  /// 0 until a flow has two samples.
+  double rate_pps(net::FlowId flow) const;
+  double rate_bps(net::FlowId flow) const;
+
+  /// Flows the monitor has ever seen, in first-seen order (deterministic
+  /// iteration for the classifier loop).
+  const std::vector<net::FlowId>& flows() const { return order_; }
+
+  std::uint64_t total_segs(net::FlowId flow) const;
+
+  /// Publish per-flow rate gauges into `reg` on every record(). Pass
+  /// nullptr to detach.
+  void export_to(trace::Registry* reg) { registry_ = reg; }
+
+  /// Drop all history (measurement-window boundary).
+  void clear();
+
+ private:
+  struct Sample {
+    sim::Time at = 0;
+    std::uint64_t segs = 0;
+    std::uint64_t bytes = 0;
+  };
+  struct PerFlow {
+    std::deque<Sample> samples;
+    std::string pps_name;  // cached gauge names ("flow.<id>.rate_pps")
+    std::string bps_name;
+  };
+
+  double rate(net::FlowId flow, bool bytes) const;
+
+  MonitorParams params_;
+  std::unordered_map<net::FlowId, PerFlow> flows_;
+  std::vector<net::FlowId> order_;
+  trace::Registry* registry_ = nullptr;
+};
+
+}  // namespace mflow::control

@@ -1,0 +1,81 @@
+#include "control/policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace mflow::control {
+
+std::uint32_t ScalingPolicy::degree_for(FlowClass cls, double rate_pps,
+                                        std::uint32_t max_degree,
+                                        std::uint32_t current_degree) const {
+  if (cls == FlowClass::kMouse) return 0;
+  double lanes = 1.0;
+  if (params_.per_core_pps > 0.0) {
+    lanes = std::ceil(rate_pps / params_.per_core_pps);
+  }
+  std::uint32_t want = static_cast<std::uint32_t>(
+      std::clamp(lanes, 1.0, static_cast<double>(max_degree)));
+  want = std::max(want, std::min(params_.min_elephant_degree, max_degree));
+  // Shrink deadband: stay at the current degree unless the rate fits the
+  // smaller lane count with shrink_margin headroom.
+  if (want < current_degree && params_.per_core_pps > 0.0 &&
+      rate_pps > static_cast<double>(want) * params_.per_core_pps *
+                     params_.shrink_margin)
+    return current_degree;
+  return want;
+}
+
+Controller::Controller(ControllerParams params, Source source,
+                       ScalingTarget* target)
+    : params_(params),
+      source_(std::move(source)),
+      target_(target),
+      monitor_(params.monitor),
+      classifier_(params.classifier),
+      policy_(params.scaling) {}
+
+void Controller::tick(sim::Time now) {
+  const std::uint32_t max_degree = target_->max_degree();
+  for (const FlowTotals& t : source_()) {
+    monitor_.record(t.flow, t.segs, t.bytes, now);
+    const double pps = monitor_.rate_pps(t.flow);
+    const FlowClass cls = classifier_.update(t.flow, pps, now);
+    auto [it, fresh] = degrees_.try_emplace(t.flow, 0u);
+    const std::uint32_t want =
+        policy_.degree_for(cls, pps, max_degree, it->second);
+    if (!fresh && it->second == want) continue;
+    if (fresh && want == 0) continue;  // mice start unsplit: nothing to do
+    history_.push_back(RescaleEvent{now, t.flow, it->second, want});
+    it->second = want;
+    target_->set_flow_degree(t.flow, want);
+  }
+  if (registry_ != nullptr) {
+    std::uint64_t lanes = 0;
+    for (const auto& [flow, deg] : degrees_) lanes += deg;
+    registry_->set_gauge("control.elephants",
+                         static_cast<double>(elephants()));
+    registry_->set_gauge("control.active_lanes", static_cast<double>(lanes));
+    registry_->set_counter("control.rescales", history_.size());
+  }
+}
+
+std::uint32_t Controller::degree_of(net::FlowId flow) const {
+  auto it = degrees_.find(flow);
+  return it == degrees_.end() ? 0 : it->second;
+}
+
+std::uint64_t Controller::elephants() const {
+  std::uint64_t n = 0;
+  for (const auto& [flow, deg] : degrees_) {
+    if (classifier_.classify(flow) == FlowClass::kElephant) ++n;
+  }
+  return n;
+}
+
+void Controller::export_to(trace::Registry* reg) {
+  registry_ = reg;
+  monitor_.export_to(reg);
+}
+
+}  // namespace mflow::control

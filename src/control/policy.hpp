@@ -1,0 +1,130 @@
+// ScalingPolicy + Controller: the decision stage of the control plane
+// (monitor -> classifier -> scaler) and the loop that drives all three.
+//
+// The policy maps (class, rate) to a split degree: mice get degree 0
+// (stay on the arrival core — no split, no reassembly latency), elephants
+// get enough micro-flow lanes to absorb their measured rate given a
+// per-core service capacity, clamped to the target's core budget. The
+// Controller owns one monitor/classifier/policy triple, pulls per-flow
+// totals from a source callback on each tick, and pushes degree changes
+// into a ScalingTarget — the one seam both engines implement
+// (core::MflowEngine directly; the rt engine applies an equivalent
+// schedule at batch boundaries, see rt/engine.hpp).
+//
+// Degree changes are NOT applied instantaneously by the data path: the
+// splitter retargets only at batch boundaries and the reassembler holds
+// post-unsplit packets until the old degree's in-flight batches drain
+// (reusing the pre-split gate grace machinery) — the rescale-drain
+// protocol documented in docs/ARCHITECTURE.md.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "control/classifier.hpp"
+#include "control/monitor.hpp"
+#include "net/flow.hpp"
+#include "sim/time.hpp"
+#include "trace/registry.hpp"
+
+namespace mflow::control {
+
+/// The data-path seam the controller retargets. Degree 0 = unsplit (mouse
+/// path: deliver on the arrival core); degree k in [1, max_degree()] =
+/// split round-robin over the first k kernel lanes.
+class ScalingTarget {
+ public:
+  virtual ~ScalingTarget() = default;
+  virtual void set_flow_degree(net::FlowId flow, std::uint32_t degree) = 0;
+  virtual std::uint32_t max_degree() const = 0;
+};
+
+struct ScalingParams {
+  /// Packets/s one kernel lane is assumed to absorb; an elephant at rate R
+  /// gets ceil(R / per_core_pps) lanes. Derive from 1/kernel-path-cost.
+  double per_core_pps = 150'000.0;
+  /// Floor for elephants (even a freshly promoted one gets this many).
+  std::uint32_t min_elephant_degree = 1;
+  /// Shrink deadband: an elephant's degree only drops to k when its rate
+  /// fits k lanes with this much headroom (rate <= k * per_core_pps *
+  /// shrink_margin). Without it a rate hovering at a ceil() boundary
+  /// flaps the degree every tick — each flap pays the rescale-drain
+  /// protocol for nothing. Growing is immediate (underprovisioning costs
+  /// throughput now; shrinking can wait for certainty).
+  double shrink_margin = 0.8;
+};
+
+class ScalingPolicy {
+ public:
+  explicit ScalingPolicy(ScalingParams params = {}) : params_(params) {}
+
+  /// Desired split degree for one flow given its current degree, clamped
+  /// to [0, max_degree]. `current_degree` anchors the shrink deadband (use
+  /// 0 for a flow with no split history).
+  std::uint32_t degree_for(FlowClass cls, double rate_pps,
+                           std::uint32_t max_degree,
+                           std::uint32_t current_degree = 0) const;
+
+ private:
+  ScalingParams params_;
+};
+
+struct ControllerParams {
+  MonitorParams monitor;
+  ClassifierParams classifier;
+  ScalingParams scaling;
+};
+
+/// One committed degree change, for tests and the bench's transition plot.
+struct RescaleEvent {
+  sim::Time at = 0;
+  net::FlowId flow = 0;
+  std::uint32_t old_degree = 0;
+  std::uint32_t new_degree = 0;
+};
+
+class Controller {
+ public:
+  /// Per-flow cumulative totals as counted at the split point. Pull-based:
+  /// the controller invokes this each tick so the data path never blocks
+  /// on the control plane.
+  struct FlowTotals {
+    net::FlowId flow = 0;
+    std::uint64_t segs = 0;
+    std::uint64_t bytes = 0;
+  };
+  using Source = std::function<std::vector<FlowTotals>()>;
+
+  Controller(ControllerParams params, Source source, ScalingTarget* target);
+
+  /// One control iteration: sample -> classify -> retarget. Only committed
+  /// degree changes reach the target (no-op ticks are free).
+  void tick(sim::Time now);
+
+  const std::vector<RescaleEvent>& history() const { return history_; }
+  std::uint64_t rescales() const { return history_.size(); }
+  std::uint32_t degree_of(net::FlowId flow) const;
+  std::uint64_t elephants() const;
+
+  FlowMonitor& monitor() { return monitor_; }
+  Classifier& classifier() { return classifier_; }
+
+  /// Publish control.elephants / control.active_lanes / control.rescales
+  /// gauges+counters each tick (and per-flow rates via the monitor).
+  void export_to(trace::Registry* reg);
+
+ private:
+  ControllerParams params_;
+  Source source_;
+  ScalingTarget* target_;
+  FlowMonitor monitor_;
+  Classifier classifier_;
+  ScalingPolicy policy_;
+  std::unordered_map<net::FlowId, std::uint32_t> degrees_;
+  std::vector<RescaleEvent> history_;
+  trace::Registry* registry_ = nullptr;
+};
+
+}  // namespace mflow::control

@@ -1,0 +1,55 @@
+// The engine-neutral reassembly surface (satellite of the dynamic-flow
+// control plane).
+//
+// core::Reassembler (DES, per-flow merge state, sim-time eviction) and
+// rt::RtReassembler (real threads, per-worker SPSC buffer rings) grew the
+// same conceptual API in different vocabularies. The control plane's
+// rescale-drain protocol and the cross-engine tests only need the common
+// core — deposit a packet into its micro-flow, pop the next in-order
+// packet, retract a known loss, and ask whether the merge layer has fully
+// drained — so that surface is pinned down ONCE here as a C++20 concept.
+//
+// Each engine provides a lightweight adapter ("view") satisfying the
+// concept (core::MergeStreamView over one flow of a Reassembler,
+// rt::RtMergeStreamView over an RtReassembler); conformance is checked by
+// static_assert next to each adapter. Templated test helpers (ordering /
+// conservation across a live rescale) are then written once against
+// MergeStream and instantiated for both engines — see
+// tests/test_control.cpp.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <optional>
+#include <utility>
+
+namespace mflow::control {
+
+/// One merge stream: a single original-order packet sequence that was split
+/// into micro-flow batches and is being merged back. `Item` is the engine's
+/// packet handle; `descriptor(item)` recovers the (seq, batch) pair the
+/// ordering invariants are expressed in.
+template <typename V>
+concept MergeStream = requires(V v, const V cv, typename V::Item item,
+                               std::uint64_t batch, std::uint32_t segs) {
+  typename V::Item;
+  /// Deposit one packet of `batch`; false means the stream refused it
+  /// (bounded backpressure) and the caller owns the loss.
+  { v.deposit(std::move(item)) } -> std::same_as<bool>;
+  /// Next packet in original-flow order, or nullopt while the merge head
+  /// is dry.
+  { v.pop() } -> std::same_as<std::optional<typename V::Item>>;
+  /// A dispatched packet was lost before the merge point: retract it so
+  /// the merge never stalls waiting for it.
+  { v.note_drop(batch, segs) };
+  /// (seq, batch) of an item — the vocabulary of the shared invariants.
+  { v.descriptor(item) } ->
+      std::same_as<std::pair<std::uint64_t, std::uint64_t>>;
+  /// Micro-flows fully merged so far.
+  { cv.batches_merged() } -> std::convertible_to<std::uint64_t>;
+  /// True when nothing is buffered or outstanding — the rescale-drain
+  /// protocol's "old split degree fully flushed" condition.
+  { cv.drained() } -> std::same_as<bool>;
+};
+
+}  // namespace mflow::control

@@ -67,9 +67,15 @@ class IrqSplitter::FirstHalf final : public sim::Pollable {
         tr->packet(trace::EventKind::kRingDequeue, core.vnow(), core.id(),
                    pkt->flow_id, pkt->wire_seq, pkt->microflow_id);
       core.charge(sim::Tag::kDriver, costs.driver_poll_per_pkt);
-      const auto a = o.assigner_.assign(pkt->flow_id, 1);
+      const auto a = o.assigner_.assign(pkt->flow_id, 1, pkt->payload_len);
       if (a.microflow_id == 0) {
         // Mouse flow: do the whole stage 1 here, as the stock driver would.
+        if (a.unsplit) {
+          // Demotion boundary: park this flow's default-path packets at the
+          // merge point until its in-flight batches drain.
+          if (Reassembler* ra = o.lookup_(*pkt))
+            ra->note_flow_unsplit(pkt->flow_id);
+        }
         if (tr != nullptr)
           tr->packet(trace::EventKind::kSplitDecision, core.vnow(), core.id(),
                      pkt->flow_id, pkt->wire_seq, 0);
@@ -85,7 +91,7 @@ class IrqSplitter::FirstHalf final : public sim::Pollable {
       pkt->microflow_id = a.microflow_id;
       Reassembler* ra = o.lookup_(*pkt);
       if (a.first_split && ra != nullptr)
-        ra->note_flow_split(pkt->flow_id, a.prior_segs);
+        ra->note_flow_split(pkt->flow_id, a.prior_segs, a.microflow_id);
       if (a.new_batch) {
         core.charge(sim::Tag::kSteer, costs.mflow_dispatch_per_batch);
         if (ra != nullptr) ra->note_batch_open(pkt->flow_id, a.microflow_id);

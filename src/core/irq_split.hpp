@@ -35,6 +35,8 @@ class IrqSplitter {
 
   std::uint64_t requests_dispatched() const { return dispatched_; }
   std::uint64_t request_ring_drops() const;
+  const BatchAssigner& assigner() const { return assigner_; }
+  BatchAssigner& assigner() { return assigner_; }
 
  private:
   class FirstHalf;

@@ -1,0 +1,54 @@
+// core::MergeStreamView — the DES reassembler's adapter onto the shared
+// control::MergeStream concept (control/reassembly.hpp).
+//
+// A view covers ONE flow of a Reassembler: deposit/pop map to the merge
+// buffer surface, note_drop retracts into that flow, and descriptor()
+// recovers the (wire_seq, microflow_id) pair the cross-engine ordering
+// invariants are expressed in. Templated test helpers instantiate against
+// this and rt::RtMergeStreamView identically — see tests/test_control.cpp.
+#pragma once
+
+#include <optional>
+#include <utility>
+
+#include "control/reassembly.hpp"
+#include "core/reassembler.hpp"
+
+namespace mflow::core {
+
+class MergeStreamView {
+ public:
+  using Item = net::PacketPtr;
+
+  MergeStreamView(Reassembler& ra, net::FlowId flow) : ra_(&ra), flow_(flow) {}
+
+  bool deposit(Item item) {
+    ra_->deposit(std::move(item), /*from_core=*/-1);
+    return true;  // the DES merge buffer is unbounded: never refuses
+  }
+
+  std::optional<Item> pop() {
+    Item pkt = ra_->pop_ready();
+    if (!pkt) return std::nullopt;
+    return pkt;
+  }
+
+  void note_drop(std::uint64_t batch, std::uint32_t segs) {
+    ra_->note_drop(flow_, batch, segs);
+  }
+
+  std::pair<std::uint64_t, std::uint64_t> descriptor(const Item& item) const {
+    return {item->wire_seq, item->microflow_id};
+  }
+
+  std::uint64_t batches_merged() const { return ra_->batches_merged(); }
+  bool drained() const { return ra_->drained(); }
+
+ private:
+  Reassembler* ra_;
+  net::FlowId flow_;
+};
+
+static_assert(control::MergeStream<MergeStreamView>);
+
+}  // namespace mflow::core

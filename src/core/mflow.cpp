@@ -102,6 +102,27 @@ bool MflowEngine::any_flow_blocked() const {
   return false;
 }
 
+bool MflowEngine::drained() const {
+  for (const auto& [_, ra] : reassemblers_)
+    if (!ra->drained()) return false;
+  return true;
+}
+
+void MflowEngine::set_flow_degree(net::FlowId flow, std::uint32_t degree) {
+  if (splitter_ != nullptr) splitter_->assigner().set_flow_degree(flow, degree);
+  for (auto& irq : irq_splitters_) irq->assigner().set_flow_degree(flow, degree);
+}
+
+std::vector<control::Controller::FlowTotals> MflowEngine::flow_totals()
+    const {
+  std::vector<control::Controller::FlowTotals> out;
+  if (splitter_ != nullptr) splitter_->assigner().append_totals(out);
+  // With IRQ splitting each flow's queue is fixed, so the per-queue
+  // assigners see disjoint flow sets — concatenation is the union.
+  for (const auto& irq : irq_splitters_) irq->assigner().append_totals(out);
+  return out;
+}
+
 util::RunningStats MflowEngine::recovery_latency_ns() const {
   util::RunningStats all;
   for (const auto& [_, ra] : reassemblers_)

@@ -13,12 +13,13 @@
 #include <unordered_map>
 #include <vector>
 
+#include "control/policy.hpp"
 #include "core/irq_split.hpp"
 #include "core/splitter.hpp"
 
 namespace mflow::core {
 
-class MflowEngine {
+class MflowEngine final : public control::ScalingTarget {
  public:
   MflowEngine(stack::Machine& machine, MflowConfig config);
   ~MflowEngine();
@@ -40,6 +41,20 @@ class MflowEngine {
 
   Reassembler* reassembler_for_port(std::uint16_t port);
 
+  // --- control::ScalingTarget ----------------------------------------------
+  /// Retarget one flow's split degree on every installed splitting
+  /// mechanism. Effective from the flow's next packet; micro-flow targets
+  /// change only at batch boundaries, and the reassemblers run the
+  /// rescale-drain protocol for the transition.
+  void set_flow_degree(net::FlowId flow, std::uint32_t degree) override;
+  std::uint32_t max_degree() const override {
+    return static_cast<std::uint32_t>(config_.splitting_cores.size());
+  }
+
+  /// Cumulative per-flow split-point totals across all splitters — the
+  /// pull source for the control plane's FlowMonitor.
+  std::vector<control::Controller::FlowTotals> flow_totals() const;
+
   // --- aggregate statistics ------------------------------------------------
   std::uint64_t ooo_arrivals() const;
   std::uint64_t batches_merged() const;
@@ -50,6 +65,8 @@ class MflowEngine {
   /// True if any socket's reassembler holds a wedged flow (buffered or
   /// outstanding work with nothing ready).
   bool any_flow_blocked() const;
+  /// Every reassembler fully drained (rescale-drain completion).
+  bool drained() const;
   util::RunningStats recovery_latency_ns() const;
   void reset_stats();
 

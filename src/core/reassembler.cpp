@@ -36,18 +36,76 @@ void Reassembler::note_batch_open(net::FlowId flow, std::uint64_t batch_id) {
   fm.open_batch = std::max(fm.open_batch, batch_id);
 }
 
-void Reassembler::note_flow_split(net::FlowId flow,
-                                  std::uint64_t prior_segs) {
+void Reassembler::note_flow_split(net::FlowId flow, std::uint64_t prior_segs,
+                                  std::uint64_t first_batch) {
   FlowMerge& fm = flow_state(flow);
   fm.prior_expected = std::max(fm.prior_expected, prior_segs);
+  fm.gate_batch = std::max(fm.gate_batch, first_batch);
   if (sim_ != nullptr) {
     fm.split_at = sim_->now();
     // When the grace expires the gate may open with no deposit in sight;
-    // wake the reader so queued batch-1 packets do not sit forever.
+    // wake the reader so queued gated packets do not sit forever.
     if (params_.gate_grace > 0)
       sim_->after(params_.gate_grace, [this] { notify_ready_if_available(); });
   }
   ensure_reaper();
+}
+
+void Reassembler::note_flow_unsplit(net::FlowId flow) {
+  const auto it = flows_.find(flow);
+  if (it == flows_.end()) return;  // never actually split: nothing in flight
+  FlowMerge& fm = it->second;
+  fm.hold_barrier = std::max(fm.hold_barrier, fm.open_batch);
+  if (fm.holding || old_work_drained(fm)) return;
+  fm.holding = true;
+  // Deadline backstop, mirroring the pre-split gate: if the old batches
+  // never fully drain (loss with eviction disabled), release the held
+  // packets anyway rather than stall the flow forever.
+  if (sim_ != nullptr && params_.gate_grace > 0) {
+    sim_->after(params_.gate_grace, [this, flow] {
+      const auto it2 = flows_.find(flow);
+      if (it2 == flows_.end() || !it2->second.holding) return;
+      flush_hold(it2->second, /*force=*/true);
+      notify_ready_if_available();
+    });
+  }
+}
+
+bool Reassembler::old_work_drained(const FlowMerge& fm) const {
+  if (fm.merge_counter > fm.hold_barrier) return true;
+  if (fm.merge_counter < fm.hold_barrier) return false;
+  // Sitting exactly on the barrier batch: drained once its queue is empty
+  // and every dispatched segment is consumed or written off (the counter
+  // itself cannot advance past a still-open batch).
+  const auto qit = fm.queues.find(fm.merge_counter);
+  if (qit != fm.queues.end() && !qit->second.empty()) return false;
+  return lookup(fm.consumed, fm.merge_counter) +
+             lookup(fm.dropped, fm.merge_counter) >=
+         lookup(fm.dispatched, fm.merge_counter);
+}
+
+void Reassembler::flush_hold(FlowMerge& fm, bool force) {
+  if (!fm.holding) return;
+  if (!force && !old_work_drained(fm)) return;
+  if (force && !old_work_drained(fm)) {
+    ++forced_hold_releases_;
+    ++evictions_;
+    if (trace::Tracer* tr = trace::active()) {
+      tr->registry().add("reasm.evictions");
+      tr->registry().add("reasm.forced_hold_releases");
+      tr->mark(trace::EventKind::kReasmEvict,
+               sim_ != nullptr ? sim_->now() : 0, /*core=*/-1, fm.id);
+    }
+  }
+  while (!fm.hold.empty()) {
+    // Segments are credited to the pre-split gate supply only now, at
+    // release: a subsequent re-split's first batch cannot open before the
+    // held packets it must stay behind are actually deliverable.
+    passthrough_segs_[fm.id] += fm.hold.front()->gro_segs;
+    passthrough_.push_back(std::move(fm.hold.front()));
+    fm.hold.pop_front();
+  }
+  fm.holding = false;
 }
 
 void Reassembler::note_drop(net::FlowId flow, std::uint64_t batch_id,
@@ -66,6 +124,7 @@ void Reassembler::note_drop(net::FlowId flow, std::uint64_t batch_id,
   fm.dropped[batch_id] += add;
   drops_recovered_ += add;
   fm.stall_marked = false;  // retraction is progress
+  flush_hold(fm, /*force=*/false);
   notify_ready_if_available();
 }
 
@@ -73,6 +132,14 @@ void Reassembler::deposit(net::PacketPtr pkt, int /*from_core*/) {
   ++buffered_;
   max_buffered_ = std::max(max_buffered_, buffered_);
   if (pkt->microflow_id == 0) {
+    // A demoted flow's default-path packets are parked until its old split
+    // batches drain; everything else passes straight through.
+    if (const auto it = flows_.find(pkt->flow_id);
+        it != flows_.end() && it->second.holding) {
+      it->second.hold.push_back(std::move(pkt));
+      ensure_reaper();
+      return;
+    }
     passthrough_segs_[pkt->flow_id] += pkt->gro_segs;
     passthrough_.push_back(std::move(pkt));
     return;
@@ -105,8 +172,11 @@ void Reassembler::deposit(net::PacketPtr pkt, int /*from_core*/) {
   ensure_reaper();
 }
 
-bool Reassembler::gate_open(const FlowMerge& fm) const {
-  if (fm.prior_expected == 0) return true;
+bool Reassembler::gate_open_at(const FlowMerge& fm,
+                               std::uint64_t batch) const {
+  // Only batches of the current split period are gated; batches from
+  // before a re-split keep flowing (they are what the gate waits behind).
+  if (fm.prior_expected == 0 || batch < fm.gate_batch) return true;
   const auto it = passthrough_segs_.find(fm.id);
   const std::uint64_t seen = it == passthrough_segs_.end() ? 0 : it->second;
   if (seen >= fm.prior_expected) return true;
@@ -116,9 +186,13 @@ bool Reassembler::gate_open(const FlowMerge& fm) const {
          sim_->now() >= fm.split_at + params_.gate_grace;
 }
 
+bool Reassembler::gate_open(const FlowMerge& fm) const {
+  return gate_open_at(fm, fm.merge_counter);
+}
+
 net::PacketPtr Reassembler::try_pop_flow(FlowMerge& fm, bool charge) {
-  if (!gate_open(fm)) return nullptr;
   while (true) {
+    if (!gate_open_at(fm, fm.merge_counter)) return nullptr;
     auto qit = fm.queues.find(fm.merge_counter);
     if (qit != fm.queues.end() && !qit->second.empty()) {
       net::PacketPtr pkt = std::move(qit->second.front());
@@ -131,6 +205,7 @@ net::PacketPtr Reassembler::try_pop_flow(FlowMerge& fm, bool charge) {
         segs_merged_ += pkt->gro_segs;
         --buffered_;
       }
+      flush_hold(fm, /*force=*/false);
       return pkt;
     }
     // Current batch's queue is dry: advance only when the batch is closed
@@ -150,6 +225,7 @@ net::PacketPtr Reassembler::try_pop_flow(FlowMerge& fm, bool charge) {
         pending_charge_ += costs_.mflow_merge_per_batch;
         ++batches_merged_;
       }
+      flush_hold(fm, /*force=*/false);
       continue;
     }
     return nullptr;
@@ -157,9 +233,9 @@ net::PacketPtr Reassembler::try_pop_flow(FlowMerge& fm, bool charge) {
 }
 
 bool Reassembler::flow_has_ready(const FlowMerge& fm) const {
-  if (!gate_open(fm)) return false;
   std::uint64_t counter = fm.merge_counter;
   while (true) {
+    if (!gate_open_at(fm, counter)) return false;
     const auto qit = fm.queues.find(counter);
     if (qit != fm.queues.end() && !qit->second.empty()) return true;
     if (lookup(fm.consumed, counter) + lookup(fm.dropped, counter) >=
@@ -174,6 +250,11 @@ bool Reassembler::flow_has_ready(const FlowMerge& fm) const {
 
 bool Reassembler::flow_blocked(const FlowMerge& fm) const {
   if (flow_has_ready(fm)) return false;
+  // Held default-path packets are blocked work too: without this the
+  // reaper would stop watching a demoted flow whose hold can only be
+  // released by force (old batches complete but counter parked on the
+  // barrier).
+  if (!fm.hold.empty()) return true;
   for (const auto& [batch, q] : fm.queues)
     if (!q.empty()) return true;
   for (const auto& [batch, disp] : fm.dispatched)
@@ -186,6 +267,17 @@ bool Reassembler::any_flow_blocked() const {
   for (const auto& [_, fm] : flows_)
     if (flow_blocked(fm)) return true;
   return false;
+}
+
+bool Reassembler::drained() const {
+  if (buffered_ != 0) return false;
+  for (const auto& [_, fm] : flows_) {
+    if (!fm.hold.empty()) return false;
+    for (const auto& [batch, disp] : fm.dispatched)
+      if (lookup(fm.consumed, batch) + lookup(fm.dropped, batch) < disp)
+        return false;
+  }
+  return true;
 }
 
 bool Reassembler::evict_step(FlowMerge& fm) {
@@ -262,6 +354,7 @@ void Reassembler::reap() {
     // the flow is ready or nothing more can be reclaimed.
     while (flow_blocked(fm) && evict_step(fm)) {
     }
+    flush_hold(fm, /*force=*/false);
     fm.stall_marked = false;
     if (flow_blocked(fm)) keep_watching = true;
   }
@@ -316,6 +409,7 @@ void Reassembler::reset_stats() {
   drops_recovered_ = 0;
   evictions_ = 0;
   late_deliveries_ = 0;
+  forced_hold_releases_ = 0;
   recovery_ns_.clear();
   max_buffered_ = buffered_;
 }

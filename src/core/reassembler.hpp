@@ -79,11 +79,22 @@ class Reassembler final : public stack::MergeBuffer {
   void note_drop(net::FlowId flow, std::uint64_t batch_id,
                  std::uint32_t segs);
 
-  /// The flow just crossed the elephant threshold: `prior_segs` default-path
-  /// segments were forwarded before the first micro-flow was opened. Batch 1
-  /// is gated until that many passthrough segments have been deposited, so
-  /// split packets can never overtake in-flight pre-split packets.
-  void note_flow_split(net::FlowId flow, std::uint64_t prior_segs);
+  /// The flow just started (or resumed) splitting: `prior_segs` default-path
+  /// segments were forwarded before micro-flow `first_batch` was opened.
+  /// Batches >= first_batch are gated until that many passthrough segments
+  /// have been deposited, so split packets can never overtake in-flight
+  /// default-path packets. Earlier batches (previous split periods) keep
+  /// flowing.
+  void note_flow_split(net::FlowId flow, std::uint64_t prior_segs,
+                       std::uint64_t first_batch = 1);
+
+  /// The flow just stopped splitting (control-plane demotion): batches up to
+  /// the currently open one may still be in flight, so the flow's subsequent
+  /// default-path packets are held and released only once those batches have
+  /// fully drained — or after gate_grace, whichever comes first (the same
+  /// deadline tradeoff as the pre-split gate). The other half of the
+  /// rescale-drain protocol.
+  void note_flow_unsplit(net::FlowId flow);
 
   /// Invoked whenever retraction/eviction turns a stalled flow ready while
   /// no deposit is happening (so the socket reader can be re-raised).
@@ -116,6 +127,12 @@ class Reassembler final : public stack::MergeBuffer {
   /// Packets delivered out of order because their batch had already been
   /// merged past (duplicates, post-eviction stragglers).
   std::uint64_t late_deliveries() const { return late_deliveries_; }
+  /// Unsplit-hold releases forced by the grace timer instead of a clean
+  /// drain (counted into evictions() as well).
+  std::uint64_t forced_hold_releases() const { return forced_hold_releases_; }
+  /// Nothing buffered and every dispatched segment accounted for — the
+  /// rescale-drain protocol's completion condition.
+  bool drained() const;
   /// Stall-detection -> eviction latency samples (ns).
   const util::RunningStats& recovery_latency_ns() const {
     return recovery_ns_;
@@ -136,11 +153,20 @@ class Reassembler final : public stack::MergeBuffer {
     std::map<std::uint64_t, std::deque<net::PacketPtr>> queues;
     std::uint64_t max_wire_seen = 0;
     bool any_seen = false;
-    /// Pre-split gate: batch 1 is held until this many default-path
-    /// segments of the flow have passed through (see passthrough_segs_),
-    /// or until gate_grace elapses from split_at — whichever comes first.
+    /// Pre-split gate: batches >= gate_batch are held until prior_expected
+    /// default-path segments of the flow have passed through (see
+    /// passthrough_segs_), or until gate_grace elapses from split_at —
+    /// whichever comes first. gate_batch > 1 after a re-split (earlier
+    /// periods' batches keep flowing).
     std::uint64_t prior_expected = 0;
+    std::uint64_t gate_batch = 1;
     sim::Time split_at = 0;
+    /// Unsplit hold: default-path packets deposited after a demotion are
+    /// parked here until batches <= hold_barrier have drained (or the
+    /// grace timer force-releases them).
+    std::deque<net::PacketPtr> hold;
+    std::uint64_t hold_barrier = 0;
+    bool holding = false;
     /// Eviction mark-and-sweep: set by the reaper on a blocked flow,
     /// cleared by any merge progress; a still-marked blocked flow on the
     /// next sweep is evicted.
@@ -153,7 +179,15 @@ class Reassembler final : public stack::MergeBuffer {
   /// counter over completed batches.
   net::PacketPtr try_pop_flow(FlowMerge& fm, bool charge);
   bool flow_has_ready(const FlowMerge& fm) const;
+  bool gate_open_at(const FlowMerge& fm, std::uint64_t batch) const;
   bool gate_open(const FlowMerge& fm) const;
+  /// Batches from before the flow's demotion (<= hold_barrier) are fully
+  /// merged / written off.
+  bool old_work_drained(const FlowMerge& fm) const;
+  /// Move the unsplit hold into passthrough_ once old work drained (or
+  /// unconditionally when `force`), crediting passthrough_segs_ — which is
+  /// what lets a subsequent re-split's gate open.
+  void flush_hold(FlowMerge& fm, bool force);
   /// Pending work (buffered or outstanding dispatched segments) with
   /// nothing ready: the state eviction exists to clear.
   bool flow_blocked(const FlowMerge& fm) const;
@@ -189,6 +223,7 @@ class Reassembler final : public stack::MergeBuffer {
   std::uint64_t drops_recovered_ = 0;
   std::uint64_t evictions_ = 0;
   std::uint64_t late_deliveries_ = 0;
+  std::uint64_t forced_hold_releases_ = 0;
   util::RunningStats recovery_ns_;
   std::size_t buffered_ = 0;
   std::size_t max_buffered_ = 0;

@@ -7,29 +7,55 @@
 namespace mflow::core {
 
 BatchAssigner::Assignment BatchAssigner::assign(net::FlowId flow,
-                                                std::uint32_t segs) {
+                                                std::uint32_t segs,
+                                                std::uint32_t bytes) {
   auto [it, inserted] = flows_.try_emplace(flow);
   PerFlow& st = it->second;
   // Stagger the starting splitting core per flow so concurrent elephants
   // spread their first micro-flows instead of piling onto the same core.
-  if (inserted)
+  if (inserted) {
     st.rr = static_cast<std::size_t>(flow * 7919u) %
             std::max<std::size_t>(1, config_.splitting_cores.size());
+    order_.push_back(flow);
+  }
   st.seen_segs += segs;
-  if (st.seen_segs <= config_.elephant_threshold_pkts)
-    return {};  // still a mouse: leave on the default path
+  st.seen_bytes += bytes;
+
+  // Split decision: a control-plane override wins; otherwise the static
+  // elephant threshold decides (the paper's setup-time policy).
+  bool split;
+  std::size_t degree = config_.splitting_cores.size();
+  if (const auto ov = degree_override_.find(flow);
+      ov != degree_override_.end()) {
+    split = ov->second > 0;
+    degree = std::min<std::size_t>(ov->second, degree);
+  } else {
+    split = st.seen_segs > config_.elephant_threshold_pkts;
+  }
 
   Assignment out;
-  if (st.batch == 0) {
-    out.first_split = true;
-    out.prior_segs = st.seen_segs - segs;
+  if (!split || degree == 0 || config_.splitting_cores.empty()) {
+    // Default path. If a splitting period just ended, flag it so the
+    // reassembler can hold this flow's default-path packets behind the
+    // period's in-flight batches (rescale-drain protocol).
+    st.default_segs += segs;
+    out.unsplit = st.split_active;
+    st.split_active = false;
+    return out;
   }
-  if (st.batch == 0 || st.in_batch >= config_.batch_size) {
+
+  if (!st.split_active) {
+    out.first_split = true;
+    out.prior_segs = st.default_segs;
+    st.split_active = true;
+  }
+  if (out.first_split || st.in_batch >= config_.batch_size) {
     // Open the next micro-flow and pick its splitting core round-robin —
     // equal-size batches spread evenly give similar per-core load (§III-A).
+    // Degree changes bite here, never mid-batch.
     ++st.batch;
     st.in_batch = 0;
-    st.target = config_.splitting_cores[st.rr % config_.splitting_cores.size()];
+    st.target = config_.splitting_cores[st.rr % degree];
     ++st.rr;
     out.new_batch = true;
   }
@@ -39,14 +65,32 @@ BatchAssigner::Assignment BatchAssigner::assign(net::FlowId flow,
   return out;
 }
 
+void BatchAssigner::set_flow_degree(net::FlowId flow, std::uint32_t degree) {
+  degree_override_[flow] = degree;
+}
+
+std::uint32_t BatchAssigner::flow_degree(net::FlowId flow) const {
+  const auto it = degree_override_.find(flow);
+  return it == degree_override_.end() ? 0 : it->second;
+}
+
 std::uint64_t BatchAssigner::observed(net::FlowId flow) const {
   const auto it = flows_.find(flow);
   return it == flows_.end() ? 0 : it->second.seen_segs;
 }
 
+void BatchAssigner::append_totals(
+    std::vector<control::Controller::FlowTotals>& out) const {
+  for (net::FlowId flow : order_) {
+    const PerFlow& st = flows_.at(flow);
+    out.push_back({flow, st.seen_segs, st.seen_bytes});
+  }
+}
+
 void FlowSplitter::on_forward(net::PacketPtr pkt, std::size_t next_index,
                               int from_core) {
-  const auto a = assigner_.assign(pkt->flow_id, pkt->gro_segs);
+  const auto a =
+      assigner_.assign(pkt->flow_id, pkt->gro_segs, pkt->payload_len);
   sim::Core& fc = machine_.core(from_core);
   const stack::CostModel& costs = machine_.costs();
   trace::Tracer* tr = trace::active();
@@ -55,6 +99,12 @@ void FlowSplitter::on_forward(net::PacketPtr pkt, std::size_t next_index,
     // Mouse flow: fall through to the default transition (stay local under
     // the machine's steering policy).
     ++passed_;
+    if (a.unsplit) {
+      // The flow just stopped splitting: tell its reassembler to hold this
+      // flow's default-path packets until the old batches drain (otherwise
+      // this packet could overtake still-buffered micro-flows).
+      if (Reassembler* ra = lookup_(*pkt)) ra->note_flow_unsplit(pkt->flow_id);
+    }
     if (tr != nullptr)
       tr->packet(trace::EventKind::kSplitDecision, fc.vnow(), from_core,
                  pkt->flow_id, pkt->wire_seq, 0);
@@ -68,7 +118,7 @@ void FlowSplitter::on_forward(net::PacketPtr pkt, std::size_t next_index,
   pkt->microflow_id = a.microflow_id;
   Reassembler* ra = lookup_(*pkt);
   if (a.first_split && ra != nullptr)
-    ra->note_flow_split(pkt->flow_id, a.prior_segs);
+    ra->note_flow_split(pkt->flow_id, a.prior_segs, a.microflow_id);
   if (a.new_batch) {
     // Batch handoff + IPI are paid once per micro-flow, which is what makes
     // MFLOW's steering cheaper per packet than FALCON's per-skb handoff.

@@ -14,7 +14,9 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
+#include "control/policy.hpp"
 #include "core/config.hpp"
 #include "core/reassembler.hpp"
 #include "stack/machine.hpp"
@@ -29,31 +31,55 @@ class BatchAssigner {
     std::uint64_t microflow_id = 0;  // 0 => flow not split (mouse flow)
     int target_core = -1;
     bool new_batch = false;  // first packet of its micro-flow
-    /// Flow just crossed the elephant threshold with this packet.
+    /// Flow just started (or resumed) splitting with this packet;
+    /// microflow_id is the first batch of the new split period.
     bool first_split = false;
-    /// Default-path segments the flow had already sent before it split —
-    /// they may still be in flight, so batch 1 must wait behind them.
+    /// Flow just stopped splitting: this packet takes the default path but
+    /// earlier micro-flow batches may still be in flight behind it.
+    bool unsplit = false;
+    /// Default-path segments the flow had sent before (re)splitting — they
+    /// may still be in flight, so the new period's first batch must wait
+    /// behind them.
     std::uint64_t prior_segs = 0;
   };
 
   /// Classify + assign one packet of `flow`. `segs` counts the wire
-  /// segments the skb carries (1 before GRO).
-  Assignment assign(net::FlowId flow, std::uint32_t segs);
+  /// segments the skb carries (1 before GRO); `bytes` its payload size
+  /// (rate-monitoring input, 0 when unknown).
+  Assignment assign(net::FlowId flow, std::uint32_t segs,
+                    std::uint32_t bytes = 0);
+
+  /// Runtime degree override from the control plane: 0 forces the default
+  /// (unsplit) path, k splits round-robin over the first k splitting cores.
+  /// Takes effect on the flow's next packet; targets change only at batch
+  /// boundaries. Overrides win over the static elephant threshold.
+  void set_flow_degree(net::FlowId flow, std::uint32_t degree);
+  /// Current override (0 = none set or forced-mouse).
+  std::uint32_t flow_degree(net::FlowId flow) const;
 
   /// Packets observed for a flow so far (elephant classification input).
   std::uint64_t observed(net::FlowId flow) const;
 
+  /// Cumulative per-flow totals in first-seen order — the pull source the
+  /// control plane's FlowMonitor differentiates into rates.
+  void append_totals(std::vector<control::Controller::FlowTotals>& out) const;
+
  private:
   struct PerFlow {
     std::uint64_t seen_segs = 0;
+    std::uint64_t seen_bytes = 0;
+    std::uint64_t default_segs = 0;  // segments sent via the default path
     std::uint64_t batch = 0;       // current micro-flow id (1-based)
     std::uint32_t in_batch = 0;    // segments already placed in it
     std::size_t rr = 0;            // next splitting-core index
     int target = -1;
+    bool split_active = false;     // currently in a splitting period
   };
 
   const MflowConfig& config_;
   std::unordered_map<net::FlowId, PerFlow> flows_;
+  std::vector<net::FlowId> order_;  // deterministic totals() iteration
+  std::unordered_map<net::FlowId, std::uint32_t> degree_override_;
 };
 
 class FlowSplitter final : public stack::TransitionHook {
@@ -76,6 +102,7 @@ class FlowSplitter final : public stack::TransitionHook {
   std::uint64_t packets_split() const { return split_; }
   std::uint64_t packets_passed() const { return passed_; }
   const BatchAssigner& assigner() const { return assigner_; }
+  BatchAssigner& assigner() { return assigner_; }
 
  private:
   stack::Machine& machine_;

@@ -1,0 +1,32 @@
+// Experiment mode vocabulary, split out of scenario.hpp so lower layers
+// (notably steering's mode->policy factory) can name the comparison cases
+// without pulling in — or linking against — the experiment library. This
+// header is intentionally definition-only.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+namespace mflow::exp {
+
+enum class Mode { kNative, kVanilla, kRps, kFalconDev, kFalconFun, kMflow };
+
+constexpr std::string_view mode_name(Mode mode) {
+  switch (mode) {
+    case Mode::kNative: return "native";
+    case Mode::kVanilla: return "vanilla-overlay";
+    case Mode::kRps: return "rps";
+    case Mode::kFalconDev: return "falcon-dev";
+    case Mode::kFalconFun: return "falcon-fun";
+    case Mode::kMflow: return "mflow";
+  }
+  return "?";
+}
+
+/// The five comparison cases of the paper's evaluation (Figure 8) plus the
+/// two FALCON variants of the motivation study (Figure 4). Defined in the
+/// experiment library (scenario.cpp).
+std::vector<Mode> evaluation_modes();
+std::vector<Mode> motivation_modes();
+
+}  // namespace mflow::exp

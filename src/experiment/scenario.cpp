@@ -1,7 +1,11 @@
 #include "experiment/scenario.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
+#include <limits>
+#include <stdexcept>
+#include <string>
 #include <unordered_map>
 
 #include "core/adaptive.hpp"
@@ -16,18 +20,6 @@
 
 namespace mflow::exp {
 
-std::string_view mode_name(Mode mode) {
-  switch (mode) {
-    case Mode::kNative: return "native";
-    case Mode::kVanilla: return "vanilla-overlay";
-    case Mode::kRps: return "rps";
-    case Mode::kFalconDev: return "falcon-dev";
-    case Mode::kFalconFun: return "falcon-fun";
-    case Mode::kMflow: return "mflow";
-  }
-  return "?";
-}
-
 std::vector<Mode> evaluation_modes() {
   return {Mode::kNative, Mode::kVanilla, Mode::kRps, Mode::kFalconFun,
           Mode::kMflow};
@@ -36,6 +28,102 @@ std::vector<Mode> evaluation_modes() {
 std::vector<Mode> motivation_modes() {
   return {Mode::kNative, Mode::kVanilla, Mode::kRps, Mode::kFalconDev,
           Mode::kFalconFun};
+}
+
+void ScenarioConfig::validate() const {
+  auto fail = [](const std::string& msg) {
+    throw std::invalid_argument("ScenarioConfig: " + msg);
+  };
+  auto str = [](auto v) { return std::to_string(v); };
+
+  if (server_cores < 1) fail("server_cores must be >= 1");
+  if (app_cores < 1 || app_cores > server_cores)
+    fail("app_cores=" + str(app_cores) + " must be in [1, server_cores=" +
+         str(server_cores) + "]");
+  if (kernel_cores < 1) fail("kernel_cores must be >= 1");
+  if (first_kernel_core < 0) fail("first_kernel_core must be >= 0");
+  if (first_kernel_core + kernel_cores > server_cores)
+    fail("kernel core range [" + str(first_kernel_core) + ", " +
+         str(first_kernel_core + kernel_cores) + ") exceeds server_cores=" +
+         str(server_cores) + "; shrink kernel_cores or grow server_cores");
+  if (app_cores > first_kernel_core)
+    fail("app cores [0, " + str(app_cores) +
+         ") overlap the kernel cores starting at first_kernel_core=" +
+         str(first_kernel_core) +
+         "; raise first_kernel_core to at least app_cores");
+  if (nic_queues < 1 || nic_queues > kernel_cores)
+    fail("nic_queues=" + str(nic_queues) +
+         " must be in [1, kernel_cores=" + str(kernel_cores) +
+         "] (each queue needs an IRQ core)");
+  if (!std::has_single_bit(nic_ring_capacity))
+    fail("nic_ring_capacity=" + str(nic_ring_capacity) +
+         " must be a power of two");
+  if (trace.enabled && !std::has_single_bit(trace.ring_capacity))
+    fail("trace.ring_capacity=" + str(trace.ring_capacity) +
+         " must be a power of two");
+
+  if (protocol != net::Ipv4Header::kProtoTcp &&
+      protocol != net::Ipv4Header::kProtoUdp)
+    fail("protocol=" + str(int(protocol)) + " is neither TCP(6) nor UDP(17)");
+  if (message_size == 0) fail("message_size must be > 0");
+  const bool tcp = protocol == net::Ipv4Header::kProtoTcp;
+  if (tcp && num_flows < 1) fail("num_flows must be >= 1 for TCP runs");
+  if (!tcp && udp_clients < 1) fail("udp_clients must be >= 1 for UDP runs");
+  if (tcp && window_bytes == 0) fail("window_bytes must be > 0 for TCP runs");
+  if (warmup < 0 || measure <= 0)
+    fail("need warmup >= 0 and measure > 0 (got warmup=" + str(warmup) +
+         ", measure=" + str(measure) + ")");
+
+  for (int c : extra_reader_cores)
+    if (c < 0 || c >= server_cores)
+      fail("extra_reader_cores entry " + str(c) +
+           " outside [0, server_cores=" + str(server_cores) + ")");
+
+  if (mode == Mode::kMflow) {
+    const core::MflowConfig mcfg =
+        mflow.value_or(tcp ? core::tcp_full_path_config()
+                           : core::udp_device_scaling_config());
+    if (mcfg.batch_size == 0) fail("mflow.batch_size must be > 0");
+    if (mcfg.splitting_cores.empty())
+      fail("mflow.splitting_cores must not be empty in mflow mode");
+    for (int c : mcfg.splitting_cores)
+      if (c < 0 || c >= server_cores)
+        fail("mflow.splitting_cores entry " + str(c) +
+             " outside [0, server_cores=" + str(server_cores) + ")");
+    for (const auto& [from, to] : mcfg.pipeline_pairs)
+      if (from < 0 || from >= server_cores || to < 0 || to >= server_cores)
+        fail("mflow.pipeline_pairs entry " + str(from) + "->" + str(to) +
+             " outside [0, server_cores=" + str(server_cores) + ")");
+  }
+
+  if (control.enabled) {
+    if (mode != Mode::kMflow)
+      fail("control.enabled requires Mode::kMflow (there is no splitter to "
+           "re-target in mode '" + std::string(mode_name(mode)) + "')");
+    if (control.interval <= 0) fail("control.interval must be > 0");
+    if (control.params.monitor.window <= 0)
+      fail("control.params.monitor.window must be > 0");
+    if (control.params.classifier.promote_pps <
+        control.params.classifier.demote_pps)
+      fail("hysteresis band inverted: classifier.promote_pps=" +
+           str(control.params.classifier.promote_pps) +
+           " < demote_pps=" + str(control.params.classifier.demote_pps));
+    if (control.params.scaling.per_core_pps <= 0)
+      fail("control.params.scaling.per_core_pps must be > 0");
+  }
+
+  const int senders = tcp ? num_flows : udp_clients;
+  for (const auto& rc : rate_changes) {
+    if (rc.sender_index < 0 || rc.sender_index >= senders)
+      fail("rate_changes sender_index=" + str(rc.sender_index) +
+           " outside [0, " + str(senders) + ")");
+    if (rc.at < 0) fail("rate_changes entry with negative time");
+  }
+  if (usage_split_at != 0 &&
+      (usage_split_at <= warmup || usage_split_at >= warmup + measure))
+    fail("usage_split_at=" + str(usage_split_at) +
+         " must lie strictly inside the measurement window (" + str(warmup) +
+         ", " + str(warmup + measure) + ")");
 }
 
 double ScenarioResult::max_core_utilization() const {
@@ -74,6 +162,7 @@ struct FlowPlan {
 }  // namespace
 
 ScenarioResult run_scenario(const ScenarioConfig& cfg) {
+  cfg.validate();
   const bool overlay = cfg.mode != Mode::kNative;
   const bool is_tcp = cfg.protocol == net::Ipv4Header::kProtoTcp;
   const bool use_mflow = cfg.mode == Mode::kMflow;
@@ -81,6 +170,12 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
   core::MflowConfig mcfg =
       cfg.mflow.value_or(is_tcp ? core::tcp_full_path_config()
                                 : core::udp_device_scaling_config());
+  // With the control plane on, split decisions come exclusively from the
+  // controller's per-flow degree overrides; the static packet-count
+  // threshold would otherwise promote every flow behind its back.
+  if (use_mflow && cfg.control.enabled)
+    mcfg.elephant_threshold_pkts =
+        std::numeric_limits<std::uint64_t>::max();
 
   // Sender-side slab pool. Declared BEFORE the simulator on purpose: queued
   // events (e.g. delayed-fault redeliveries) can hold PacketPtrs into this
@@ -110,6 +205,7 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
   mp.num_cores = cfg.server_cores;
   mp.costs = cfg.costs;
   mp.nic.num_queues = cfg.nic_queues;
+  mp.nic.ring_capacity = cfg.nic_ring_capacity;
   for (int q = 0; q < cfg.nic_queues; ++q)
     mp.irq_affinity.push_back(cfg.first_kernel_core + q % cfg.kernel_cores);
 
@@ -131,34 +227,13 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
       helper_cores.push_back(c);
   }
 
-  switch (cfg.mode) {
-    case Mode::kNative:
-    case Mode::kVanilla:
-      server.set_steering(steer::make_vanilla());
-      break;
-    case Mode::kRps:
-      server.set_steering(steer::make_rps(helper_cores, overlay,
-                                          cfg.costs.rps_hash_per_pkt));
-      break;
-    case Mode::kFalconDev:
-      server.set_steering(steer::make_falcon(
-          steer::FalconSteering::Level::kDevice, helper_cores, overlay));
-      break;
-    case Mode::kFalconFun:
-      server.set_steering(steer::make_falcon(
-          steer::FalconSteering::Level::kFunction, helper_cores, overlay));
-      break;
-    case Mode::kMflow:
-      if (!mcfg.pipeline_pairs.empty()) {
-        server.set_steering(std::make_unique<steer::PairedPipelineSteering>(
-            std::unordered_map<int, int>(mcfg.pipeline_pairs.begin(),
-                                         mcfg.pipeline_pairs.end()),
-            mcfg.pipeline_at));
-      } else {
-        server.set_steering(steer::make_vanilla());
-      }
-      break;
-  }
+  steer::PolicyParams steering;
+  steering.helper_cores = helper_cores;
+  steering.overlay = overlay;
+  steering.rps_hash_cost = cfg.costs.rps_hash_per_pkt;
+  steering.pipeline_pairs = mcfg.pipeline_pairs;
+  steering.pipeline_at = mcfg.pipeline_at;
+  server.set_steering(steer::make_policy(cfg.mode, steering));
 
   // --- flows & sockets --------------------------------------------------------
   const net::Ipv4Addr src_ip = overlay ? kContainerA : kHostA;
@@ -222,6 +297,24 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
           std::make_unique<core::AdaptiveBatchController>(sim, *engine);
       adaptive->start();
     }
+  }
+
+  // --- dynamic flow control plane -------------------------------------------
+  std::unique_ptr<control::Controller> controller;
+  std::function<void()> control_tick;  // outlives every queued tick event
+  if (engine && cfg.control.enabled) {
+    controller = std::make_unique<control::Controller>(
+        cfg.control.params,
+        [eng = engine.get()] { return eng->flow_totals(); }, engine.get());
+    if (tracer) controller->export_to(&tracer->registry());
+    // Recurring tick. The chain re-arms itself past the end of the run;
+    // the final queued event simply never fires once run_until() stops.
+    control_tick = [&sim, &control_tick, ctl = controller.get(),
+                    interval = cfg.control.interval] {
+      ctl->tick(sim.now());
+      sim.after(interval, [&control_tick] { control_tick(); });
+    };
+    sim.after(cfg.control.interval, [&control_tick] { control_tick(); });
   }
 
   // --- interference on kernel cores ---------------------------------------------
@@ -299,6 +392,33 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
   for (auto& s : tcp_senders) s->start();
   for (auto& s : udp_senders) s->start();
 
+  // Mid-run sender rate changes (cfg.rate_changes, absolute times).
+  for (const auto& rc : cfg.rate_changes) {
+    const auto idx = static_cast<std::size_t>(rc.sender_index);
+    if (is_tcp) {
+      workload::TcpSender* s = tcp_senders[idx].get();
+      sim.after(rc.at, [s, pace = rc.pace_per_message] { s->set_pace(pace); });
+    } else {
+      workload::UdpSender* s = udp_senders[idx].get();
+      sim.after(rc.at, [s, pace = rc.pace_per_message] { s->set_pace(pace); });
+    }
+  }
+
+  // Mid-run per-core busy snapshot for the before/after utilization split.
+  struct BusySnap {
+    std::array<sim::Time, sim::kTagCount> by_tag{};
+  };
+  auto usage_snap = std::make_shared<std::vector<BusySnap>>();
+  if (cfg.usage_split_at != 0) {
+    sim.after(cfg.usage_split_at, [&server, usage_snap] {
+      usage_snap->resize(static_cast<std::size_t>(server.num_cores()));
+      for (int c = 0; c < server.num_cores(); ++c)
+        for (std::size_t t = 0; t < sim::kTagCount; ++t)
+          (*usage_snap)[static_cast<std::size_t>(c)].by_tag[t] =
+              server.core(c).busy_ns(static_cast<sim::Tag>(t));
+    });
+  }
+
   // --- run ---------------------------------------------------------------------------
   std::uint64_t events = sim.run_until(cfg.warmup);
   server.reset_measurement();
@@ -328,6 +448,13 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
     bytes += st.payload_bytes;
     res.messages += st.messages;
     res.latency.merge(st.latency);
+    PortStats ps;
+    ps.port = port;
+    ps.messages = st.messages;
+    ps.goodput_gbps =
+        static_cast<double>(st.payload_bytes) * 8.0 / secs / 1e9;
+    ps.latency = st.latency;
+    res.per_port.push_back(std::move(ps));
   }
   res.goodput_gbps = static_cast<double>(bytes) * 8.0 / secs / 1e9;
 
@@ -353,6 +480,11 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
     res.recovery_latency_ns = engine->recovery_latency_ns();
     res.flows_blocked = engine->any_flow_blocked();
   }
+  if (controller) {
+    res.control_rescales = controller->rescales();
+    res.control_elephants = controller->elephants();
+    res.control_history = controller->history();
+  }
 
   for (int c = 0; c < server.num_cores(); ++c) {
     CoreUsage u;
@@ -364,6 +496,33 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
           static_cast<double>(cfg.measure);
     u.total = core.utilization(cfg.measure);
     res.cores.push_back(u);
+  }
+
+  if (!usage_snap->empty()) {
+    // Busy counters were reset at the warmup boundary, so the snapshot is
+    // the busy time of [warmup, split) and the final counters cover the
+    // whole measurement window.
+    const double before_ns =
+        static_cast<double>(cfg.usage_split_at - cfg.warmup);
+    const double after_ns =
+        static_cast<double>(cfg.warmup + cfg.measure - cfg.usage_split_at);
+    for (int c = 0; c < server.num_cores(); ++c) {
+      const auto& snap = (*usage_snap)[static_cast<std::size_t>(c)];
+      const auto& core = server.core(c);
+      CoreUsage before, after;
+      before.core_id = after.core_id = c;
+      for (std::size_t t = 0; t < sim::kTagCount; ++t) {
+        const auto at_split = static_cast<double>(snap.by_tag[t]);
+        const auto at_end = static_cast<double>(
+            core.busy_ns(static_cast<sim::Tag>(t)));
+        before.by_tag[t] = at_split / before_ns;
+        after.by_tag[t] = (at_end - at_split) / after_ns;
+        before.total += before.by_tag[t];
+        after.total += after.by_tag[t];
+      }
+      res.cores_before.push_back(before);
+      res.cores_after.push_back(after);
+    }
   }
 
   if (tracer) {

@@ -10,7 +10,9 @@
 #include <string>
 #include <vector>
 
+#include "control/policy.hpp"
 #include "core/config.hpp"
+#include "experiment/mode.hpp"
 #include "net/fault.hpp"
 #include "sim/interference.hpp"
 #include "stack/costs.hpp"
@@ -21,14 +23,6 @@
 #include "util/stats.hpp"
 
 namespace mflow::exp {
-
-enum class Mode { kNative, kVanilla, kRps, kFalconDev, kFalconFun, kMflow };
-
-std::string_view mode_name(Mode mode);
-/// The five comparison cases of the paper's evaluation (Figure 8) plus the
-/// two FALCON variants of the motivation study (Figure 4).
-std::vector<Mode> evaluation_modes();
-std::vector<Mode> motivation_modes();
 
 struct ScenarioConfig {
   Mode mode = Mode::kVanilla;
@@ -45,6 +39,8 @@ struct ScenarioConfig {
   int first_kernel_core = 1;  // kernel packet-processing cores start here
   int kernel_cores = 15;
   int nic_queues = 1;
+  /// Per-queue NIC ring depth (power of two — net::NicParams requirement).
+  std::size_t nic_ring_capacity = 4096;
 
   // Measurement windows.
   sim::Time warmup = sim::ms(10);
@@ -92,6 +88,42 @@ struct ScenarioConfig {
   /// Recycling is deterministic (LIFO, single-threaded in the DES), so
   /// pooled and unpooled runs produce bit-identical metrics.
   std::size_t packet_pool_slabs = 16384;
+
+  /// Dynamic flow control plane (src/control): monitor -> classifier ->
+  /// scaler driving each flow's split degree at runtime. Requires
+  /// Mode::kMflow; when enabled, the static elephant threshold is disabled
+  /// and the controller's degree decisions are the only split trigger.
+  struct ControlPlane {
+    bool enabled = false;
+    /// Controller tick period (sample + classify + retarget).
+    sim::Time interval = sim::us(100);
+    control::ControllerParams params;
+  };
+  ControlPlane control;
+
+  /// Mid-run sender rate changes (the many-flow transition scenario: an
+  /// elephant throttling down to mouse rates, or a mouse surging). Times
+  /// are absolute simulation time (the measurement window starts at
+  /// `warmup`). `pace_per_message` has SenderParams semantics: 0 = drive to
+  /// saturation.
+  struct RateChange {
+    int sender_index = 0;
+    sim::Time at = 0;
+    sim::Time pace_per_message = 0;
+  };
+  std::vector<RateChange> rate_changes;
+
+  /// Snapshot per-core busy time at this absolute instant; the result then
+  /// reports utilization separately before/after the snapshot
+  /// (cores_before/cores_after) — how the transition experiments show
+  /// kernel cores released after an elephant demotes. 0 = off. Must lie
+  /// inside the measurement window.
+  sim::Time usage_split_at = 0;
+
+  /// Reject inconsistent layouts with actionable messages (throws
+  /// std::invalid_argument). Called by run_scenario() itself; benches that
+  /// build configs programmatically call it early to fail before setup.
+  void validate() const;
 };
 
 struct CoreUsage {
@@ -100,13 +132,28 @@ struct CoreUsage {
   std::array<double, sim::kTagCount> by_tag{};
 };
 
+/// Per-socket receive metrics: the mixed elephant/mouse scenarios read
+/// mouse latency and elephant goodput from *their own* ports instead of
+/// the merged aggregate.
+struct PortStats {
+  std::uint16_t port = 0;
+  std::uint64_t messages = 0;
+  double goodput_gbps = 0.0;
+  util::Histogram latency{6};
+};
+
 struct ScenarioResult {
   std::string mode;
   double goodput_gbps = 0.0;   // application payload received
   double offered_gbps = 0.0;   // client payload transmitted
   std::uint64_t messages = 0;
   util::Histogram latency{6};  // per-message latency (ns)
+  std::vector<PortStats> per_port;
   std::vector<CoreUsage> cores;  // receiver cores, measurement window
+  /// Utilization split at cfg.usage_split_at (empty when disabled):
+  /// cores_before covers [warmup, split), cores_after [split, end).
+  std::vector<CoreUsage> cores_before;
+  std::vector<CoreUsage> cores_after;
   std::uint64_t nic_drops = 0;
   std::uint64_t ooo_arrivals = 0;   // MFLOW merge-point reordering events
   std::uint64_t batches_merged = 0;
@@ -131,6 +178,13 @@ struct ScenarioResult {
   /// need the strict property drain a finite workload to quiescence and ask
   /// the engine directly.
   bool flows_blocked = false;
+
+  // Control plane (populated when cfg.control.enabled): committed degree
+  // changes over the measurement window, flows classified elephant at the
+  // end, and the full rescale history for transition plots/tests.
+  std::uint64_t control_rescales = 0;
+  std::uint64_t control_elephants = 0;
+  std::vector<control::RescaleEvent> control_history;
 
   // Tracing output (populated only when cfg.trace.enabled and tracing is
   // compiled in). `tracer` keeps the raw event buffers alive for exporters;

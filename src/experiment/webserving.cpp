@@ -78,27 +78,13 @@ WebservingResult run_webserving(const WebservingConfig& cfg) {
 
   std::vector<int> kernel_cores;
   for (int c = 5; c < 15; ++c) kernel_cores.push_back(c);
-  switch (cfg.mode) {
-    case Mode::kNative:
-    case Mode::kVanilla:
-      server.set_steering(steer::make_vanilla());
-      break;
-    case Mode::kRps:
-      server.set_steering(
-          steer::make_rps(kernel_cores, overlay, cfg.costs.rps_hash_per_pkt));
-      break;
-    case Mode::kFalconDev:
-      server.set_steering(steer::make_falcon(
-          steer::FalconSteering::Level::kDevice, kernel_cores, overlay));
-      break;
-    case Mode::kFalconFun:
-      server.set_steering(steer::make_falcon(
-          steer::FalconSteering::Level::kFunction, kernel_cores, overlay));
-      break;
-    case Mode::kMflow:
-      server.set_steering(steer::make_vanilla());
-      break;
-  }
+  steer::PolicyParams steering;
+  steering.helper_cores = kernel_cores;
+  steering.overlay = overlay;
+  steering.rps_hash_cost = cfg.costs.rps_hash_per_pkt;
+  // kMflow stays vanilla here: pipeline_pairs were cleared above, so the
+  // factory yields the vanilla policy and the splitter does the spreading.
+  server.set_steering(steer::make_policy(cfg.mode, steering));
 
   // --- sockets: request + backend connections ------------------------------------
   std::vector<std::uint16_t> ports;

@@ -80,7 +80,8 @@ EngineResult Engine::run(
   for (std::size_t i = 0; i < W; ++i)
     split_rings.push_back(
         std::make_unique<SpscRing<RtPacket>>(config_.ring_capacity));
-  RtReassembler merger(W, config_.ring_capacity);
+  RtReassembler merger(W, config_.ring_capacity,
+                       std::max<std::size_t>(64, config_.rescales.size()));
 
   // Consumer -> generator slab return path. Ring-based recycling keeps the
   // steady state free of pool CAS traffic (the Treiber free list is only
@@ -148,7 +149,7 @@ EngineResult Engine::run(
           if (pkt.cost_ns > 0) spin_ns(pkt.cost_ns);
           wt.event(trace::EventKind::kStageExit, pkt.seq, pkt.batch,
                    /*aux=*/0xFF, static_cast<sim::Time>(pkt.cost_ns));
-          const bool lost = config_.fault_drop_rate > 0.0 &&
+          const bool lost = !pkt.marker && config_.fault_drop_rate > 0.0 &&
                             faults.chance(config_.fault_drop_rate);
           if (lost) {
             dropped.fetch_add(1, std::memory_order_release);
@@ -223,9 +224,20 @@ EngineResult Engine::run(
   // splitting mechanisms do. Packets are staged in chunks (never crossing
   // a micro-flow boundary, so a chunk targets exactly one worker) and
   // pushed with one batched ring operation.
+  //
+  // Runtime rescale: the active worker set is a prefix [0, W_active) of the
+  // workers, re-evaluated only at micro-flow boundaries. Each change opens
+  // a new epoch starting at the batch being opened and announces it to the
+  // merger BEFORE any packet of that batch is pushed — the push's
+  // release/acquire chain then guarantees the consumer sees the epoch no
+  // later than the epoch's first packet.
   std::uint64_t batch = 0;
   std::uint32_t in_batch = config_.batch_size;
-  std::size_t target = W - 1;
+  std::size_t target = 0;
+  std::size_t w_active = W;
+  std::uint64_t epoch_first = 1;
+  std::size_t rescale_idx = 0;
+  std::uint64_t rescales_applied = 0;
   ThreadTrace gt(tr, t0, static_cast<int>(W) + 1);  // generator track
   std::vector<RtPacket> stage(kChunk);
   std::vector<net::PacketPtr> stash(kChunk);  // slabs popped off recycle ring
@@ -235,7 +247,40 @@ EngineResult Engine::run(
     if (in_batch >= config_.batch_size) {
       ++batch;
       in_batch = 0;
-      target = (target + 1) % W;
+      while (rescale_idx < config_.rescales.size() &&
+             i >= config_.rescales[rescale_idx].after_packets) {
+        const std::size_t nw = std::min<std::size_t>(
+            std::max<std::size_t>(config_.rescales[rescale_idx].active_workers,
+                                  1),
+            W);
+        ++rescale_idx;
+        if (nw == w_active) continue;  // no mapping change, no epoch needed
+        const std::size_t old_active = w_active;
+        w_active = nw;
+        epoch_first = batch;
+        if (merger.announce_epoch(
+                {batch, static_cast<std::uint32_t>(w_active)}))
+          ++rescales_applied;
+        // Close every previously-active ring with an epoch-flush marker so
+        // the consumer can prove its final old-epoch batch is complete —
+        // after a shrink no later batch would ever arrive there to provide
+        // the FIFO evidence. Pushed after the announce and before any
+        // new-epoch packet, preserving the visibility chain.
+        for (std::size_t w2 = 0; w2 < old_active; ++w2) {
+          RtPacket mark;
+          mark.batch = batch;
+          mark.marker = true;
+          auto& ring2 = *split_rings[w2];
+          std::uint32_t spins2 = 0;
+          while (!ring2.try_push(std::move(mark))) {
+            if (config_.max_push_spins != 0 &&
+                ++spins2 >= config_.max_push_spins)
+              break;  // shed: end-of-stream force_advance covers the tail
+            std::this_thread::yield();
+          }
+        }
+      }
+      target = static_cast<std::size_t>((batch - epoch_first) % w_active);
     }
     const std::uint64_t room_in_batch = config_.batch_size - in_batch;
     const std::uint64_t want =
@@ -324,6 +369,7 @@ EngineResult Engine::run(
   res.pool_acquired = pool.acquired();
   res.pool_recycled = pool.recycled();
   res.pool_exhausted = pool.exhausted();
+  res.rescales_applied = rescales_applied;
   return res;
 }
 

@@ -66,6 +66,18 @@ struct EngineConfig {
   /// Deliberately small values exercise pool backpressure (the generator
   /// waits for recycled slabs instead of allocating).
   std::size_t pool_capacity = 0;
+  /// Runtime rescale: once `after_packets` packets have been generated, the
+  /// stream's split degree changes to `active_workers` (clamped to
+  /// [1, workers]) — the control plane's decision replayed as a
+  /// deterministic schedule. Applied at the next micro-flow boundary via an
+  /// epoch message on the merger's internal SPSC ring (allocation-free, no
+  /// stall: old-epoch batches drain under the old worker mapping while new
+  /// ones fill under the new). Entries must be ascending in after_packets.
+  struct Rescale {
+    std::uint64_t after_packets = 0;
+    std::size_t active_workers = 0;
+  };
+  std::vector<Rescale> rescales;
 };
 
 struct EngineResult {
@@ -80,6 +92,9 @@ struct EngineResult {
   std::uint64_t pool_acquired = 0;
   std::uint64_t pool_recycled = 0;
   std::uint64_t pool_exhausted = 0;
+  /// Epoch changes actually announced to the merger (one per effective
+  /// EngineConfig::rescales entry; same-degree entries coalesce to none).
+  std::uint64_t rescales_applied = 0;
   double packets_per_second() const {
     return wall_seconds > 0 ? static_cast<double>(packets) / wall_seconds
                             : 0.0;

@@ -1,0 +1,51 @@
+// rt::RtMergeStreamView — the real-thread reassembler's adapter onto the
+// shared control::MergeStream concept (control/reassembly.hpp).
+//
+// Single-threaded view (test harness / drain checks): deposit routes each
+// packet to the ring its batch owns under the current epoch table, exactly
+// as the engine's generator would target the owning worker. The cross-
+// engine ordering/conservation helpers in tests/test_control.cpp run
+// against this and core::MergeStreamView with the same code.
+#pragma once
+
+#include <optional>
+#include <utility>
+
+#include "control/reassembly.hpp"
+#include "rt/reassembler.hpp"
+
+namespace mflow::rt {
+
+class RtMergeStreamView {
+ public:
+  using Item = RtPacket;
+
+  explicit RtMergeStreamView(RtReassembler& merger) : m_(&merger) {}
+
+  bool deposit(Item item) {
+    const std::size_t w = m_->owner_of(item.batch);
+    // One retry round only: a full ring refuses (bounded backpressure),
+    // matching the engine's shed-don't-wedge contract.
+    return m_->deposit(w, std::move(item), /*max_spins=*/1);
+  }
+
+  std::optional<Item> pop() { return m_->pop_ready(); }
+
+  void note_drop(std::uint64_t batch, std::uint32_t segs) {
+    m_->note_drop(batch, segs);
+  }
+
+  std::pair<std::uint64_t, std::uint64_t> descriptor(const Item& item) const {
+    return {item.seq, item.batch};
+  }
+
+  std::uint64_t batches_merged() const { return m_->batches_merged(); }
+  bool drained() const { return m_->drained(); }
+
+ private:
+  RtReassembler* m_;
+};
+
+static_assert(control::MergeStream<RtMergeStreamView>);
+
+}  // namespace mflow::rt

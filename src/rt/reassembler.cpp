@@ -1,14 +1,46 @@
 #include "rt/reassembler.hpp"
 
+#include <bit>
 #include <thread>
 
 namespace mflow::rt {
 
 RtReassembler::RtReassembler(std::size_t workers,
-                             std::size_t ring_capacity_pow2) {
+                             std::size_t ring_capacity_pow2,
+                             std::size_t max_epochs)
+    : epoch_ring_(std::bit_ceil(max_epochs + 1)), max_epochs_(max_epochs) {
   for (std::size_t i = 0; i < workers; ++i)
     rings_.push_back(
         std::make_unique<SpscRing<RtPacket>>(ring_capacity_pow2));
+  // Reserved up front so apply_epochs() never allocates on the consumer's
+  // hot path (the zero-allocation invariant of docs/PERFORMANCE.md).
+  epochs_.reserve(max_epochs + 1);
+  epochs_.push_back(Epoch{1, static_cast<std::uint32_t>(workers)});
+}
+
+bool RtReassembler::announce_epoch(Epoch e) {
+  if (announced_ >= max_epochs_) return false;
+  if (e.workers == 0 || e.workers > rings_.size()) return false;
+  if (!epoch_ring_.try_push(std::move(e))) return false;
+  ++announced_;
+  return true;
+}
+
+void RtReassembler::apply_epochs() {
+  while (auto e = epoch_ring_.try_pop()) epochs_.push_back(*e);
+}
+
+std::size_t RtReassembler::owner_of(std::uint64_t batch) {
+  apply_epochs();
+  // Epochs arrive in ascending first_batch order; the newest one at or
+  // below `batch` governs it. The table stays tiny (one entry per rescale),
+  // so a reverse scan beats any indexed structure.
+  for (std::size_t e = epochs_.size(); e-- > 0;) {
+    if (batch >= epochs_[e].first_batch)
+      return static_cast<std::size_t>((batch - epochs_[e].first_batch) %
+                                      epochs_[e].workers);
+  }
+  return static_cast<std::size_t>((batch - 1) % rings_.size());
 }
 
 bool RtReassembler::deposit(std::size_t w, RtPacket&& pkt,
@@ -45,16 +77,26 @@ std::size_t RtReassembler::deposit_batch(std::size_t w, RtPacket* pkts,
 std::optional<RtPacket> RtReassembler::pop_ready() {
   // Locate the buffer queue holding the micro-flow under merge; keep
   // consuming it until a packet with a different ID shows up, then advance
-  // the merging counter (paper §III-B).
+  // the merging counter (paper §III-B). The owner lookup re-applies any
+  // pending epoch on every iteration, so the counter can never cross a
+  // rescale boundary on a stale worker mapping.
   while (true) {
     auto& ring = *rings_[owner_of(merge_counter_)];
     const RtPacket* head = ring.peek();
     if (head == nullptr) return std::nullopt;
-    if (head->batch == merge_counter_) return ring.try_pop();
-    // A later batch is at the head: the current micro-flow is fully
-    // consumed (FIFO per worker), so move the merging counter forward.
-    ++merge_counter_;
-    ++batches_merged_;
+    if (head->batch == merge_counter_ && !head->marker)
+      return ring.try_pop();
+    if (head->batch > merge_counter_) {
+      // A later batch (or an epoch-flush marker for one) at the head: the
+      // current micro-flow is fully consumed (FIFO per worker), so move
+      // the merging counter forward.
+      ++merge_counter_;
+      ++batches_merged_;
+      continue;
+    }
+    // A marker at or below the counter has served its purpose (real
+    // packets can never be below the counter): discard and re-examine.
+    (void)ring.try_pop();
   }
 }
 
@@ -63,16 +105,23 @@ std::size_t RtReassembler::pop_ready_batch(RtPacket* out, std::size_t max) {
   while (got < max) {
     auto& ring = *rings_[owner_of(merge_counter_)];
     got += ring.try_pop_batch_while(
-        out + got, max - got,
-        [this](const RtPacket& p) { return p.batch == merge_counter_; });
+        out + got, max - got, [this](const RtPacket& p) {
+          return p.batch == merge_counter_ && !p.marker;
+        });
     const RtPacket* head = ring.peek();
     if (head == nullptr) break;  // merge head dry — caller yields/advances
-    if (head->batch == merge_counter_) continue;  // more of this micro-flow
-                                                  // arrived — keep draining
-    // A later batch at the head: this micro-flow is complete (FIFO per
-    // worker), advance and keep draining into the same output chunk.
-    ++merge_counter_;
-    ++batches_merged_;
+    if (head->batch == merge_counter_ && !head->marker)
+      continue;  // more of this micro-flow arrived — keep draining
+    if (head->batch > merge_counter_) {
+      // A later batch (or its epoch-flush marker) at the head: this
+      // micro-flow is complete (FIFO per worker), advance and keep
+      // draining into the same output chunk.
+      ++merge_counter_;
+      ++batches_merged_;
+      continue;
+    }
+    // Spent epoch-flush marker: discard and re-examine the head.
+    (void)ring.try_pop();
   }
   return got;
 }
@@ -80,6 +129,12 @@ std::size_t RtReassembler::pop_ready_batch(RtPacket* out, std::size_t max) {
 void RtReassembler::force_advance() {
   ++merge_counter_;
   ++batches_merged_;
+}
+
+bool RtReassembler::drained() const {
+  for (const auto& ring : rings_)
+    if (!ring->empty()) return false;
+  return true;
 }
 
 }  // namespace mflow::rt

@@ -31,13 +31,31 @@ struct RtPacket {
   std::uint32_t cost_ns = 0;   // synthetic per-packet processing cost
   bool last = false;           // end-of-stream marker
   net::PacketPtr skb;          // pooled packet buffer (may be null)
+  /// Epoch-flush marker (never delivered): `batch` holds the NEW epoch's
+  /// first batch id, and its position in a worker's FIFO proves every
+  /// older batch on that ring is fully deposited. Closes the completion
+  /// gap on rings a shrink leaves inactive — without it the consumer could
+  /// never distinguish "last batch done" from "more packets in flight".
+  bool marker = false;
 };
 
 class RtReassembler {
  public:
+  /// Batch-ownership epoch: batches >= first_batch round-robin over the
+  /// first `workers` buffer rings. Epochs are how the engine rescales its
+  /// active worker set at runtime — a control message on an internal SPSC
+  /// ring, never a shared mutable mapping.
+  struct Epoch {
+    std::uint64_t first_batch = 1;
+    std::uint32_t workers = 0;
+  };
+
   /// `workers` buffer rings, each `ring_capacity_pow2` deep (power of two,
-  /// enforced by SpscRing's constructor).
-  RtReassembler(std::size_t workers, std::size_t ring_capacity_pow2);
+  /// enforced by SpscRing's constructor). Up to `max_epochs` rescale
+  /// announcements are accepted over the reassembler's lifetime (storage is
+  /// pre-reserved so applying them allocates nothing).
+  RtReassembler(std::size_t workers, std::size_t ring_capacity_pow2,
+                std::size_t max_epochs = 64);
 
   /// Worker `w` deposits a processed packet (SPSC per worker).
   /// A full ring is retried (with yield) at most `max_spins` times;
@@ -75,14 +93,46 @@ class RtReassembler {
   /// producers finished (a batch boundary that will never see more input).
   void force_advance();
 
- private:
-  std::size_t owner_of(std::uint64_t batch) const {
-    return static_cast<std::size_t>((batch - 1) % rings_.size());
+  /// Producer side (the splitter/generator thread): all batches from
+  /// `first_batch` on round-robin over the first `e.workers` rings. MUST be
+  /// announced before any packet of `first_batch` is pushed toward the
+  /// workers — the consumer observes packets only through an
+  /// acquire/release chain rooted at that push, so the announcement is then
+  /// guaranteed visible by the time the merge counter reaches the epoch.
+  /// Returns false when the epoch budget (`max_epochs`) is exhausted.
+  [[nodiscard]] bool announce_epoch(Epoch e);
+
+  /// Consumer side: ring index owning `batch` under the epochs applied so
+  /// far (drains pending announcements first).
+  std::size_t owner_of(std::uint64_t batch);
+
+  /// A packet of `batch` was dropped before its deposit; informational —
+  /// the rt merge never stalls on holes (per-worker FIFO implies batch
+  /// completion), so this only feeds accounting.
+  void note_drop(std::uint64_t batch, std::uint32_t segs) {
+    drops_noted_ += segs;
+    (void)batch;
   }
+  std::uint64_t drops_noted() const { return drops_noted_; }
+
+  /// All buffer rings empty — nothing deposited awaits merging. Quiescent
+  /// use only (consumer idle): the rescale-drain completion condition.
+  bool drained() const;
+
+ private:
+  /// Drain pending epoch announcements into the applied table. Called on
+  /// every consumer lookup: cost is one empty-check on the epoch ring.
+  void apply_epochs();
 
   std::vector<std::unique_ptr<SpscRing<RtPacket>>> rings_;
   std::uint64_t merge_counter_ = 1;  // consumer-private
   std::uint64_t batches_merged_ = 0;
+  std::uint64_t drops_noted_ = 0;
+
+  SpscRing<Epoch> epoch_ring_;
+  std::vector<Epoch> epochs_;  // applied, ascending first_batch; reserved
+  std::size_t max_epochs_;
+  std::size_t announced_ = 0;  // producer-private budget counter
 };
 
 }  // namespace mflow::rt

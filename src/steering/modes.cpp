@@ -2,26 +2,35 @@
 
 namespace mflow::steer {
 
-std::unique_ptr<SteeringPolicy> make_vanilla() {
+std::unique_ptr<SteeringPolicy> make_policy(exp::Mode mode,
+                                            const PolicyParams& params) {
+  switch (mode) {
+    case exp::Mode::kNative:
+    case exp::Mode::kVanilla:
+      return std::make_unique<VanillaSteering>();
+    case exp::Mode::kRps:
+      // For the overlay, outer IP receive, VXLAN decap, bridge and veth all
+      // run inside the pNIC's first softirq; the paper observes that under
+      // RPS "VxLAN (part of the first softirq) [was] still processed on
+      // core one". RPS takes effect at the veth's netif_receive — the inner
+      // IP stage — regardless of path kind.
+      return std::make_unique<RpsSteering>(params.helper_cores, StageId::kIp,
+                                           params.rps_hash_cost);
+    case exp::Mode::kFalconDev:
+      return std::make_unique<FalconSteering>(FalconSteering::Level::kDevice,
+                                              params.helper_cores,
+                                              params.overlay);
+    case exp::Mode::kFalconFun:
+      return std::make_unique<FalconSteering>(FalconSteering::Level::kFunction,
+                                              params.helper_cores,
+                                              params.overlay);
+    case exp::Mode::kMflow:
+      if (!params.pipeline_pairs.empty())
+        return std::make_unique<PairedPipelineSteering>(params.pipeline_pairs,
+                                                        params.pipeline_at);
+      return std::make_unique<VanillaSteering>();
+  }
   return std::make_unique<VanillaSteering>();
-}
-
-std::unique_ptr<SteeringPolicy> make_rps(std::vector<int> targets,
-                                         bool overlay_path, Time hash_cost) {
-  // For the overlay, outer IP receive, VXLAN decap, bridge and veth all run
-  // inside the pNIC's first softirq; the paper observes that under RPS
-  // "VxLAN (part of the first softirq) [was] still processed on core one".
-  // RPS takes effect at the veth's netif_receive — the inner IP stage.
-  (void)overlay_path;
-  return std::make_unique<RpsSteering>(std::move(targets), StageId::kIp,
-                                       hash_cost);
-}
-
-std::unique_ptr<SteeringPolicy> make_falcon(FalconSteering::Level level,
-                                            std::vector<int> pool,
-                                            bool overlay_path) {
-  return std::make_unique<FalconSteering>(level, std::move(pool),
-                                          overlay_path);
 }
 
 }  // namespace mflow::steer

@@ -1,21 +1,45 @@
-// Factory helpers assembling steering policies for the experiment modes.
+// One factory for all experiment steering modes.
+//
+// Every run_* entry point used to carry its own mode switch assembling a
+// SteeringPolicy from per-mode helpers (make_vanilla/make_rps/make_falcon);
+// the control plane gives the steering layer a second consumer, so the
+// mode -> policy mapping now lives in exactly one place. New modes extend
+// the switch in modes.cpp and nothing else.
 #pragma once
 
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
+#include "experiment/mode.hpp"
 #include "steering/policy.hpp"
 
 namespace mflow::steer {
 
-std::unique_ptr<SteeringPolicy> make_vanilla();
+/// Everything a mode's policy can be parameterized with. Fields a mode
+/// ignores are simply unused; the empty default builds the vanilla policy
+/// for any mode that needs no cores (kNative/kVanilla, pipeline-less
+/// kMflow).
+struct PolicyParams {
+  /// Target cores: RPS backlog cores, or FALCON's pipeline pool.
+  std::vector<int> helper_cores;
+  /// Receive path kind (FALCON groups stages differently on the overlay).
+  bool overlay = true;
+  /// Per-packet flow-hash cost charged at the RPS steering point.
+  Time rps_hash_cost = 0;
+  /// MFLOW per-branch pipelining (splitting core -> partner core); empty
+  /// means the splitting cores run their whole branch.
+  std::unordered_map<int, int> pipeline_pairs;
+  StageId pipeline_at = StageId::kGro;
+};
 
-/// RPS for the given path kind: steers the first post-GRO stage.
-std::unique_ptr<SteeringPolicy> make_rps(std::vector<int> targets,
-                                         bool overlay_path, Time hash_cost);
-
-std::unique_ptr<SteeringPolicy> make_falcon(FalconSteering::Level level,
-                                            std::vector<int> pool,
-                                            bool overlay_path);
+/// Build the steering policy for an experiment mode. kNative and kVanilla
+/// keep everything on the arrival core; kRps hashes onto helper_cores at
+/// the inner-IP stage; the FALCON modes pipeline over helper_cores at
+/// device or function granularity; kMflow installs the paired pipeline when
+/// pairs are configured and is otherwise vanilla (the splitter, not the
+/// steering policy, provides MFLOW's parallelism).
+std::unique_ptr<SteeringPolicy> make_policy(exp::Mode mode,
+                                            const PolicyParams& params = {});
 
 }  // namespace mflow::steer

@@ -67,6 +67,17 @@ void TcpSender::on_ack(std::uint64_t cumulative_bytes) {
   host_.core(core_id_).raise(*this, /*remote=*/false);
 }
 
+void TcpSender::set_pace(sim::Time pace_per_message) {
+  params_.pace_per_message = pace_per_message;
+  if (pace_per_message == 0 && paced_waiting_) {
+    // A pacing timer is pending; it would clear the flag and raise us
+    // anyway, but resuming now keeps the transition sharp. The stale
+    // timer's duplicate raise is harmless.
+    paced_waiting_ = false;
+    host_.core(core_id_).raise(*this);
+  }
+}
+
 void TcpSender::arm_rto() {
   if (rto_armed_ || params_.rto <= 0) return;
   rto_armed_ = true;
@@ -142,6 +153,13 @@ UdpSender::UdpSender(ClientHost& host, int core_id, SenderParams params,
       next_message_id_(params.message_id_start) {}
 
 void UdpSender::start() { host_.core(core_id_).raise(*this); }
+
+void UdpSender::set_pace(sim::Time pace_per_message) {
+  params_.pace_per_message = pace_per_message;
+  // Going unpaced: resume immediately (a pending pacing timer's extra
+  // raise is idempotent). Slowing down applies from the next message.
+  if (pace_per_message == 0) host_.core(core_id_).raise(*this);
+}
 
 void UdpSender::send_fragment(sim::Core& core) {
   const stack::CostModel& costs = host_.costs();

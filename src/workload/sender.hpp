@@ -105,6 +105,12 @@ class TcpSender : public sim::Pollable {
   /// latency; re-arms sending.
   void on_ack(std::uint64_t cumulative_bytes);
 
+  /// Retarget the pacing interval at runtime (0 = drive to saturation).
+  /// Slowing down takes effect at the next message boundary; speeding up to
+  /// unpaced resumes immediately. The elephant<->mouse transitions of the
+  /// control-plane scenarios are driven through this.
+  void set_pace(sim::Time pace_per_message);
+
   bool poll(sim::Core& core, int budget) override;
   std::string_view poll_name() const override { return "tcp-sender"; }
 
@@ -137,6 +143,9 @@ class UdpSender : public sim::Pollable {
             WireLink& wire);
 
   void start();
+
+  /// Runtime pacing change; same semantics as TcpSender::set_pace().
+  void set_pace(sim::Time pace_per_message);
 
   bool poll(sim::Core& core, int budget) override;
   std::string_view poll_name() const override { return "udp-sender"; }

@@ -98,7 +98,7 @@ TxHost::TxHost(sim::Simulator& sim, Config config, WireLink& wire)
   machine_.set_path(stack::build_tx_path(machine_.costs(),
                                          config_.outer_src,
                                          config_.outer_dst, config_.vni));
-  machine_.set_steering(steer::make_vanilla());
+  machine_.set_steering(steer::make_policy(exp::Mode::kVanilla));
   machine_.set_terminal(
       [this](net::PacketPtr pkt, int from_core) {
         wire_out(std::move(pkt), from_core);

@@ -1,0 +1,573 @@
+// Dynamic flow control plane: monitor -> classifier -> scaler units, the
+// shared MergeStream concept instantiated for BOTH engines' reassemblers,
+// and live elephant<->mouse rescales end to end in the DES scenario.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "control/classifier.hpp"
+#include "control/monitor.hpp"
+#include "control/policy.hpp"
+#include "core/merge_view.hpp"
+#include "core/splitter.hpp"
+#include "experiment/scenario.hpp"
+#include "rt/merge_view.hpp"
+
+using namespace mflow;
+using control::FlowClass;
+
+// --- FlowMonitor -------------------------------------------------------------
+
+TEST(FlowMonitor, RateZeroUntilTwoSamples) {
+  control::FlowMonitor mon;
+  EXPECT_DOUBLE_EQ(mon.rate_pps(1), 0.0);
+  mon.record(1, 1000, 1'500'000, 0);
+  EXPECT_DOUBLE_EQ(mon.rate_pps(1), 0.0);
+  mon.record(1, 2000, 3'000'000, sim::ms(1));
+  // 1000 segs / 1ms, 1.5MB / 1ms * 8.
+  EXPECT_DOUBLE_EQ(mon.rate_pps(1), 1e6);
+  EXPECT_DOUBLE_EQ(mon.rate_bps(1), 1.5e6 * 8.0 * 1000.0);
+}
+
+TEST(FlowMonitor, SlidingWindowForgetsOldRate) {
+  control::FlowMonitor mon(control::MonitorParams{sim::ms(1), 32});
+  // 100 segs per 250us for 2ms, then the flow goes silent.
+  std::uint64_t total = 0;
+  sim::Time t = 0;
+  for (int i = 0; i < 8; ++i) {
+    total += 100;
+    t += sim::us(250);
+    mon.record(1, total, total * 1500, t);
+  }
+  EXPECT_NEAR(mon.rate_pps(1), 400'000.0, 1.0);
+  // Flat samples push the active burst out of the window: rate decays to 0.
+  for (int i = 0; i < 8; ++i) {
+    t += sim::us(250);
+    mon.record(1, total, total * 1500, t);
+  }
+  EXPECT_DOUBLE_EQ(mon.rate_pps(1), 0.0);
+  EXPECT_EQ(mon.total_segs(1), total);
+}
+
+TEST(FlowMonitor, FlowsListedInFirstSeenOrder) {
+  control::FlowMonitor mon;
+  mon.record(9, 1, 1, 0);
+  mon.record(3, 1, 1, 0);
+  mon.record(9, 2, 2, sim::us(100));
+  EXPECT_EQ(mon.flows(), (std::vector<net::FlowId>{9, 3}));
+}
+
+// --- Classifier hysteresis ---------------------------------------------------
+
+namespace {
+
+control::ClassifierParams band_params() {
+  control::ClassifierParams p;
+  p.promote_pps = 100'000.0;
+  p.demote_pps = 50'000.0;
+  p.dwell = sim::us(200);
+  return p;
+}
+
+}  // namespace
+
+TEST(Classifier, PromotionRequiresDwell) {
+  control::Classifier cl(band_params());
+  EXPECT_EQ(cl.update(1, 200'000.0, sim::us(0)), FlowClass::kMouse);
+  EXPECT_EQ(cl.update(1, 200'000.0, sim::us(100)), FlowClass::kMouse);
+  EXPECT_EQ(cl.update(1, 200'000.0, sim::us(200)), FlowClass::kElephant);
+  EXPECT_EQ(cl.transitions(), 1u);
+}
+
+TEST(Classifier, BandOscillationNeverFlaps) {
+  control::Classifier cl(band_params());
+  cl.update(1, 200'000.0, 0);
+  cl.update(1, 200'000.0, sim::us(200));
+  ASSERT_EQ(cl.classify(1), FlowClass::kElephant);
+  // Rate bouncing INSIDE the band (above demote, below promote) argues for
+  // the committed state: no candidate ever forms, no flap.
+  sim::Time t = sim::us(200);
+  for (int i = 0; i < 50; ++i) {
+    t += sim::us(100);
+    cl.update(1, i % 2 == 0 ? 60'000.0 : 95'000.0, t);
+    EXPECT_EQ(cl.classify(1), FlowClass::kElephant);
+  }
+  EXPECT_EQ(cl.transitions(), 1u);
+}
+
+TEST(Classifier, ThresholdOscillationFasterThanDwellNeverFlaps) {
+  control::Classifier cl(band_params());
+  cl.update(1, 200'000.0, 0);
+  cl.update(1, 200'000.0, sim::us(200));
+  ASSERT_EQ(cl.classify(1), FlowClass::kElephant);
+  // Rate alternating ACROSS the whole band every 100us: each demote
+  // candidate is cancelled before the 200us dwell elapses.
+  sim::Time t = sim::us(200);
+  for (int i = 0; i < 50; ++i) {
+    t += sim::us(100);
+    cl.update(1, i % 2 == 0 ? 40'000.0 : 200'000.0, t);
+    EXPECT_EQ(cl.classify(1), FlowClass::kElephant);
+  }
+  EXPECT_EQ(cl.transitions(), 1u);
+}
+
+TEST(Classifier, SustainedLowRateDemotes) {
+  control::Classifier cl(band_params());
+  cl.update(1, 200'000.0, 0);
+  cl.update(1, 200'000.0, sim::us(200));
+  ASSERT_EQ(cl.classify(1), FlowClass::kElephant);
+  EXPECT_EQ(cl.update(1, 10'000.0, sim::us(300)), FlowClass::kElephant);
+  EXPECT_EQ(cl.update(1, 10'000.0, sim::us(500)), FlowClass::kMouse);
+  EXPECT_EQ(cl.transitions(), 2u);
+}
+
+// --- ScalingPolicy -----------------------------------------------------------
+
+TEST(ScalingPolicy, MiceGetDegreeZero) {
+  control::ScalingPolicy pol;
+  EXPECT_EQ(pol.degree_for(FlowClass::kMouse, 1e9, 4), 0u);
+}
+
+TEST(ScalingPolicy, ElephantDegreeTracksRate) {
+  control::ScalingParams p;
+  p.per_core_pps = 100'000.0;
+  control::ScalingPolicy pol(p);
+  EXPECT_EQ(pol.degree_for(FlowClass::kElephant, 50'000.0, 4), 1u);
+  EXPECT_EQ(pol.degree_for(FlowClass::kElephant, 250'000.0, 4), 3u);
+  EXPECT_EQ(pol.degree_for(FlowClass::kElephant, 1e9, 4), 4u);  // clamped
+}
+
+TEST(ScalingPolicy, MinElephantDegreeFloors) {
+  control::ScalingParams p;
+  p.per_core_pps = 100'000.0;
+  p.min_elephant_degree = 2;
+  control::ScalingPolicy pol(p);
+  EXPECT_EQ(pol.degree_for(FlowClass::kElephant, 10'000.0, 4), 2u);
+  EXPECT_EQ(pol.degree_for(FlowClass::kElephant, 10'000.0, 1), 1u);
+}
+
+TEST(ScalingPolicy, ShrinkDeadbandHoldsDegreeNearBoundary) {
+  control::ScalingParams p;
+  p.per_core_pps = 100'000.0;
+  p.shrink_margin = 0.8;
+  control::ScalingPolicy pol(p);
+  // want = 3 but 290k > 3*100k*0.8: not enough headroom, hold 4.
+  EXPECT_EQ(pol.degree_for(FlowClass::kElephant, 290'000.0, 4, 4), 4u);
+  // 230k fits 3 lanes with margin: shrink commits.
+  EXPECT_EQ(pol.degree_for(FlowClass::kElephant, 230'000.0, 4, 4), 3u);
+  // Growing is never deadbanded.
+  EXPECT_EQ(pol.degree_for(FlowClass::kElephant, 350'000.0, 4, 2), 4u);
+}
+
+// --- Controller loop ---------------------------------------------------------
+
+namespace {
+
+struct FakeTarget final : control::ScalingTarget {
+  std::vector<std::pair<net::FlowId, std::uint32_t>> calls;
+  void set_flow_degree(net::FlowId flow, std::uint32_t degree) override {
+    calls.emplace_back(flow, degree);
+  }
+  std::uint32_t max_degree() const override { return 4; }
+};
+
+}  // namespace
+
+TEST(Controller, PromotesScalesAndDemotes) {
+  FakeTarget target;
+  // Flow 1 at 500k pps, flow 2 at 1k pps; flow 1 goes silent at 2ms.
+  std::uint64_t segs1 = 0, segs2 = 0;
+  control::ControllerParams params;  // defaults: 1ms window, 200us dwell
+  control::Controller ctl(
+      params,
+      [&] {
+        return std::vector<control::Controller::FlowTotals>{
+            {1, segs1, segs1 * 1500}, {2, segs2, segs2 * 1500}};
+      },
+      &target);
+
+  for (sim::Time t = sim::us(100); t <= sim::ms(5); t += sim::us(100)) {
+    if (t <= sim::ms(2)) segs1 += 50;  // 500k pps until the throttle
+    segs2 += 1;                        // 10k pps mouse throughout
+    ctl.tick(t);
+  }
+
+  // Flow 1: promoted (500k/150k -> 4 lanes), then demoted back to 0.
+  ASSERT_GE(ctl.history().size(), 2u);
+  EXPECT_EQ(ctl.history().front().flow, 1u);
+  EXPECT_EQ(ctl.history().front().old_degree, 0u);
+  EXPECT_EQ(ctl.history().front().new_degree, 4u);
+  EXPECT_EQ(ctl.history().back().new_degree, 0u);
+  EXPECT_EQ(ctl.degree_of(1), 0u);
+  EXPECT_EQ(ctl.elephants(), 0u);
+  // The mouse was never retargeted: no call mentions flow 2, and no-op
+  // ticks emit nothing (history has exactly the committed changes).
+  for (const auto& [flow, degree] : target.calls) EXPECT_EQ(flow, 1u);
+  EXPECT_EQ(target.calls.size(), ctl.history().size());
+}
+
+// --- MergeStream concept: both engines through the same helpers --------------
+
+namespace {
+
+// Deposit `count` packets of `batch` carrying seqs [first_seq, ...) through
+// the view. `mk` is the engine-specific item builder.
+template <typename View, typename MakeItem>
+void deposit_run(View& v, MakeItem&& mk, std::uint64_t batch,
+                 std::uint64_t first_seq, int count) {
+  for (int i = 0; i < count; ++i)
+    EXPECT_TRUE(v.deposit(mk(first_seq + static_cast<std::uint64_t>(i),
+                             batch)));
+}
+
+// Pop everything currently ready, appending original-flow seqs.
+template <typename View>
+void drain_into(View& v, std::vector<std::uint64_t>& seqs) {
+  while (auto item = v.pop())
+    seqs.push_back(v.descriptor(*item).first);
+}
+
+// The shared invariant both engines uphold across a live rescale: every
+// deposited seq comes out exactly once, in original flow order.
+void expect_full_in_order(const std::vector<std::uint64_t>& seqs,
+                          std::uint64_t count) {
+  ASSERT_EQ(seqs.size(), count);
+  for (std::uint64_t i = 0; i < count; ++i) EXPECT_EQ(seqs[i], i);
+}
+
+net::PacketPtr core_item(net::FlowId flow, std::uint64_t seq,
+                         std::uint64_t microflow) {
+  auto p = net::make_udp_datagram(
+      net::FlowKey{net::Ipv4Addr(1, 1, 1, 1), net::Ipv4Addr(2, 2, 2, 2), 1,
+                   2, net::Ipv4Header::kProtoUdp},
+      100);
+  p->flow_id = flow;
+  p->wire_seq = seq;
+  p->microflow_id = microflow;
+  return p;
+}
+
+}  // namespace
+
+// DES reassembler through the concept: split at degree 2, demote (unsplit
+// hold), re-split — the full rescale-drain protocol, observed only through
+// the MergeStream surface.
+TEST(MergeStream, CoreViewOrderedAcrossRescale) {
+  const net::FlowId kFlow = 7;
+  stack::CostModel costs;
+  core::Reassembler ra(costs);
+  core::MergeStreamView view(ra, kFlow);
+  auto mk = [&](std::uint64_t seq, std::uint64_t batch) {
+    return core_item(kFlow, seq, batch);
+  };
+  std::vector<std::uint64_t> seqs;
+
+  // Split period 1: batches 1-2, two packets each (seqs 0-3).
+  ra.note_flow_split(kFlow, 0, 1);
+  ra.note_batch_open(kFlow, 1);
+  ra.note_dispatch(kFlow, 1, 1);
+  ra.note_dispatch(kFlow, 1, 1);
+  ra.note_batch_open(kFlow, 2);
+  ra.note_dispatch(kFlow, 2, 1);
+  ra.note_dispatch(kFlow, 2, 1);
+  // Batch 2 lands first: nothing ready until batch 1 fills in.
+  deposit_run(view, mk, 2, 2, 2);
+  drain_into(view, seqs);
+  EXPECT_TRUE(seqs.empty());
+  deposit_run(view, mk, 1, 0, 2);
+  drain_into(view, seqs);
+  EXPECT_EQ(seqs.size(), 4u);
+
+  // Batch 3 opens, gets one of its two packets...
+  ra.note_batch_open(kFlow, 3);
+  ra.note_dispatch(kFlow, 3, 1);
+  ra.note_dispatch(kFlow, 3, 1);
+  deposit_run(view, mk, 3, 4, 1);
+  drain_into(view, seqs);
+  // ...then the flow demotes: its default-path packet (seq 6) must be held
+  // behind batch 3's still-missing seq 5.
+  ra.note_flow_unsplit(kFlow);
+  deposit_run(view, mk, 0, 6, 1);
+  drain_into(view, seqs);
+  EXPECT_EQ(seqs.size(), 5u);  // seq 6 held, seq 5 outstanding
+  deposit_run(view, mk, 3, 5, 1);
+  drain_into(view, seqs);
+
+  // Re-split (period 2, batch 4): the pre-split gate waits for the one
+  // default-path segment, which the flushed hold supplies.
+  ra.note_flow_split(kFlow, 1, 4);
+  ra.note_batch_open(kFlow, 4);
+  ra.note_dispatch(kFlow, 4, 1);
+  ra.note_dispatch(kFlow, 4, 1);
+  deposit_run(view, mk, 4, 7, 2);
+  drain_into(view, seqs);
+
+  expect_full_in_order(seqs, 9);
+  EXPECT_TRUE(view.drained());
+  EXPECT_GE(view.batches_merged(), 2u);
+}
+
+TEST(MergeStream, CoreViewNoteDropUnblocksMerge) {
+  const net::FlowId kFlow = 3;
+  stack::CostModel costs;
+  core::Reassembler ra(costs);
+  core::MergeStreamView view(ra, kFlow);
+  auto mk = [&](std::uint64_t seq, std::uint64_t batch) {
+    return core_item(kFlow, seq, batch);
+  };
+  ra.note_flow_split(kFlow, 0, 1);
+  ra.note_batch_open(kFlow, 1);
+  ra.note_dispatch(kFlow, 1, 1);
+  ra.note_dispatch(kFlow, 1, 1);
+  ra.note_batch_open(kFlow, 2);
+  ra.note_dispatch(kFlow, 2, 1);
+  // Seq 1 (batch 1) is lost before the merge point; batch 2 would wedge
+  // behind it without the retraction.
+  std::vector<std::uint64_t> seqs;
+  deposit_run(view, mk, 1, 0, 1);
+  deposit_run(view, mk, 2, 2, 1);
+  drain_into(view, seqs);
+  EXPECT_EQ(seqs, (std::vector<std::uint64_t>{0}));
+  view.note_drop(1, 1);
+  drain_into(view, seqs);
+  EXPECT_EQ(seqs, (std::vector<std::uint64_t>{0, 2}));
+  EXPECT_TRUE(view.drained());
+}
+
+// rt reassembler through the same helpers: shrink 2->1 workers then grow
+// back, with the engine's epoch-flush markers closing the completion gaps.
+TEST(MergeStream, RtViewOrderedAcrossRescale) {
+  rt::RtReassembler ra(2, 64);
+  rt::RtMergeStreamView view(ra);
+  auto mk = [](std::uint64_t seq, std::uint64_t batch) {
+    rt::RtPacket p;
+    p.seq = seq;
+    p.batch = batch;
+    return p;
+  };
+  std::vector<std::uint64_t> seqs;
+
+  // Epoch {1, 2 workers}: b1 -> ring 0, b2 -> ring 1, b3 -> ring 0. Batch 2
+  // deposited first — order must still come out 0..N.
+  deposit_run(view, mk, 2, 2, 2);
+  deposit_run(view, mk, 1, 0, 2);
+  deposit_run(view, mk, 3, 4, 2);
+
+  // Shrink to 1 worker from batch 4: announce, then flush-mark every
+  // previously-active ring exactly as the engine's generator does.
+  ASSERT_TRUE(ra.announce_epoch({4, 1}));
+  for (std::size_t w = 0; w < 2; ++w) {
+    rt::RtPacket mark;
+    mark.batch = 4;
+    mark.marker = true;
+    ASSERT_TRUE(ra.deposit(w, std::move(mark)));
+  }
+  deposit_run(view, mk, 4, 6, 2);
+  deposit_run(view, mk, 5, 8, 2);
+
+  // Grow back to 2 workers from batch 6 (ring 0 was the only active one).
+  ASSERT_TRUE(ra.announce_epoch({6, 2}));
+  {
+    rt::RtPacket mark;
+    mark.batch = 6;
+    mark.marker = true;
+    ASSERT_TRUE(ra.deposit(0, std::move(mark)));
+  }
+  deposit_run(view, mk, 6, 10, 2);
+  deposit_run(view, mk, 7, 12, 2);
+
+  drain_into(view, seqs);
+  // End of stream: the final batches have no successor to prove them
+  // complete — the engine force-advances there.
+  ra.force_advance();
+  drain_into(view, seqs);
+  ra.force_advance();
+  drain_into(view, seqs);
+
+  expect_full_in_order(seqs, 14);
+  // Every ring empty, including the stale marker a shrink stranded on
+  // ring 1 (discarded when the grow epoch made ring 1 active again).
+  EXPECT_TRUE(view.drained());
+  EXPECT_GE(view.batches_merged(), 6u);
+}
+
+TEST(MergeStream, RtViewNoteDropIsAccounted) {
+  rt::RtReassembler ra(2, 64);
+  rt::RtMergeStreamView view(ra);
+  view.note_drop(3, 5);
+  EXPECT_EQ(ra.drops_noted(), 5u);
+}
+
+// --- BatchAssigner degree overrides ------------------------------------------
+
+TEST(BatchAssigner, DegreeOverrideWinsOverThreshold) {
+  core::MflowConfig cfg;
+  cfg.batch_size = 4;
+  cfg.splitting_cores = {2, 3, 4, 5};
+  cfg.elephant_threshold_pkts = 1'000'000;  // static policy: never split
+  core::BatchAssigner a(cfg);
+  EXPECT_EQ(a.assign(1, 1).microflow_id, 0u);
+  a.set_flow_degree(1, 2);
+  // Split immediately, round-robin over exactly two distinct cores.
+  std::set<int> cores;
+  bool first = true;
+  for (int i = 0; i < 16; ++i) {
+    const auto as = a.assign(1, 1);
+    EXPECT_NE(as.microflow_id, 0u);
+    EXPECT_EQ(as.first_split, first);
+    first = false;
+    cores.insert(as.target_core);
+  }
+  EXPECT_EQ(cores.size(), 2u);
+  EXPECT_EQ(a.flow_degree(1), 2u);
+}
+
+TEST(BatchAssigner, DegreeZeroForcesUnsplitWithDrainFlag) {
+  core::MflowConfig cfg;
+  cfg.batch_size = 4;
+  cfg.splitting_cores = {2, 3};
+  cfg.elephant_threshold_pkts = 0;  // static policy: always split
+  core::BatchAssigner a(cfg);
+  ASSERT_NE(a.assign(1, 1).microflow_id, 0u);
+  a.set_flow_degree(1, 0);
+  // First default-path packet after the override carries the unsplit flag
+  // (the reassembler's cue to run the drain hold); later ones don't.
+  const auto first = a.assign(1, 1);
+  EXPECT_EQ(first.microflow_id, 0u);
+  EXPECT_TRUE(first.unsplit);
+  const auto second = a.assign(1, 1);
+  EXPECT_EQ(second.microflow_id, 0u);
+  EXPECT_FALSE(second.unsplit);
+  // Re-promotion resumes with a fresh split period carrying prior_segs.
+  a.set_flow_degree(1, 2);
+  const auto resumed = a.assign(1, 1);
+  EXPECT_TRUE(resumed.first_split);
+  EXPECT_EQ(resumed.prior_segs, 2u);
+}
+
+// --- ScenarioConfig::validate ------------------------------------------------
+
+namespace {
+
+exp::ScenarioConfig valid_config() {
+  exp::ScenarioConfig cfg;
+  cfg.warmup = sim::ms(1);
+  cfg.measure = sim::ms(2);
+  return cfg;
+}
+
+}  // namespace
+
+TEST(ScenarioValidate, AcceptsDefaults) {
+  EXPECT_NO_THROW(valid_config().validate());
+}
+
+TEST(ScenarioValidate, RejectsOverlappingAppAndKernelCores) {
+  auto cfg = valid_config();
+  cfg.app_cores = 2;
+  cfg.first_kernel_core = 1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(ScenarioValidate, RejectsNonPowerOfTwoNicRing) {
+  auto cfg = valid_config();
+  cfg.nic_ring_capacity = 1000;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(ScenarioValidate, RejectsControlPlaneWithoutMflow) {
+  auto cfg = valid_config();
+  cfg.control.enabled = true;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.mode = exp::Mode::kMflow;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(ScenarioValidate, RejectsRateChangeForUnknownSender) {
+  auto cfg = valid_config();
+  cfg.rate_changes.push_back({cfg.num_flows, sim::ms(1), 0});
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(ScenarioValidate, RejectsUsageSplitOutsideMeasurement) {
+  auto cfg = valid_config();
+  cfg.usage_split_at = cfg.warmup + cfg.measure + sim::ms(1);
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.usage_split_at = cfg.warmup + sim::ms(1);
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+// --- DES live rescale, end to end --------------------------------------------
+
+namespace {
+
+exp::ScenarioConfig live_rescale_config() {
+  exp::ScenarioConfig cfg;
+  cfg.mode = exp::Mode::kMflow;
+  cfg.protocol = net::Ipv4Header::kProtoTcp;
+  cfg.message_size = 65536;
+  cfg.num_flows = 3;
+  cfg.server_cores = 8;
+  cfg.app_cores = 1;
+  cfg.first_kernel_core = 1;
+  cfg.kernel_cores = 7;
+  cfg.warmup = sim::ms(2);
+  cfg.measure = sim::ms(10);
+  core::MflowConfig mcfg = core::udp_device_scaling_config();
+  mcfg.tcp_in_reader = true;
+  mcfg.splitting_cores = {2, 3, 4, 5};
+  cfg.mflow = mcfg;
+  cfg.control.enabled = true;
+  cfg.control.interval = sim::us(100);
+  cfg.control.params.monitor.window = sim::ms(1);
+  cfg.control.params.classifier.promote_pps = 200'000.0;
+  cfg.control.params.classifier.demote_pps = 100'000.0;
+  cfg.control.params.classifier.dwell = sim::us(300);
+  // Flow 0 throttles to mouse rates mid-measurement and surges back: one
+  // full elephant -> mouse -> elephant round trip while traffic flows.
+  cfg.rate_changes.push_back({0, sim::ms(5), sim::ms(2)});
+  cfg.rate_changes.push_back({0, sim::ms(9), 0});
+  return cfg;
+}
+
+}  // namespace
+
+TEST(ControlScenario, LiveRescaleConservesAndOrders) {
+  const auto r = exp::run_scenario(live_rescale_config());
+  EXPECT_GT(r.goodput_gbps, 1.0);
+  EXPECT_GT(r.messages, 0u);
+  // The round trip committed: at least one promotion, one demotion, one
+  // re-promotion somewhere in the history.
+  EXPECT_GE(r.control_rescales, 3u);
+  bool saw_demote = false, saw_promote = false;
+  for (const auto& ev : r.control_history) {
+    if (ev.new_degree == 0 && ev.old_degree > 0) saw_demote = true;
+    if (ev.new_degree > 0 && ev.old_degree == 0) saw_promote = true;
+  }
+  EXPECT_TRUE(saw_promote);
+  EXPECT_TRUE(saw_demote);
+  // Conservation through every rescale: a faultless run writes nothing
+  // off, never forces a merge-head advance, and delivers nothing out of
+  // order past the merge point.
+  EXPECT_EQ(r.drops_recovered, 0u);
+  EXPECT_EQ(r.evictions, 0u);
+  EXPECT_EQ(r.late_deliveries, 0u);
+  EXPECT_EQ(r.nic_drops, 0u);
+}
+
+TEST(ControlScenario, LiveRescaleDeterministic) {
+  const auto a = exp::run_scenario(live_rescale_config());
+  const auto b = exp::run_scenario(live_rescale_config());
+  EXPECT_DOUBLE_EQ(a.goodput_gbps, b.goodput_gbps);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.control_rescales, b.control_rescales);
+  ASSERT_EQ(a.control_history.size(), b.control_history.size());
+  for (std::size_t i = 0; i < a.control_history.size(); ++i) {
+    EXPECT_EQ(a.control_history[i].at, b.control_history[i].at);
+    EXPECT_EQ(a.control_history[i].flow, b.control_history[i].flow);
+    EXPECT_EQ(a.control_history[i].new_degree,
+              b.control_history[i].new_degree);
+  }
+}

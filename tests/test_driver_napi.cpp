@@ -20,7 +20,7 @@ struct Rig {
     spec.overlay = false;
     spec.protocol = net::Ipv4Header::kProtoUdp;
     machine.set_path(overlay::build_rx_path(machine.costs(), spec));
-    machine.set_steering(steer::make_vanilla());
+    machine.set_steering(steer::make_policy(exp::Mode::kVanilla));
     stack::SocketConfig sc;
     sc.protocol = net::Ipv4Header::kProtoUdp;
     machine.add_socket(5000, sc);
@@ -89,7 +89,7 @@ TEST(DriverNapi, RingOverrunDropsExcess) {
   spec.overlay = false;
   spec.protocol = net::Ipv4Header::kProtoUdp;
   m.set_path(overlay::build_rx_path(m.costs(), spec));
-  m.set_steering(steer::make_vanilla());
+  m.set_steering(steer::make_policy(exp::Mode::kVanilla));
   stack::SocketConfig sc;
   sc.protocol = net::Ipv4Header::kProtoUdp;
   m.add_socket(5000, sc);

@@ -28,7 +28,7 @@ struct IrqRig {
       machine.set_steering(std::make_unique<steer::PairedPipelineSteering>(
           std::unordered_map<int, int>{{2, 4}, {3, 5}}, stack::StageId::kGro));
     } else {
-      machine.set_steering(steer::make_vanilla());
+      machine.set_steering(steer::make_policy(exp::Mode::kVanilla));
     }
 
     stack::SocketConfig sc;

@@ -22,7 +22,7 @@ struct Rig {
     spec.overlay = overlay;
     spec.protocol = proto;
     machine.set_path(overlay::build_rx_path(machine.costs(), spec));
-    machine.set_steering(steer::make_vanilla());
+    machine.set_steering(steer::make_policy(exp::Mode::kVanilla));
     stack::SocketConfig sc;
     sc.protocol = proto;
     sc.app_core = 0;
@@ -163,7 +163,10 @@ TEST(Machine, RpsSteeringMovesInnerStages) {
   overlay::PathSpec spec;
   spec.protocol = net::Ipv4Header::kProtoUdp;
   m.set_path(overlay::build_rx_path(m.costs(), spec));
-  m.set_steering(steer::make_rps({3}, true, m.costs().rps_hash_per_pkt));
+  steer::PolicyParams rps;
+  rps.helper_cores = {3};
+  rps.rps_hash_cost = m.costs().rps_hash_per_pkt;
+  m.set_steering(steer::make_policy(exp::Mode::kRps, rps));
   stack::SocketConfig sc;
   sc.protocol = net::Ipv4Header::kProtoUdp;
   m.add_socket(5000, sc);

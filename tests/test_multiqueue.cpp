@@ -19,7 +19,7 @@ struct MqRig {
     overlay::PathSpec spec;
     spec.protocol = net::Ipv4Header::kProtoUdp;
     machine.set_path(overlay::build_rx_path(machine.costs(), spec));
-    machine.set_steering(steer::make_vanilla());
+    machine.set_steering(steer::make_policy(exp::Mode::kVanilla));
     stack::SocketConfig sc;
     sc.protocol = net::Ipv4Header::kProtoUdp;
     machine.add_socket(5000, sc);

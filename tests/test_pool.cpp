@@ -166,12 +166,16 @@ TEST(PacketPoolDeathTest, LeakedSlabAbortsAtPoolDestruction) {
 // thread touches the global allocator — packets live in pool slabs, rings
 // move handles, recycling is ring-based. The window [2000, 18000) skips
 // engine startup (thread spawn, ring/pool construction) and shutdown.
+// Two runtime rescales land INSIDE the window: epoch messages ride the
+// merger's pre-sized internal ring and the flush markers are plain stack
+// values, so a live degree change must not allocate either.
 TEST(PacketPool, EngineSteadyStateIsAllocationFree) {
   rt::EngineConfig cfg;
   cfg.workers = 2;
   cfg.batch_size = 64;
   cfg.cost_ns_per_packet = 0;
   cfg.max_push_spins = 0;  // lossless: backpressure, never drop
+  cfg.rescales = {{6000, 1}, {11000, 2}};
   constexpr std::uint64_t kTotal = 20000;
   std::atomic<std::uint64_t> at_start{0}, at_end{0};
   std::atomic<std::uint64_t> missing_skb{0};
@@ -185,6 +189,7 @@ TEST(PacketPool, EngineSteadyStateIsAllocationFree) {
   ASSERT_TRUE(res.in_order);
   ASSERT_EQ(res.packets, kTotal);
   ASSERT_EQ(res.packets_dropped, 0u);
+  ASSERT_EQ(res.rescales_applied, 2u);
   EXPECT_EQ(missing_skb.load(), 0u);
   EXPECT_GT(res.pool_acquired, 0u);
   // Zero allocations across 16k steady-state packets, from ANY thread.

@@ -291,3 +291,57 @@ TEST(RtEngine, ZeroCostStillOrdered) {
   EXPECT_TRUE(res.in_order);
   EXPECT_EQ(res.packets, 50000u);
 }
+
+// Live rescale under real concurrency: the stream shrinks to one worker and
+// grows back mid-run via epoch messages, with old-epoch batches draining
+// under the old mapping while new ones fill under the new. Ordering and
+// conservation must hold through both transitions.
+TEST(RtEngine, RuntimeRescaleShrinkAndGrowStaysOrdered) {
+  EngineConfig cfg;
+  cfg.workers = 4;
+  cfg.batch_size = 16;
+  cfg.cost_ns_per_packet = 0;
+  cfg.max_push_spins = 0;  // lossless: conservation is exact
+  cfg.rescales = {{10000, 1}, {25000, 3}};
+  constexpr std::uint64_t kTotal = 40000;
+  std::uint64_t observed = 0;
+  const auto res = Engine(cfg).run(kTotal, [&](const RtPacket& pkt) {
+    EXPECT_EQ(pkt.seq, observed);
+    ++observed;
+  });
+  EXPECT_TRUE(res.in_order);
+  EXPECT_EQ(res.packets, kTotal);
+  EXPECT_EQ(res.packets_dropped, 0u);
+  EXPECT_EQ(observed, kTotal);
+  EXPECT_EQ(res.rescales_applied, 2u);
+}
+
+// Same-degree rescale entries coalesce to no epoch at all.
+TEST(RtEngine, NoOpRescaleAnnouncesNothing) {
+  EngineConfig cfg;
+  cfg.workers = 2;
+  cfg.batch_size = 16;
+  cfg.cost_ns_per_packet = 0;
+  cfg.rescales = {{500, 2}};  // already at 2 workers
+  const auto res = Engine(cfg).run(2000);
+  EXPECT_TRUE(res.in_order);
+  EXPECT_EQ(res.rescales_applied, 0u);
+}
+
+// Rescaling while packets are being injected-dropped: the drain protocol
+// must not double-count or wedge when holes land near epoch boundaries.
+TEST(RtEngine, RescaleUnderFaultsConservesSurvivors) {
+  EngineConfig cfg;
+  cfg.workers = 3;
+  cfg.batch_size = 16;
+  cfg.cost_ns_per_packet = 0;
+  cfg.fault_drop_rate = 0.02;
+  cfg.fault_seed = 7;
+  cfg.rescales = {{8000, 1}, {16000, 3}, {24000, 2}};
+  constexpr std::uint64_t kTotal = 32000;
+  const auto res = Engine(cfg).run(kTotal);
+  EXPECT_GT(res.packets_dropped, 0u);
+  EXPECT_EQ(res.packets + res.packets_dropped, kTotal);
+  EXPECT_TRUE(res.in_order);
+  EXPECT_EQ(res.rescales_applied, 3u);
+}

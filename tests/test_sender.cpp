@@ -27,7 +27,7 @@ struct NetRig {
     spec.protocol = proto;
     spec.tcp_in_reader = tcp_in_reader;
     server.set_path(overlay::build_rx_path(server.costs(), spec));
-    server.set_steering(steer::make_vanilla());
+    server.set_steering(steer::make_policy(exp::Mode::kVanilla));
     stack::SocketConfig sc;
     sc.protocol = proto;
     sc.message_size = msg_size;

@@ -19,7 +19,7 @@ struct SockRig {
     spec.overlay = false;  // shortest path: focus on the socket layer
     spec.protocol = proto;
     machine.set_path(overlay::build_rx_path(machine.costs(), spec));
-    machine.set_steering(steer::make_vanilla());
+    machine.set_steering(steer::make_policy(exp::Mode::kVanilla));
     machine.add_socket(5000, sc);
     machine.start();
   }

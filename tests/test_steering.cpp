@@ -18,7 +18,7 @@ net::Packet pkt_for_flow(net::FlowId id, std::uint16_t sport = 1000) {
 }  // namespace
 
 TEST(Vanilla, EverythingStaysLocal) {
-  auto s = steer::make_vanilla();
+  auto s = steer::make_policy(exp::Mode::kVanilla);
   auto p = pkt_for_flow(1);
   for (StageId st : {StageId::kGro, StageId::kVxlan, StageId::kTcp})
     EXPECT_EQ(s->core_for(st, p, 1), 1);

@@ -20,7 +20,7 @@ struct TxRig {
     overlay::PathSpec spec;
     spec.protocol = net::Ipv4Header::kProtoUdp;
     rx.set_path(overlay::build_rx_path(rx.costs(), spec));
-    rx.set_steering(steer::make_vanilla());
+    rx.set_steering(steer::make_policy(exp::Mode::kVanilla));
     stack::SocketConfig sc;
     sc.protocol = net::Ipv4Header::kProtoUdp;
     rx.add_socket(5000, sc);
@@ -109,7 +109,7 @@ TEST(TxStages, EncapStageProducesValidOuter) {
   stack::Machine m(sim, mp);
   m.set_path(stack::build_tx_path(m.costs(), net::Ipv4Addr(1, 1, 1, 1),
                                   net::Ipv4Addr(2, 2, 2, 2), 99));
-  m.set_steering(steer::make_vanilla());
+  m.set_steering(steer::make_policy(exp::Mode::kVanilla));
   net::PacketPtr seen;
   m.set_terminal([&](net::PacketPtr p, int) { seen = std::move(p); });
 
