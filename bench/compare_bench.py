@@ -9,10 +9,12 @@ compared direction-aware: a throughput case (higher_is_better) regresses
 when new < baseline * (1 - tolerance); a latency case regresses when
 new > baseline * (1 + tolerance). Exit code 1 if any case regresses.
 
-Cases or files present on only one side are reported as warnings (they
-don't fail the run unless --strict is given) so adding a bench case does
-not break CI until the baseline is refreshed — see docs/BENCHMARKS.md for
-the refresh procedure.
+A bench or case present in the BASELINE but missing from the new run is a
+hard failure (exit 1): a silently skipped benchmark would hide exactly the
+regression the guard exists to catch. Benches/cases present only in the
+new run are warnings (they don't fail the run unless --strict is given) so
+adding a bench case does not break CI until the baseline is refreshed —
+see docs/BENCHMARKS.md for the refresh procedure.
 """
 
 import argparse
@@ -67,18 +69,18 @@ def main() -> int:
         print(f"error: no BENCH_*.json in {args.baseline_dir}")
         return 1
 
-    regressions, warnings = [], []
+    regressions, missing, warnings = [], [], []
     for bench_name, base in sorted(baselines.items()):
         new = news.get(bench_name)
         if new is None:
-            warnings.append(f"bench '{bench_name}' missing from {args.new_dir}")
+            missing.append(f"bench '{bench_name}' missing from {args.new_dir}")
             continue
         base_cases = {c["name"]: c for c in base.get("results", [])}
         new_cases = {c["name"]: c for c in new.get("results", [])}
         for name, bcase in sorted(base_cases.items()):
             ncase = new_cases.get(name)
             if ncase is None:
-                warnings.append(f"{bench_name}: case '{name}' missing from new run")
+                missing.append(f"{bench_name}: case '{name}' missing from new run")
                 continue
             status, ratio = compare_case(bcase, ncase, args.tolerance)
             unit = bcase.get("unit", "")
@@ -97,12 +99,23 @@ def main() -> int:
     for bench_name in sorted(set(news) - set(baselines)):
         warnings.append(f"bench '{bench_name}' has no checked-in baseline")
 
+    for m in missing:
+        print(f"MISSING     {m}")
     for w in warnings:
         print(f"warning     {w}")
 
+    failed = False
+    if missing:
+        print(f"\n{len(missing)} baseline bench(es)/case(s) missing from the "
+              f"new run — a skipped benchmark cannot prove the absence of a "
+              f"regression; run it, or remove it from the baseline if it was "
+              f"retired on purpose")
+        failed = True
     if regressions:
         print(f"\n{len(regressions)} regression(s) beyond "
               f"{args.tolerance:.0%} tolerance")
+        failed = True
+    if failed:
         return 1
     if args.strict and warnings:
         print(f"\n--strict: {len(warnings)} warning(s) treated as failure")

@@ -1,5 +1,7 @@
 #include "core/mflow.hpp"
 
+#include "stack/flowcache.hpp"
+
 namespace mflow::core {
 
 MflowEngine::MflowEngine(stack::Machine& machine, MflowConfig config)
@@ -111,6 +113,11 @@ bool MflowEngine::drained() const {
 void MflowEngine::set_flow_degree(net::FlowId flow, std::uint32_t degree) {
   if (splitter_ != nullptr) splitter_->assigner().set_flow_degree(flow, degree);
   for (auto& irq : irq_splitters_) irq->assigner().set_flow_degree(flow, degree);
+  // A rescale opens a new epoch for the flow: any cached fast-path decision
+  // predates it and must not be applied — the first packets under the new
+  // degree re-resolve through the slow path and re-commit.
+  if (stack::FlowCache* cache = machine_.flow_cache())
+    cache->invalidate_flow(flow);
 }
 
 std::vector<control::Controller::FlowTotals> MflowEngine::flow_totals()

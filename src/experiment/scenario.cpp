@@ -13,6 +13,7 @@
 #include "overlay/topology.hpp"
 #include "rt/pool.hpp"
 #include "sim/simulator.hpp"
+#include "stack/flowcache.hpp"
 #include "stack/machine.hpp"
 #include "steering/modes.hpp"
 #include "util/stats.hpp"
@@ -94,6 +95,17 @@ void ScenarioConfig::validate() const {
       if (from < 0 || from >= server_cores || to < 0 || to >= server_cores)
         fail("mflow.pipeline_pairs entry " + str(from) + "->" + str(to) +
              " outside [0, server_cores=" + str(server_cores) + ")");
+  }
+
+  if (fastpath.enabled) {
+    if (fastpath.capacity == 0)
+      fail("fastpath.enabled with fastpath.capacity=0 — the cache could "
+           "never hold an entry, so every packet would pay the probe for "
+           "nothing; set capacity >= 1 or disable fastpath");
+    if (mode == Mode::kNative)
+      fail("fastpath.enabled requires an overlay mode (mode 'native' has no "
+           "VXLAN/bridge/veth segment to cache); pick an overlay mode or "
+           "disable fastpath");
   }
 
   if (control.enabled) {
@@ -209,8 +221,17 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
   for (int q = 0; q < cfg.nic_queues; ++q)
     mp.irq_affinity.push_back(cfg.first_kernel_core + q % cfg.kernel_cores);
 
+  // Fast-path cache: declared before the machine only for symmetry with the
+  // pool (stages hold non-owning pointers; neither side touches the other
+  // at destruction). Installed right after the path exists.
+  std::unique_ptr<stack::FlowCache> flowcache;
+  if (cfg.fastpath.enabled)
+    flowcache = std::make_unique<stack::FlowCache>(
+        stack::FlowCacheConfig{cfg.fastpath.capacity});
+
   stack::Machine server(sim, mp);
   server.set_path(overlay::build_rx_path(server.costs(), spec));
+  if (flowcache) overlay::install_flow_cache(server, *flowcache);
 
   // Kernel cores not used as IRQ cores: targets for RPS / FALCON pipelines.
   // When every kernel core handles a NIC queue (multi-flow setups), the
@@ -428,6 +449,11 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
   std::uint64_t offered0 = 0;
   for (const auto& s : tcp_senders) offered0 += s->bytes_sent();
   for (const auto& s : udp_senders) offered0 += s->bytes_sent();
+  // Cache hit/miss ratios are reported over the measurement window only
+  // (warmup is where the slow path populates the cache).
+  const std::uint64_t cache_hits0 = flowcache ? flowcache->hits() : 0;
+  const std::uint64_t cache_misses0 = flowcache ? flowcache->misses() : 0;
+  const std::uint64_t cache_hit_segs0 = flowcache ? flowcache->hit_segs() : 0;
   const std::uint64_t inj_drops0 = injector.total_drops();
   const std::uint64_t inj_drop_segs0 = injector.dropped_segs();
   const std::uint64_t inj_corrupt0 = injector.total_corruptions();
@@ -479,6 +505,14 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
     res.late_deliveries = engine->late_deliveries();
     res.recovery_latency_ns = engine->recovery_latency_ns();
     res.flows_blocked = engine->any_flow_blocked();
+  }
+  if (flowcache) {
+    res.cache_hits = flowcache->hits() - cache_hits0;
+    res.cache_misses = flowcache->misses() - cache_misses0;
+    res.cache_hit_segs = flowcache->hit_segs() - cache_hit_segs0;
+    res.cache_inserts = flowcache->inserts();
+    res.cache_invalidations = flowcache->invalidations();
+    res.cache_evictions = flowcache->evictions();
   }
   if (controller) {
     res.control_rescales = controller->rescales();
@@ -543,6 +577,15 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
     reg.set_counter("fault.injected_corruptions", res.injected_corruptions);
     reg.set_counter("fault.injected_duplicates", res.injected_duplicates);
     reg.set_counter("fault.injected_delays", res.injected_delays);
+    if (flowcache) {
+      reg.set_counter("flowcache.hits", res.cache_hits);
+      reg.set_counter("flowcache.misses", res.cache_misses);
+      reg.set_counter("flowcache.hit_segs", res.cache_hit_segs);
+      reg.set_counter("flowcache.inserts", res.cache_inserts);
+      reg.set_counter("flowcache.invalidations", res.cache_invalidations);
+      reg.set_counter("flowcache.evictions", res.cache_evictions);
+      reg.set_gauge("flowcache.hit_rate", res.cache_hit_rate());
+    }
     reg.set_counter("reasm.ooo_arrivals", res.ooo_arrivals);
     reg.set_counter("reasm.batches_merged", res.batches_merged);
     reg.set_counter("reasm.drops_recovered", res.drops_recovered);

@@ -83,6 +83,18 @@ struct ScenarioConfig {
   /// when tracing is compiled out (-DMFLOW_TRACE=OFF).
   trace::TraceConfig trace{};
 
+  /// Per-flow encap/decap fast-path cache (stack/flowcache.hpp): the first
+  /// packets of a flow resolve vxlan -> bridge -> veth through the slow
+  /// path and record the decision; later packets apply one header splice.
+  /// Default OFF, so cache-off runs are byte-identical to pre-cache builds.
+  struct FastPath {
+    bool enabled = false;
+    /// Entry capacity; inserting past it evicts (miss-storm ablations use
+    /// a deliberately tiny value to force thrash).
+    std::size_t capacity = 1024;
+  };
+  FastPath fastpath;
+
   /// Slab-pool size for sender-side packet construction (rt::PacketPool;
   /// 0 disables pooling and every packet heap-allocates as before).
   /// Recycling is deterministic (LIFO, single-threaded in the DES), so
@@ -178,6 +190,23 @@ struct ScenarioResult {
   /// need the strict property drain a finite workload to quiescence and ask
   /// the engine directly.
   bool flows_blocked = false;
+
+  // Fast-path cache (populated when cfg.fastpath.enabled), deltas over the
+  // measurement window except `cache_inserts`/`cache_evictions`, which
+  // count from run start (entries committed during warmup are the ones
+  // producing measurement-window hits).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_hit_segs = 0;     // wire segments spliced
+  std::uint64_t cache_inserts = 0;
+  std::uint64_t cache_invalidations = 0;
+  std::uint64_t cache_evictions = 0;
+  double cache_hit_rate() const {
+    const auto total = cache_hits + cache_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(cache_hits) /
+                            static_cast<double>(total);
+  }
 
   // Control plane (populated when cfg.control.enabled): committed degree
   // changes over the measurement window, flows classified elephant at the

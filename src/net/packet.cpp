@@ -202,6 +202,19 @@ DecapResult vxlan_decap(Packet& pkt) {
   return res;
 }
 
+bool vxlan_splice_decap(Packet& pkt, std::uint32_t expected_vni) {
+  if (!pkt.encapsulated) return false;
+  auto bytes = pkt.buf.data();
+  if (bytes.size() < kVxlanOverhead) return false;
+  auto vx = bytes.subspan(EthernetHeader::kSize + Ipv4Header::kSize +
+                          UdpHeader::kSize);
+  if (!VxlanHeader::valid(vx) || VxlanHeader::decode(vx).vni != expected_vni)
+    return false;
+  pkt.buf.pull(kVxlanOverhead);
+  pkt.encapsulated = false;
+  return true;
+}
+
 Ipv4Header peek_ipv4(const Packet& pkt) {
   auto bytes = pkt.buf.data();
   assert(bytes.size() >= EthernetHeader::kSize + Ipv4Header::kSize);

@@ -187,6 +187,14 @@ struct DecapResult {
 /// and VXLAN flags, then strips the 50-byte outer stack.
 DecapResult vxlan_decap(Packet& pkt);
 
+/// Fast-path splice decap (stack/flowcache.hpp, rt overlay mode): a prior
+/// packet of this flow already validated the outer stack, so only the VXLAN
+/// header (flags + VNI) is re-checked before the 50-byte strip — no
+/// ethertype parse, no outer IPv4 checksum verification, no UDP port check.
+/// Returns false (packet untouched) when the VXLAN header disagrees, so a
+/// stale or colliding cache entry falls back to the slow path.
+bool vxlan_splice_decap(Packet& pkt, std::uint32_t expected_vni);
+
 /// Parse the (current) outermost IPv4 header without modifying the packet.
 Ipv4Header peek_ipv4(const Packet& pkt);
 

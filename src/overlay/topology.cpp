@@ -34,6 +34,23 @@ std::vector<std::unique_ptr<stack::Stage>> build_rx_path(
   return path;
 }
 
+void install_flow_cache(stack::Machine& machine, stack::FlowCache& cache) {
+  if (!machine.has_stage(stack::StageId::kVxlan))
+    throw std::invalid_argument(
+        "install_flow_cache: machine path has no VXLAN stage (native paths "
+        "have no overlay segment to cache)");
+  auto& vxlan = static_cast<stack::VxlanStage&>(
+      machine.stage_at(machine.stage_index(stack::StageId::kVxlan)));
+  auto& bridge = static_cast<stack::BridgeStage&>(
+      machine.stage_at(machine.stage_index(stack::StageId::kBridge)));
+  auto& veth = static_cast<stack::VethStage&>(
+      machine.stage_at(machine.stage_index(stack::StageId::kVeth)));
+  vxlan.set_cache(&cache);
+  bridge.set_cache(&cache);
+  veth.set_cache(&cache);
+  machine.set_flow_cache(&cache);
+}
+
 stack::TcpReceiver* find_softirq_tcp_receiver(stack::Machine& machine) {
   for (std::size_t i = 0; i < machine.path_length(); ++i) {
     if (machine.stage_at(i).id() == stack::StageId::kTcp)

@@ -63,4 +63,12 @@ std::vector<std::unique_ptr<stack::Stage>> build_rx_path(
 /// path (nullptr when tcp_in_reader or UDP).
 stack::TcpReceiver* find_softirq_tcp_receiver(stack::Machine& machine);
 
+/// Install the per-flow fast-path cache onto a built overlay path: probe in
+/// the VXLAN stage, record in the bridge, commit at veth, plus the machine-
+/// level pointer the control plane invalidates through. Throws
+/// std::invalid_argument if the machine's path has no overlay stages (a
+/// native path has nothing to cache). `cache` must outlive the machine's
+/// packet processing.
+void install_flow_cache(stack::Machine& machine, stack::FlowCache& cache);
+
 }  // namespace mflow::overlay

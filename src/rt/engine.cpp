@@ -59,6 +59,24 @@ class ThreadTrace {
   std::vector<trace::TraceEvent> buf_;
 };
 
+/// One per-worker direct-mapped overlay cache slot: the resolved decap
+/// decision for a flow, plus the outer-header template bytes a hit is
+/// validated against (the outer UDP source port is the only outer field
+/// that varies per flow — RFC 7348 entropy — so matching it proves the
+/// cached template still describes this packet's outer stack).
+struct CacheSlot {
+  std::uint64_t flow_id = 0;
+  std::uint32_t epoch = 0;  // rescale epoch the entry was installed under
+  std::uint8_t sport_hi = 0;
+  std::uint8_t sport_lo = 0;
+  bool valid = false;
+};
+
+/// Offset of the outer UDP source port in an encapsulated packet:
+/// Eth(14) + IPv4(20).
+constexpr std::size_t kOuterSportOff =
+    net::EthernetHeader::kSize + net::Ipv4Header::kSize;
+
 }  // namespace
 
 EngineResult Engine::run(
@@ -88,6 +106,24 @@ EngineResult Engine::run(
   // the fallback when this ring is full/empty — e.g. around drops).
   SpscRing<net::PacketPtr> recycle_ring(std::bit_ceil(pool_cap + 1));
 
+  // Overlay-mode state, all sized BEFORE any thread spawns so the steady
+  // state stays allocation-free: one direct-mapped cache per worker (only
+  // its owner touches it) and one counter block per worker (written once,
+  // at worker exit; read after join).
+  const bool overlay_on = config_.overlay.enabled;
+  const std::uint64_t overlay_flows =
+      std::max<std::uint32_t>(config_.overlay.flows, 1);
+  std::vector<std::vector<CacheSlot>> caches(W);
+  if (overlay_on && config_.overlay.cache) {
+    const std::size_t slots =
+        std::bit_ceil(std::max<std::size_t>(config_.overlay.cache_slots, 1));
+    for (auto& c : caches) c.resize(slots);
+  }
+  struct OverlayCounts {
+    std::uint64_t hits = 0, misses = 0, invals = 0, fails = 0;
+  };
+  std::vector<OverlayCounts> ov_counts(W);
+
   std::atomic<bool> produce_done{false};
   std::atomic<std::size_t> workers_done{0};
   // Packets lost to backpressure (retry budget exhausted) or injected
@@ -113,11 +149,15 @@ EngineResult Engine::run(
       std::vector<RtPacket> chunk(kChunk);
       bool saw_last = false;
       // Pure-forwarding configuration (no tracer, no synthetic cost, no
-      // fault injection): nothing in the per-packet loop below would fire,
-      // so whole chunks can be forwarded straight to the merger.
+      // fault injection, no overlay bytes to decapsulate): nothing in the
+      // per-packet loop below would fire, so whole chunks can be forwarded
+      // straight to the merger.
       const bool forward_only = tr == nullptr &&
                                 config_.cost_ns_per_packet == 0 &&
-                                config_.fault_drop_rate <= 0.0;
+                                config_.fault_drop_rate <= 0.0 && !overlay_on;
+      auto& cache = caches[w];
+      const std::size_t slot_mask = cache.empty() ? 0 : cache.size() - 1;
+      OverlayCounts ov;
       while (true) {
         const std::size_t n = in.try_pop_batch(chunk.data(), kChunk);
         if (n == 0) {
@@ -146,6 +186,48 @@ EngineResult Engine::run(
           RtPacket& pkt = chunk[i];
           saw_last = saw_last || pkt.last;
           wt.event(trace::EventKind::kRingDequeue, pkt.seq, pkt.batch);
+          if (overlay_on && !pkt.marker && pkt.skb) {
+            net::Packet& skb = *pkt.skb;
+            bool spliced = false;
+            if (!cache.empty()) {
+              CacheSlot& slot = cache[skb.flow_id & slot_mask];
+              if (slot.valid && slot.flow_id == skb.flow_id) {
+                if (slot.epoch != pkt.epoch) {
+                  // Rescale epoch advanced past the entry: the decision is
+                  // stale by protocol, even though the bytes still match.
+                  slot.valid = false;
+                  ++ov.invals;
+                } else {
+                  const auto bytes = skb.buf.data();
+                  if (bytes.size() >= net::kVxlanOverhead &&
+                      bytes[kOuterSportOff] == slot.sport_hi &&
+                      bytes[kOuterSportOff + 1] == slot.sport_lo &&
+                      net::vxlan_splice_decap(skb, config_.overlay.vni)) {
+                    ++ov.hits;
+                    spliced = true;
+                  }
+                }
+              }
+            }
+            if (!spliced) {
+              // Slow path: full validating decap, then (re)install the
+              // entry with this packet's outer template + epoch.
+              const auto bytes = skb.buf.data();
+              std::uint8_t hi = 0, lo = 0;
+              if (bytes.size() > kOuterSportOff + 1) {
+                hi = bytes[kOuterSportOff];
+                lo = bytes[kOuterSportOff + 1];
+              }
+              const net::DecapResult res = net::vxlan_decap(skb);
+              if (!res.ok || res.vni != config_.overlay.vni) {
+                ++ov.fails;
+              } else if (!cache.empty()) {
+                ++ov.misses;
+                cache[skb.flow_id & slot_mask] =
+                    CacheSlot{skb.flow_id, pkt.epoch, hi, lo, true};
+              }
+            }
+          }
           if (pkt.cost_ns > 0) spin_ns(pkt.cost_ns);
           wt.event(trace::EventKind::kStageExit, pkt.seq, pkt.batch,
                    /*aux=*/0xFF, static_cast<sim::Time>(pkt.cost_ns));
@@ -175,6 +257,7 @@ EngineResult Engine::run(
         }
       }
       wt.flush();
+      ov_counts[w] = ov;  // single write, read only after join
       workers_done.fetch_add(1, std::memory_order_release);
     });
   }
@@ -317,12 +400,34 @@ EngineResult Engine::run(
         gt.event(trace::EventKind::kDrop, i, batch);
         continue;
       }
-      // Stamp the skb the way the splitter stamps real packets.
-      skb->flow_id = static_cast<net::FlowId>(batch);
-      skb->wire_seq = i;
-      skb->microflow_id = batch;
-      skb->payload_len = net::kTcpMss;
+      if (overlay_on) {
+        // Build REAL encapsulated bytes into the slab: inner Eth/IPv4/UDP
+        // (42 bytes) plus the 50-byte VXLAN outer stack, all within the
+        // slab's reserved capacity — allocation-free. Each micro-flow
+        // batch belongs to one inner flow, so flow identity (and the
+        // worker-side cache key) survives the round-robin split.
+        const std::uint64_t fidx = batch % overlay_flows;
+        skb = net::make_udp_datagram(
+            std::move(skb),
+            net::FlowKey{net::Ipv4Addr(10, 0, 1, 2),
+                         net::Ipv4Addr(10, 0, 1, 3),
+                         static_cast<std::uint16_t>(40000 + (fidx & 0x3FFF)),
+                         5000, net::Ipv4Header::kProtoUdp},
+            net::kTcpMss);
+        net::vxlan_encap(*skb, net::Ipv4Addr(192, 168, 1, 2),
+                         net::Ipv4Addr(192, 168, 1, 3), config_.overlay.vni);
+        skb->flow_id = static_cast<net::FlowId>(fidx + 1);
+        skb->wire_seq = i;
+        skb->microflow_id = batch;
+      } else {
+        // Stamp the skb the way the splitter stamps real packets.
+        skb->flow_id = static_cast<net::FlowId>(batch);
+        skb->wire_seq = i;
+        skb->microflow_id = batch;
+        skb->payload_len = net::kTcpMss;
+      }
       stage[staged++] = RtPacket{i, batch, config_.cost_ns_per_packet,
+                                 static_cast<std::uint32_t>(rescales_applied),
                                  i + 1 == total, std::move(skb)};
     }
 
@@ -370,6 +475,12 @@ EngineResult Engine::run(
   res.pool_recycled = pool.recycled();
   res.pool_exhausted = pool.exhausted();
   res.rescales_applied = rescales_applied;
+  for (const auto& ov : ov_counts) {
+    res.cache_hits += ov.hits;
+    res.cache_misses += ov.misses;
+    res.cache_invalidations += ov.invals;
+    res.decap_failures += ov.fails;
+  }
   return res;
 }
 

@@ -78,6 +78,26 @@ struct EngineConfig {
     std::size_t active_workers = 0;
   };
   std::vector<Rescale> rescales;
+  /// Overlay mode: the generator builds REAL VXLAN-encapsulated bytes into
+  /// every slab (inner Eth/IPv4/UDP + 50-byte outer stack) and the workers
+  /// decapsulate them — the rt twin of the DES overlay path. With `cache`
+  /// on, each worker keeps a direct-mapped per-flow table (sized before
+  /// thread spawn, so the no-alloc invariant holds): a hit validates the
+  /// cached outer-header template against the packet's bytes and splices
+  /// the outer stack off in one pull; a miss or a rescale-epoch mismatch
+  /// runs the full validating decap and (re)installs the entry.
+  struct OverlayConfig {
+    bool enabled = false;
+    bool cache = false;
+    /// Distinct inner flows; each micro-flow batch belongs to one flow
+    /// (batch % flows), so flow churn scales with this.
+    std::uint32_t flows = 16;
+    /// Per-worker direct-mapped cache slots (power of two). Values below
+    /// `flows` force conflict evictions — the rt miss-storm knob.
+    std::size_t cache_slots = 256;
+    std::uint32_t vni = 42;
+  };
+  OverlayConfig overlay;
 };
 
 struct EngineResult {
@@ -95,6 +115,14 @@ struct EngineResult {
   /// Epoch changes actually announced to the merger (one per effective
   /// EngineConfig::rescales entry; same-degree entries coalesce to none).
   std::uint64_t rescales_applied = 0;
+  /// Overlay-mode accounting (all zero unless overlay.enabled), summed
+  /// over the workers after join.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  /// Cache entries discarded because the packet carried a newer rescale
+  /// epoch than the entry was installed under.
+  std::uint64_t cache_invalidations = 0;
+  std::uint64_t decap_failures = 0;
   double packets_per_second() const {
     return wall_seconds > 0 ? static_cast<double>(packets) / wall_seconds
                             : 0.0;

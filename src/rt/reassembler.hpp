@@ -29,6 +29,12 @@ struct RtPacket {
   std::uint64_t seq = 0;       // position in the original flow
   std::uint64_t batch = 0;     // micro-flow id (1-based)
   std::uint32_t cost_ns = 0;   // synthetic per-packet processing cost
+  /// Rescale epoch the generator stamped this packet with (count of applied
+  /// EngineConfig::rescales at staging time). The overlay fast path keys
+  /// cache validity on it: a worker seeing a newer epoch than its cached
+  /// entry re-resolves through the full decap, so a split-degree change
+  /// never applies a stale decision.
+  std::uint32_t epoch = 0;
   bool last = false;           // end-of-stream marker
   net::PacketPtr skb;          // pooled packet buffer (may be null)
   /// Epoch-flush marker (never delivered): `batch` holds the NEW epoch's

@@ -2,10 +2,20 @@
 
 namespace mflow::stack {
 
+void BridgeStage::learn(const net::MacAddr& mac, int port) {
+  const auto it = fdb_.find(mac);
+  if (it != fdb_.end() && it->second == port) return;  // no-op refresh
+  const bool moved = it != fdb_.end();
+  fdb_[mac] = port;
+  // A MAC that moved port makes every cached decision against it stale;
+  // a brand-new entry cannot (nothing was ever resolved to it).
+  if (moved && cache_ != nullptr) cache_->invalidate_mac(mac);
+}
+
 void BridgeStage::process(net::PacketPtr pkt, StageContext& ctx) {
   // Real L2 lookup on the decapsulated inner frame's destination MAC.
   const auto eth = net::EthernetHeader::decode(pkt->buf.data());
-  auto it = fdb_.find(eth.dst);
+  const auto it = fdb_.find(eth.dst);
   if (it == fdb_.end()) {
     // Unknown destination: a real bridge floods; with one veth port the
     // effect is identical to forwarding, so count and continue.
@@ -13,6 +23,8 @@ void BridgeStage::process(net::PacketPtr pkt, StageContext& ctx) {
   } else {
     ++forwarded_;
   }
+  if (cache_ != nullptr)
+    cache_->record_port(*pkt, eth.dst, it == fdb_.end() ? -1 : it->second);
   ctx.forward(std::move(pkt));
 }
 

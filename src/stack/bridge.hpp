@@ -1,11 +1,14 @@
 // Virtual bridge: L2 forwarding between the VXLAN device and container veth
-// pairs, with a learning FDB keyed by destination MAC.
+// pairs, with a learning FDB keyed by destination MAC. The slow-path half of
+// the fast-path cache records the resolved port here, and an FDB relearn
+// that moves a MAC invalidates every cached decision made against it.
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <map>
 
+#include "stack/flowcache.hpp"
 #include "stack/stage.hpp"
 
 namespace mflow::stack {
@@ -20,10 +23,16 @@ class BridgeStage : public Stage {
     return costs_.bridge_per_skb;
   }
 
-  /// Pre-populate the FDB: dst MAC -> logical port.
-  void learn(const net::MacAddr& mac, int port) { fdb_[mac] = port; }
+  /// Install or update an FDB entry: dst MAC -> logical port. Moving a MAC
+  /// to a DIFFERENT port (container migration, veth re-plug) invalidates
+  /// every fast-path entry resolved against it — the invalidation half of
+  /// the cache's safety contract.
+  void learn(const net::MacAddr& mac, int port);
 
   void process(net::PacketPtr pkt, StageContext& ctx) override;
+
+  /// Install the fast-path cache (nullptr disables; non-owning).
+  void set_cache(FlowCache* cache) { cache_ = cache; }
 
   std::uint64_t flooded() const { return flooded_; }
   std::uint64_t forwarded() const { return forwarded_; }
@@ -31,6 +40,7 @@ class BridgeStage : public Stage {
  private:
   const CostModel& costs_;
   std::map<net::MacAddr, int> fdb_;
+  FlowCache* cache_ = nullptr;
   std::uint64_t flooded_ = 0;
   std::uint64_t forwarded_ = 0;
 };

@@ -37,6 +37,16 @@ struct CostModel {
   Time bridge_per_skb = 150;
   Time veth_per_skb = 200;
 
+  // --- per-flow fast-path cache (stack/flowcache.hpp) -----------------------
+  // ONCache-style splice costs: a committed entry replaces the whole
+  // vxlan+bridge+veth segment with one lookup + one header splice. Anchored
+  // to ONCache's reported per-packet saving (~85% of the intra-host overlay
+  // datapath overhead disappears on a hit).
+  Time fastpath_lookup = 45;    // flow-keyed hash probe (hit or miss)
+  Time fastpath_splice = 110;   // outer-header strip + cached-delta apply
+  Time fastpath_per_seg = 15;   // per coalesced segment inside a super-skb
+  Time fastpath_insert = 180;   // entry commit after the first slow pass
+
   // --- transport -------------------------------------------------------------
   Time tcp_rx_per_skb = 360;
   Time tcp_rx_per_seg = 70;   // per coalesced wire segment (seq/ack/sack

@@ -1,0 +1,88 @@
+#include "stack/flowcache.hpp"
+
+namespace mflow::stack {
+
+const FlowCacheEntry* FlowCache::lookup(const net::Packet& pkt) {
+  const auto it = entries_.find(pkt.flow);
+  if (it == entries_.end() || !it->second.committed) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return &it->second;
+}
+
+bool FlowCache::would_hit(const net::Packet& pkt) const {
+  const auto it = entries_.find(pkt.flow);
+  return it != entries_.end() && it->second.committed;
+}
+
+void FlowCache::note_hit_segs(const net::Packet& pkt, std::uint32_t segs) {
+  hit_segs_ += segs;
+  const auto it = entries_.find(pkt.flow);
+  if (it != entries_.end()) it->second.hit_segs += segs;
+}
+
+void FlowCache::record_vni(const net::Packet& pkt, std::uint32_t vni) {
+  auto it = entries_.find(pkt.flow);
+  if (it == entries_.end()) {
+    if (entries_.size() >= cfg_.capacity) {
+      // Full: evict an arbitrary victim (unordered_map iteration order).
+      // A victim flow simply re-resolves through the slow path; under
+      // capacity pressure this thrashes, which is exactly the miss-storm
+      // behavior bench/ablate_flowcache measures.
+      entries_.erase(entries_.begin());
+      ++evictions_;
+    }
+    it = entries_.emplace(pkt.flow, FlowCacheEntry{}).first;
+  }
+  it->second.flow_id = pkt.flow_id;
+  it->second.vni = vni;
+}
+
+void FlowCache::record_port(const net::Packet& pkt, const net::MacAddr& dst,
+                            int port) {
+  const auto it = entries_.find(pkt.flow);
+  if (it == entries_.end()) return;  // evicted between vxlan and bridge
+  it->second.dst_mac = dst;
+  it->second.fdb_port = port;
+  it->second.has_port = true;
+}
+
+bool FlowCache::commit(const net::Packet& pkt) {
+  const auto it = entries_.find(pkt.flow);
+  if (it == entries_.end() || !it->second.has_port || it->second.committed)
+    return false;
+  it->second.committed = true;
+  ++inserts_;
+  return true;
+}
+
+void FlowCache::invalidate_mac(const net::MacAddr& mac) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.has_port && it->second.dst_mac == mac) {
+      it = entries_.erase(it);
+      ++invalidations_;
+    } else {
+      ++it;
+    }
+  }
+}
+
+void FlowCache::invalidate_flow(net::FlowId flow) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.flow_id == flow) {
+      it = entries_.erase(it);
+      ++invalidations_;
+    } else {
+      ++it;
+    }
+  }
+}
+
+void FlowCache::invalidate_all() {
+  invalidations_ += entries_.size();
+  entries_.clear();
+}
+
+}  // namespace mflow::stack

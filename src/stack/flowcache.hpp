@@ -1,0 +1,104 @@
+// ONCache-style per-flow encap/decap fast-path cache (DES engine).
+//
+// Every packet of an overlay flow pays the same VXLAN decap, bridge FDB
+// lookup and veth crossing — yet after the first packet all of those
+// decisions are invariant. Following ONCache (PAPERS.md), the slow path
+// records the resolved decision per inner 5-tuple (VNI, FDB port, dst MAC)
+// while the first packets traverse vxlan -> bridge -> veth; once an entry is
+// committed, VxlanStage applies the whole overlay segment as a single header
+// splice and jumps the packet straight to the inner IP stage.
+//
+// Invalidation protocol (see docs/ARCHITECTURE.md §9):
+//  - FDB relearn that MOVES a MAC to a different port erases every entry
+//    recorded against that MAC (BridgeStage::learn -> invalidate_mac);
+//  - a control-plane split-degree change erases the flow's entry
+//    (MflowEngine::set_flow_degree -> invalidate_flow), so the first batch
+//    under the new degree re-resolves through the slow path;
+//  - topology teardown calls invalidate_all.
+// A lookup NEVER returns an uncommitted or erased entry, so a stale
+// decision cannot be applied: between invalidation and the next commit the
+// flow simply takes the slow path again.
+//
+// The DES is single-threaded, so the cache needs no locking; counters are
+// plain integers surfaced through trace::Registry ("flowcache.*").
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "net/flow.hpp"
+#include "net/packet.hpp"
+
+namespace mflow::stack {
+
+struct FlowCacheConfig {
+  /// Maximum committed + in-progress entries; inserting past this evicts.
+  std::size_t capacity = 1024;
+};
+
+struct FlowCacheEntry {
+  net::FlowId flow_id = 0;
+  std::uint32_t vni = 0;
+  int fdb_port = -1;           // -1: bridge flooded (no FDB entry)
+  net::MacAddr dst_mac{};      // inner dst MAC the port was resolved for
+  bool has_port = false;       // bridge stage contributed
+  bool committed = false;      // veth stage sealed the entry (usable)
+  std::uint64_t hit_segs = 0;  // wire segments spliced through this entry
+};
+
+class FlowCache {
+ public:
+  explicit FlowCache(FlowCacheConfig cfg = {}) : cfg_(cfg) {}
+
+  const FlowCacheConfig& config() const { return cfg_; }
+
+  /// Fast-path probe (counts a hit or a miss). Returns the committed entry
+  /// for the packet's inner 5-tuple, or nullptr (slow path).
+  const FlowCacheEntry* lookup(const net::Packet& pkt);
+
+  /// Side-effect-free probe for cost accounting (Stage::cost is const).
+  bool would_hit(const net::Packet& pkt) const;
+
+  /// Account `segs` wire segments spliced through a hit entry.
+  void note_hit_segs(const net::Packet& pkt, std::uint32_t segs);
+
+  // --- slow-path recording ---------------------------------------------------
+  /// VXLAN stage decapped the packet: open (or refresh) the entry. May
+  /// evict an unrelated entry when the cache is full.
+  void record_vni(const net::Packet& pkt, std::uint32_t vni);
+  /// Bridge stage resolved the inner dst MAC (port -1 = flooded).
+  void record_port(const net::Packet& pkt, const net::MacAddr& dst, int port);
+  /// Veth stage: the packet cleared the whole overlay segment under the
+  /// recorded decision — seal the entry for fast-path use. Returns true if
+  /// a previously-uncommitted entry became usable (the insert to charge).
+  bool commit(const net::Packet& pkt);
+
+  // --- invalidation ----------------------------------------------------------
+  /// FDB relearn moved `mac`: erase every entry resolved against it.
+  void invalidate_mac(const net::MacAddr& mac);
+  /// Control-plane rescale epoch for `flow`: erase its entry so the new
+  /// split layout re-resolves through the slow path.
+  void invalidate_flow(net::FlowId flow);
+  void invalidate_all();
+
+  // --- counters --------------------------------------------------------------
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t hit_segs() const { return hit_segs_; }
+  std::uint64_t inserts() const { return inserts_; }
+  std::uint64_t invalidations() const { return invalidations_; }
+  std::uint64_t evictions() const { return evictions_; }
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  FlowCacheConfig cfg_;
+  std::unordered_map<net::FlowKey, FlowCacheEntry> entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t hit_segs_ = 0;
+  std::uint64_t inserts_ = 0;
+  std::uint64_t invalidations_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace mflow::stack

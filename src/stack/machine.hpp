@@ -24,6 +24,8 @@
 
 namespace mflow::stack {
 
+class FlowCache;
+
 struct MachineParams {
   int num_cores = 16;
   net::NicParams nic{};
@@ -62,6 +64,13 @@ class Machine {
 
   void set_steering(std::unique_ptr<SteeringPolicy> policy);
   SteeringPolicy* steering() { return steering_.get(); }
+
+  /// Per-flow fast-path cache installed on the overlay stages (non-owning;
+  /// overlay::install_flow_cache wires the stage-side pointers). Exposed so
+  /// control-plane invalidation (MflowEngine::set_flow_degree) can reach it
+  /// without the engine knowing about the overlay wiring.
+  void set_flow_cache(FlowCache* cache) { flow_cache_ = cache; }
+  FlowCache* flow_cache() { return flow_cache_; }
 
   /// Intercept the transition into path stage `index` (non-owning; the
   /// installer keeps the hook alive).
@@ -151,6 +160,7 @@ class Machine {
   std::unordered_map<std::uint16_t, std::unique_ptr<Socket>> sockets_;
   Terminal terminal_;
   net::FaultInjector* faults_ = nullptr;
+  FlowCache* flow_cache_ = nullptr;
   SplitDropHandler split_drop_;
   std::uint64_t ingested_ = 0;
 };

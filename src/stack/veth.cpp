@@ -4,6 +4,11 @@ namespace mflow::stack {
 
 void VethStage::process(net::PacketPtr pkt, StageContext& ctx) {
   ++transited_;
+  // The recorded decision carried this packet through the whole overlay
+  // segment: seal it. The insert cost lands on the committing core under
+  // the VXLAN tag — the fast path it buys lives there too.
+  if (cache_ != nullptr && cache_->commit(*pkt))
+    ctx.core.charge(tag(), costs_.fastpath_insert);
   ctx.forward(std::move(pkt));
 }
 

@@ -1,8 +1,12 @@
 // Container veth ingress: the namespace boundary crossing. The skb is
 // re-injected into the (container-side) network stack — in the kernel this
-// is the second netif_rx / softirq of the overlay path.
+// is the second netif_rx / softirq of the overlay path. It is also where a
+// fast-path cache entry is COMMITTED: a packet reaching veth has cleared the
+// whole vxlan -> bridge -> veth segment under the recorded decision, so the
+// entry is proven safe to replay.
 #pragma once
 
+#include "stack/flowcache.hpp"
 #include "stack/stage.hpp"
 
 namespace mflow::stack {
@@ -17,10 +21,14 @@ class VethStage : public Stage {
 
   void process(net::PacketPtr pkt, StageContext& ctx) override;
 
+  /// Install the fast-path cache (nullptr disables; non-owning).
+  void set_cache(FlowCache* cache) { cache_ = cache; }
+
   std::uint64_t transited() const { return transited_; }
 
  private:
   const CostModel& costs_;
+  FlowCache* cache_ = nullptr;
   std::uint64_t transited_ = 0;
 };
 

@@ -2,10 +2,19 @@
 // overlay networks (paper §II: "a heavy device (e.g., VxLAN) can still
 // saturate one CPU core"). Performs real byte-level outer-header validation
 // and stripping via net::vxlan_decap.
+//
+// With a FlowCache installed (overlay::install_flow_cache) this stage is
+// also the fast-path probe point: a committed entry replaces the whole
+// vxlan -> bridge -> veth segment with a single header splice, and the
+// packet jumps straight to the inner IP stage. The probe lives HERE, after
+// the MFLOW splitter's transition hook, so split packets are probed too and
+// the splitter's per-flow totals (the control plane's input) keep counting
+// cached traffic.
 #pragma once
 
 #include <cstdint>
 
+#include "stack/flowcache.hpp"
 #include "stack/stage.hpp"
 
 namespace mflow::stack {
@@ -18,20 +27,36 @@ class VxlanStage : public Stage {
   StageId id() const override { return StageId::kVxlan; }
   sim::Tag tag() const override { return sim::Tag::kVxlan; }
 
+  /// Cost must predict what process() will do: StageQueue charges it
+  /// BEFORE processing, so a hit is charged the splice cost instead of the
+  /// full decap, and a miss additionally pays the probe that failed.
   Time cost(const net::Packet& pkt) const override {
+    if (cache_ != nullptr) {
+      if (cache_->would_hit(pkt))
+        return costs_.fastpath_lookup + costs_.fastpath_splice +
+               costs_.fastpath_per_seg * pkt.gro_segs;
+      return costs_.fastpath_lookup + costs_.vxlan_per_skb +
+             costs_.vxlan_per_seg * pkt.gro_segs;
+    }
     return costs_.vxlan_per_skb + costs_.vxlan_per_seg * pkt.gro_segs;
   }
 
   void process(net::PacketPtr pkt, StageContext& ctx) override;
 
+  /// Install the fast-path cache (nullptr disables; non-owning).
+  void set_cache(FlowCache* cache) { cache_ = cache; }
+
   std::uint64_t decap_failures() const { return failures_; }
   std::uint64_t decapsulated() const { return decapsulated_; }
+  std::uint64_t spliced() const { return spliced_; }
 
  private:
   const CostModel& costs_;
   std::uint32_t expected_vni_;
+  FlowCache* cache_ = nullptr;
   std::uint64_t failures_ = 0;
   std::uint64_t decapsulated_ = 0;
+  std::uint64_t spliced_ = 0;
 };
 
 }  // namespace mflow::stack

@@ -198,6 +198,45 @@ TEST(PacketPool, EngineSteadyStateIsAllocationFree) {
       << " times between seq 2000 and 18000";
 }
 
+// The acceptance bar for the fast-path cache: overlay mode builds real
+// VXLAN bytes into every slab, workers probe per-worker cache tables and
+// splice on hits — all of it inside the same zero-allocation envelope.
+// Cache tables are sized before thread spawn; encap stays within the
+// slab's fixed byte reserve; rescale epochs invalidate entries without
+// touching the heap.
+TEST(PacketPool, OverlayCachedSteadyStateIsAllocationFree) {
+  rt::EngineConfig cfg;
+  cfg.workers = 2;
+  cfg.batch_size = 64;
+  cfg.cost_ns_per_packet = 0;
+  cfg.max_push_spins = 0;
+  cfg.rescales = {{6000, 1}, {11000, 2}};
+  cfg.overlay.enabled = true;
+  cfg.overlay.cache = true;
+  cfg.overlay.flows = 8;
+  constexpr std::uint64_t kTotal = 20000;
+  std::atomic<std::uint64_t> at_start{0}, at_end{0};
+  std::atomic<std::uint64_t> missing_skb{0};
+  const auto res = rt::Engine(cfg).run(kTotal, [&](const rt::RtPacket& pkt) {
+    if (!pkt.skb) missing_skb.fetch_add(1, std::memory_order_relaxed);
+    if (pkt.seq == 2000)
+      at_start.store(g_new_calls.load(), std::memory_order_relaxed);
+    else if (pkt.seq == 18000)
+      at_end.store(g_new_calls.load(), std::memory_order_relaxed);
+  });
+  ASSERT_TRUE(res.in_order);
+  ASSERT_EQ(res.packets, kTotal);
+  ASSERT_EQ(res.packets_dropped, 0u);
+  ASSERT_EQ(res.rescales_applied, 2u);
+  ASSERT_EQ(res.decap_failures, 0u);
+  EXPECT_EQ(missing_skb.load(), 0u);
+  EXPECT_GT(res.cache_hits, 0u);
+  EXPECT_GT(res.cache_invalidations, 0u);  // the rescales bit
+  EXPECT_EQ(at_end.load() - at_start.load(), 0u)
+      << "overlay fast path allocated " << (at_end.load() - at_start.load())
+      << " times between seq 2000 and 18000";
+}
+
 // Pool smaller than the packets in flight: the generator must backpressure
 // on slab exhaustion (recycle-ring + pool both dry) and still deliver
 // everything in order, rather than allocating or deadlocking.
