@@ -4,7 +4,8 @@ namespace mflow::control {
 
 FlowClass Classifier::update(net::FlowId flow, double rate_pps,
                              sim::Time now) {
-  State& st = states_[flow];
+  State& st = states_.upsert(flow, now);
+  states_.touch(flow, now);
 
   // What does the instantaneous rate argue for, given the hysteresis band?
   // Inside the band (demote_pps < rate < promote_pps) it argues for the
@@ -32,8 +33,8 @@ FlowClass Classifier::update(net::FlowId flow, double rate_pps,
 }
 
 FlowClass Classifier::classify(net::FlowId flow) const {
-  auto it = states_.find(flow);
-  return it == states_.end() ? FlowClass::kMouse : it->second.committed;
+  const State* st = states_.find(flow);
+  return st == nullptr ? FlowClass::kMouse : st->committed;
 }
 
 void Classifier::clear() {

@@ -12,8 +12,8 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 
+#include "control/flowtable.hpp"
 #include "net/flow.hpp"
 #include "sim/time.hpp"
 
@@ -33,11 +33,16 @@ struct ClassifierParams {
   double demote_pps = 50'000.0;
   /// Continuous time a candidate state must hold before it commits.
   sim::Time dwell = sim::us(200);
+  /// Backing flow table (bounds hysteresis state under churn; ttl unused —
+  /// the Controller erases classifier state when the monitor expires a
+  /// flow, so both reclaim atomically).
+  FlowTableParams table{};
 };
 
 class Classifier {
  public:
-  explicit Classifier(ClassifierParams params = {}) : params_(params) {}
+  explicit Classifier(ClassifierParams params = {})
+      : params_(params), states_(params.table) {}
 
   /// Observe `flow` at `rate_pps` at time `now`; returns the committed
   /// class after applying hysteresis. New flows start as mice.
@@ -49,6 +54,12 @@ class Classifier {
   /// Committed transitions so far (promotions + demotions) — flap meter.
   std::uint64_t transitions() const { return transitions_; }
 
+  /// Forget one flow's hysteresis state (flow-state expiry): if its id is
+  /// later reused, classification starts fresh as a mouse.
+  bool erase(net::FlowId flow) { return states_.erase(flow); }
+
+  std::size_t tracked_flows() const { return states_.size(); }
+
   void clear();
 
  private:
@@ -59,7 +70,7 @@ class Classifier {
   };
 
   ClassifierParams params_;
-  std::unordered_map<net::FlowId, State> states_;
+  FlowTable<State> states_;
   std::uint64_t transitions_ = 0;
 };
 

@@ -1,27 +1,36 @@
 #include "control/monitor.hpp"
 
+#include <algorithm>
+
 namespace mflow::control {
 
 void FlowMonitor::record(net::FlowId flow, std::uint64_t total_segs,
                          std::uint64_t total_bytes, sim::Time now) {
-  auto it = flows_.find(flow);
-  if (it == flows_.end()) {
-    it = flows_.emplace(flow, PerFlow{}).first;
-    it->second.pps_name =
-        "flow." + std::to_string(flow) + ".rate_pps";
-    it->second.bps_name =
-        "flow." + std::to_string(flow) + ".rate_bps";
-    order_.push_back(flow);
+  bool inserted = false;
+  PerFlow& pf = flows_.upsert(flow, now, &inserted);
+  if (inserted) {
+    pf.pps_name = "flow." + std::to_string(flow) + ".rate_pps";
+    pf.bps_name = "flow." + std::to_string(flow) + ".rate_bps";
+    pf.seq = next_seq_++;
   }
-  PerFlow& pf = it->second;
+  // Recency in the flow table tracks ACTIVITY, not observation: a source
+  // that keeps reporting a finished flow at frozen totals must not keep it
+  // alive, or nothing would ever expire.
+  const bool active = inserted || pf.samples.empty() ||
+                      total_segs > pf.samples.back().segs ||
+                      total_bytes > pf.samples.back().bytes;
   pf.samples.push_back(Sample{now, total_segs, total_bytes});
-  // Trim to the window, but always keep at least two samples so a sparse
-  // sampler (interval > window) still yields a rate.
+  // Trim so the RETAINED span (front..back) never exceeds the window —
+  // comparing against samples[1] here used to let rate() average over up
+  // to window + one sampling interval, which kept a stale pre-drop rate
+  // alive and delayed demotion dwell. Always keep at least two samples so
+  // a sparse sampler (interval > window) still yields a rate.
   while (pf.samples.size() > 2 &&
          (pf.samples.size() > params_.max_samples ||
-          pf.samples.back().at - pf.samples[1].at >= params_.window)) {
+          pf.samples.back().at - pf.samples.front().at > params_.window)) {
     pf.samples.pop_front();
   }
+  if (active) flows_.touch(flow, now);
   if (registry_ != nullptr) {
     registry_->set_gauge(pf.pps_name, rate(flow, /*bytes=*/false));
     registry_->set_gauge(pf.bps_name, rate(flow, /*bytes=*/true));
@@ -29,10 +38,10 @@ void FlowMonitor::record(net::FlowId flow, std::uint64_t total_segs,
 }
 
 double FlowMonitor::rate(net::FlowId flow, bool bytes) const {
-  auto it = flows_.find(flow);
-  if (it == flows_.end() || it->second.samples.size() < 2) return 0.0;
-  const Sample& first = it->second.samples.front();
-  const Sample& last = it->second.samples.back();
+  const PerFlow* pf = flows_.find(flow);
+  if (pf == nullptr || pf->samples.size() < 2) return 0.0;
+  const Sample& first = pf->samples.front();
+  const Sample& last = pf->samples.back();
   const sim::Time span = last.at - first.at;
   if (span <= 0) return 0.0;
   const std::uint64_t delta =
@@ -49,14 +58,40 @@ double FlowMonitor::rate_bps(net::FlowId flow) const {
 }
 
 std::uint64_t FlowMonitor::total_segs(net::FlowId flow) const {
-  auto it = flows_.find(flow);
-  if (it == flows_.end() || it->second.samples.empty()) return 0;
-  return it->second.samples.back().segs;
+  const PerFlow* pf = flows_.find(flow);
+  if (pf == nullptr || pf->samples.empty()) return 0;
+  return pf->samples.back().segs;
+}
+
+std::vector<net::FlowId> FlowMonitor::flows() const {
+  std::vector<std::pair<std::uint64_t, net::FlowId>> seq;
+  seq.reserve(flows_.size());
+  flows_.for_each([&seq](net::FlowId flow, const PerFlow& pf) {
+    seq.emplace_back(pf.seq, flow);
+  });
+  std::sort(seq.begin(), seq.end());
+  std::vector<net::FlowId> out;
+  out.reserve(seq.size());
+  for (const auto& [_, flow] : seq) out.push_back(flow);
+  return out;
+}
+
+void FlowMonitor::remove_gauges(const PerFlow& pf) {
+  if (registry_ == nullptr) return;
+  registry_->remove_gauge(pf.pps_name);
+  registry_->remove_gauge(pf.bps_name);
+}
+
+bool FlowMonitor::erase(net::FlowId flow) {
+  if (const PerFlow* pf = flows_.find(flow)) remove_gauges(*pf);
+  return flows_.erase(flow);
 }
 
 void FlowMonitor::clear() {
+  flows_.for_each(
+      [this](net::FlowId, const PerFlow& pf) { remove_gauges(pf); });
   flows_.clear();
-  order_.clear();
+  next_seq_ = 0;
 }
 
 }  // namespace mflow::control

@@ -9,6 +9,13 @@
 // the delta over the samples spanning the configured window — a sliding
 // window average, robust to the sampling interval jittering.
 //
+// Per-flow state lives in a bounded, expiring FlowTable instead of a
+// plain map: recency tracks *activity* (a sample whose totals advanced),
+// not mere observation, so a dead flow that the source keeps reporting at
+// frozen totals still goes idle and can be reclaimed. collect_idle() /
+// erase() are the Controller's expiry hooks; erase also retracts the
+// flow's registry gauges so exporters stop reporting it.
+//
 // When a trace::Registry is attached, every sample also publishes
 // `flow.<id>.rate_pps` / `flow.<id>.rate_bps` gauges, so the classifier's
 // inputs land in the same uniform stat surface the benches and exporters
@@ -19,9 +26,9 @@
 #include <cstdint>
 #include <deque>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "control/flowtable.hpp"
 #include "net/flow.hpp"
 #include "sim/time.hpp"
 #include "trace/registry.hpp"
@@ -35,11 +42,22 @@ struct MonitorParams {
   sim::Time window = sim::ms(1);
   /// Samples retained per flow; must cover window / sampling-interval.
   std::size_t max_samples = 32;
+  /// Backing flow table: shard count, the hard occupancy bound, and the
+  /// idle TTL after which a flow with no activity becomes expirable
+  /// (table.ttl == 0 keeps the pre-expiry behaviour: flows live until
+  /// clear()). The Controller reads this ttl as the flow-state lifetime.
+  FlowTableParams table{};
 };
 
 class FlowMonitor {
  public:
-  explicit FlowMonitor(MonitorParams params = {}) : params_(params) {}
+  explicit FlowMonitor(MonitorParams params = {})
+      : params_(params), flows_(params.table) {
+    // Capacity eviction must retract gauges just like erase() does.
+    flows_.set_reclaim([this](net::FlowId, PerFlow&& pf) {
+      remove_gauges(pf);
+    });
+  }
 
   /// Feed one cumulative observation for `flow` at time `now`. Totals are
   /// monotonic (lifetime segments/bytes as counted at the split point);
@@ -52,11 +70,25 @@ class FlowMonitor {
   double rate_pps(net::FlowId flow) const;
   double rate_bps(net::FlowId flow) const;
 
-  /// Flows the monitor has ever seen, in first-seen order (deterministic
-  /// iteration for the classifier loop).
-  const std::vector<net::FlowId>& flows() const { return order_; }
+  /// Currently tracked flows in first-seen order (deterministic iteration
+  /// for the classifier loop). Expired flows drop out.
+  std::vector<net::FlowId> flows() const;
 
   std::uint64_t total_segs(net::FlowId flow) const;
+
+  /// Flows with no activity for >= params.table.ttl at `now` — the
+  /// Controller's expiry candidates. Non-destructive (the drain protocol
+  /// may veto reclamation this tick).
+  void collect_idle(sim::Time now, std::vector<net::FlowId>& out) const {
+    flows_.collect_idle(now, out);
+  }
+
+  /// Drop one flow's samples and retract its registry gauges. Returns
+  /// false if the flow was not tracked.
+  bool erase(net::FlowId flow);
+
+  std::size_t tracked_flows() const { return flows_.size(); }
+  std::size_t peak_tracked() const { return flows_.peak_size(); }
 
   /// Publish per-flow rate gauges into `reg` on every record(). Pass
   /// nullptr to detach.
@@ -75,13 +107,15 @@ class FlowMonitor {
     std::deque<Sample> samples;
     std::string pps_name;  // cached gauge names ("flow.<id>.rate_pps")
     std::string bps_name;
+    std::uint64_t seq = 0;  // first-seen order for flows()
   };
 
   double rate(net::FlowId flow, bool bytes) const;
+  void remove_gauges(const PerFlow& pf);
 
   MonitorParams params_;
-  std::unordered_map<net::FlowId, PerFlow> flows_;
-  std::vector<net::FlowId> order_;
+  FlowTable<PerFlow> flows_;
+  std::uint64_t next_seq_ = 0;
   trace::Registry* registry_ = nullptr;
 };
 

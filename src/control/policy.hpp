@@ -20,10 +20,10 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "control/classifier.hpp"
+#include "control/flowtable.hpp"
 #include "control/monitor.hpp"
 #include "net/flow.hpp"
 #include "sim/time.hpp"
@@ -39,6 +39,17 @@ class ScalingTarget {
   virtual ~ScalingTarget() = default;
   virtual void set_flow_degree(net::FlowId flow, std::uint32_t degree) = 0;
   virtual std::uint32_t max_degree() const = 0;
+  /// Flow-state expiry handshake: the Controller asks the data path to
+  /// forget everything it holds for an idle flow (split-point counters,
+  /// degree overrides, reassembly bookkeeping, cached fast-path entries).
+  /// Return false to veto — e.g. a rescale drain is still in flight — and
+  /// the Controller keeps the flow's control state and retries next tick,
+  /// so reclamation is all-or-nothing: a reused FlowId can never meet a
+  /// half-forgotten flow. Targets with no per-flow state accept by default.
+  virtual bool release_flow(net::FlowId flow) {
+    (void)flow;
+    return true;
+  }
 };
 
 struct ScalingParams {
@@ -108,6 +119,17 @@ class Controller {
   std::uint32_t degree_of(net::FlowId flow) const;
   std::uint64_t elephants() const;
 
+  /// Flows with live control state (monitor samples). Bounded by the flow
+  /// table, not by cumulative arrivals.
+  std::size_t tracked_flows() const { return monitor_.tracked_flows(); }
+  std::size_t peak_tracked() const { return monitor_.peak_tracked(); }
+  /// Flows fully reclaimed by TTL expiry (monitor + classifier + degree +
+  /// data-path state).
+  std::uint64_t expired_flows() const { return expired_; }
+  /// Expiry candidates whose release the target vetoed this tick (drain
+  /// in flight); they stay tracked and retry.
+  std::uint64_t release_retries() const { return release_retries_; }
+
   FlowMonitor& monitor() { return monitor_; }
   Classifier& classifier() { return classifier_; }
 
@@ -116,14 +138,19 @@ class Controller {
   void export_to(trace::Registry* reg);
 
  private:
+  void expire_flows(sim::Time now);
+
   ControllerParams params_;
   Source source_;
   ScalingTarget* target_;
   FlowMonitor monitor_;
   Classifier classifier_;
   ScalingPolicy policy_;
-  std::unordered_map<net::FlowId, std::uint32_t> degrees_;
+  FlowTable<std::uint32_t> degrees_;
   std::vector<RescaleEvent> history_;
+  std::vector<net::FlowId> idle_scratch_;
+  std::uint64_t expired_ = 0;
+  std::uint64_t release_retries_ = 0;
   trace::Registry* registry_ = nullptr;
 };
 

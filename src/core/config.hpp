@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "control/flowtable.hpp"
 #include "sim/time.hpp"
 #include "stack/stage.hpp"
 
@@ -61,6 +62,14 @@ struct MflowConfig {
   /// and stalling a deadline workload costs more than letting TCP's ofo
   /// queue absorb the residual reorder).
   sim::Time split_gate_grace = sim::us(100);
+
+  /// Split-point per-flow state (batch cursors, counters, degree
+  /// overrides) lives in a bounded FlowTable; capacity eviction reclaims
+  /// the least-recently-seen flow if the control plane never releases it.
+  /// ttl is ignored here — expiry is driven by the Controller, which must
+  /// sequence it with the rescale-drain protocol.
+  control::FlowTableParams flow_table{/*shards=*/1, /*capacity=*/1 << 20,
+                                      /*ttl=*/0};
 
   std::string describe() const;
 };

@@ -120,6 +120,17 @@ void MflowEngine::set_flow_degree(net::FlowId flow, std::uint32_t degree) {
     cache->invalidate_flow(flow);
 }
 
+bool MflowEngine::release_flow(net::FlowId flow) {
+  for (const auto& [_, ra] : reassemblers_)
+    if (!ra->flow_quiesced(flow)) return false;
+  for (auto& [_, ra] : reassemblers_) ra->forget_flow(flow);
+  if (splitter_ != nullptr) splitter_->assigner().erase_flow(flow);
+  for (auto& irq : irq_splitters_) irq->assigner().erase_flow(flow);
+  if (stack::FlowCache* cache = machine_.flow_cache())
+    cache->invalidate_flow(flow);
+  return true;
+}
+
 std::vector<control::Controller::FlowTotals> MflowEngine::flow_totals()
     const {
   std::vector<control::Controller::FlowTotals> out;

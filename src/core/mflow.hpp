@@ -50,6 +50,12 @@ class MflowEngine final : public control::ScalingTarget {
   std::uint32_t max_degree() const override {
     return static_cast<std::uint32_t>(config_.splitting_cores.size());
   }
+  /// Flow-state expiry (control-plane TTL): forget the flow everywhere —
+  /// split-point counters + degree override, reassembly ledgers, cached
+  /// fast-path entries — IF no reassembler holds in-flight work for it;
+  /// otherwise refuse (the Controller retries after the drain). All-or-
+  /// nothing so a reused FlowId never meets half-stale state.
+  bool release_flow(net::FlowId flow) override;
 
   /// Cumulative per-flow split-point totals across all splitters — the
   /// pull source for the control plane's FlowMonitor.

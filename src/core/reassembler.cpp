@@ -269,6 +269,31 @@ bool Reassembler::any_flow_blocked() const {
   return false;
 }
 
+bool Reassembler::flow_quiesced(net::FlowId flow) const {
+  const auto it = flows_.find(flow);
+  if (it == flows_.end()) return true;
+  const FlowMerge& fm = it->second;
+  if (fm.holding || !fm.hold.empty()) return false;
+  for (const auto& [batch, q] : fm.queues)
+    if (!q.empty()) return false;
+  for (const auto& [batch, disp] : fm.dispatched)
+    if (lookup(fm.consumed, batch) + lookup(fm.dropped, batch) < disp)
+      return false;
+  return true;
+}
+
+void Reassembler::forget_flow(net::FlowId flow) {
+  flows_.erase(flow);
+  passthrough_segs_.erase(flow);
+  const auto it = std::find(flow_order_.begin(), flow_order_.end(), flow);
+  if (it != flow_order_.end()) {
+    const auto pos = static_cast<std::size_t>(it - flow_order_.begin());
+    flow_order_.erase(it);
+    if (rr_ > pos) --rr_;
+    if (rr_ >= flow_order_.size()) rr_ = 0;
+  }
+}
+
 bool Reassembler::drained() const {
   if (buffered_ != 0) return false;
   for (const auto& [_, fm] : flows_) {

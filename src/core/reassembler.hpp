@@ -140,6 +140,19 @@ class Reassembler final : public stack::MergeBuffer {
   /// True if some flow has work buffered or outstanding but nothing ready —
   /// with eviction disabled this is a permanent wedge once inputs stop.
   bool any_flow_blocked() const;
+
+  // --- flow-state expiry -------------------------------------------------------
+  /// True when the reassembler holds no in-flight work for `flow`: no
+  /// buffered packets, no unsplit hold, every dispatched segment consumed
+  /// or written off. Untracked flows are trivially quiesced. The safety
+  /// predicate for forget_flow().
+  bool flow_quiesced(net::FlowId flow) const;
+  /// Drop all per-flow merge state — merge counter, batch ledgers AND the
+  /// passthrough-segment credit feeding the pre-split gate. Only call when
+  /// flow_quiesced(); a reused FlowId then starts from a clean slate
+  /// (merge counter 1, gate credit 0) consistent with a fresh assigner.
+  void forget_flow(net::FlowId flow);
+
   void reset_stats();
 
  private:

@@ -9,14 +9,15 @@ namespace mflow::core {
 BatchAssigner::Assignment BatchAssigner::assign(net::FlowId flow,
                                                 std::uint32_t segs,
                                                 std::uint32_t bytes) {
-  auto [it, inserted] = flows_.try_emplace(flow);
-  PerFlow& st = it->second;
+  bool inserted = false;
+  PerFlow& st = flows_.upsert(flow, static_cast<sim::Time>(++ops_), &inserted);
+  flows_.touch(flow, static_cast<sim::Time>(ops_));
   // Stagger the starting splitting core per flow so concurrent elephants
   // spread their first micro-flows instead of piling onto the same core.
   if (inserted) {
     st.rr = static_cast<std::size_t>(flow * 7919u) %
             std::max<std::size_t>(1, config_.splitting_cores.size());
-    order_.push_back(flow);
+    st.seq = next_seq_++;
   }
   st.seen_segs += segs;
   st.seen_bytes += bytes;
@@ -25,10 +26,9 @@ BatchAssigner::Assignment BatchAssigner::assign(net::FlowId flow,
   // elephant threshold decides (the paper's setup-time policy).
   bool split;
   std::size_t degree = config_.splitting_cores.size();
-  if (const auto ov = degree_override_.find(flow);
-      ov != degree_override_.end()) {
-    split = ov->second > 0;
-    degree = std::min<std::size_t>(ov->second, degree);
+  if (st.has_override) {
+    split = st.override_degree > 0;
+    degree = std::min<std::size_t>(st.override_degree, degree);
   } else {
     split = st.seen_segs > config_.elephant_threshold_pkts;
   }
@@ -66,25 +66,41 @@ BatchAssigner::Assignment BatchAssigner::assign(net::FlowId flow,
 }
 
 void BatchAssigner::set_flow_degree(net::FlowId flow, std::uint32_t degree) {
-  degree_override_[flow] = degree;
+  bool inserted = false;
+  PerFlow& st = flows_.upsert(flow, static_cast<sim::Time>(++ops_), &inserted);
+  if (inserted) {
+    st.rr = static_cast<std::size_t>(flow * 7919u) %
+            std::max<std::size_t>(1, config_.splitting_cores.size());
+    st.seq = next_seq_++;
+  }
+  st.has_override = true;
+  st.override_degree = degree;
 }
 
 std::uint32_t BatchAssigner::flow_degree(net::FlowId flow) const {
-  const auto it = degree_override_.find(flow);
-  return it == degree_override_.end() ? 0 : it->second;
+  const PerFlow* st = flows_.find(flow);
+  return st == nullptr || !st->has_override ? 0 : st->override_degree;
 }
 
 std::uint64_t BatchAssigner::observed(net::FlowId flow) const {
-  const auto it = flows_.find(flow);
-  return it == flows_.end() ? 0 : it->second.seen_segs;
+  const PerFlow* st = flows_.find(flow);
+  return st == nullptr ? 0 : st->seen_segs;
 }
 
 void BatchAssigner::append_totals(
     std::vector<control::Controller::FlowTotals>& out) const {
-  for (net::FlowId flow : order_) {
-    const PerFlow& st = flows_.at(flow);
-    out.push_back({flow, st.seen_segs, st.seen_bytes});
-  }
+  // The table iterates in recency order; report in first-seen order so the
+  // control loop (and its history) stays stable across ticks.
+  std::vector<std::pair<std::uint64_t, control::Controller::FlowTotals>> rows;
+  rows.reserve(flows_.size());
+  flows_.for_each([&rows](net::FlowId flow, const PerFlow& st) {
+    rows.emplace_back(st.seq,
+                      control::Controller::FlowTotals{flow, st.seen_segs,
+                                                      st.seen_bytes});
+  });
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (auto& [_, totals] : rows) out.push_back(totals);
 }
 
 void FlowSplitter::on_forward(net::PacketPtr pkt, std::size_t next_index,

@@ -13,9 +13,9 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "control/flowtable.hpp"
 #include "control/policy.hpp"
 #include "core/config.hpp"
 #include "core/reassembler.hpp"
@@ -25,7 +25,8 @@ namespace mflow::core {
 
 class BatchAssigner {
  public:
-  explicit BatchAssigner(const MflowConfig& config) : config_(config) {}
+  explicit BatchAssigner(const MflowConfig& config)
+      : config_(config), flows_(config.flow_table) {}
 
   struct Assignment {
     std::uint64_t microflow_id = 0;  // 0 => flow not split (mouse flow)
@@ -64,6 +65,15 @@ class BatchAssigner {
   /// control plane's FlowMonitor differentiates into rates.
   void append_totals(std::vector<control::Controller::FlowTotals>& out) const;
 
+  /// Forget one flow entirely — counters, batch cursor AND degree override
+  /// (flow-state expiry). Without this an expired elephant's override
+  /// would resurrect on the first packet of an unrelated flow that reuses
+  /// the FlowId. Returns false if the flow was not tracked.
+  bool erase_flow(net::FlowId flow) { return flows_.erase(flow); }
+
+  std::size_t tracked_flows() const { return flows_.size(); }
+  std::size_t peak_tracked() const { return flows_.peak_size(); }
+
  private:
   struct PerFlow {
     std::uint64_t seen_segs = 0;
@@ -74,12 +84,17 @@ class BatchAssigner {
     std::size_t rr = 0;            // next splitting-core index
     int target = -1;
     bool split_active = false;     // currently in a splitting period
+    /// Control-plane degree override rides in the same entry as the batch
+    /// cursor so expiry reclaims both atomically.
+    std::uint32_t override_degree = 0;
+    bool has_override = false;
+    std::uint64_t seq = 0;  // first-seen order for append_totals
   };
 
   const MflowConfig& config_;
-  std::unordered_map<net::FlowId, PerFlow> flows_;
-  std::vector<net::FlowId> order_;  // deterministic totals() iteration
-  std::unordered_map<net::FlowId, std::uint32_t> degree_override_;
+  control::FlowTable<PerFlow> flows_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t ops_ = 0;  // monotone packet counter = the table's clock
 };
 
 class FlowSplitter final : public stack::TransitionHook {

@@ -124,6 +124,24 @@ void ScenarioConfig::validate() const {
       fail("control.params.scaling.per_core_pps must be > 0");
   }
 
+  if (control.churn.enabled) {
+    if (!control.enabled)
+      fail("control.churn.enabled requires control.enabled (churn totals "
+           "feed the controller's source; with no controller nothing reads "
+           "them)");
+    if (control.params.monitor.table.ttl <= 0)
+      fail("control.churn.enabled requires control.params.monitor.table.ttl "
+           "> 0 — without a TTL the sweep never runs and every churned flow "
+           "is tracked forever (the exact leak the churn scenario exists to "
+           "catch)");
+    if (control.churn.flows_per_sec <= 0)
+      fail("control.churn.flows_per_sec must be > 0");
+    if (control.churn.flow_lifetime <= 0)
+      fail("control.churn.flow_lifetime must be > 0");
+    if (control.churn.rate_pps <= 0)
+      fail("control.churn.rate_pps must be > 0");
+  }
+
   const int senders = tcp ? num_flows : udp_clients;
   for (const auto& rc : rate_changes) {
     if (rc.sender_index < 0 || rc.sender_index >= senders)
@@ -324,9 +342,21 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
   std::unique_ptr<control::Controller> controller;
   std::function<void()> control_tick;  // outlives every queued tick event
   if (engine && cfg.control.enabled) {
+    // With churn on, the synthetic flows ride the same totals vector as the
+    // engine's real ones, so the controller monitors/classifies/expires both
+    // populations through one code path.
+    control::Controller::Source source;
+    if (cfg.control.churn.enabled) {
+      source = [eng = engine.get(), churn = cfg.control.churn, &sim] {
+        auto totals = eng->flow_totals();
+        append_churn_totals(churn, sim.now(), totals);
+        return totals;
+      };
+    } else {
+      source = [eng = engine.get()] { return eng->flow_totals(); };
+    }
     controller = std::make_unique<control::Controller>(
-        cfg.control.params,
-        [eng = engine.get()] { return eng->flow_totals(); }, engine.get());
+        cfg.control.params, std::move(source), engine.get());
     if (tracer) controller->export_to(&tracer->registry());
     // Recurring tick. The chain re-arms itself past the end of the run;
     // the final queued event simply never fires once run_until() stops.
@@ -518,6 +548,9 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
     res.control_rescales = controller->rescales();
     res.control_elephants = controller->elephants();
     res.control_history = controller->history();
+    res.control_tracked_flows = controller->tracked_flows();
+    res.control_peak_tracked = controller->peak_tracked();
+    res.control_expired = controller->expired_flows();
   }
 
   for (int c = 0; c < server.num_cores(); ++c) {
@@ -603,6 +636,42 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
     res.tracer = std::move(tracer);
   }
   return res;
+}
+
+void append_churn_totals(const ScenarioConfig::ControlPlane::Churn& churn,
+                         sim::Time now,
+                         std::vector<control::Controller::FlowTotals>& out) {
+  if (!churn.enabled || now <= 0) return;
+  const double t = sim::to_seconds(now);
+  const double life = sim::to_seconds(churn.flow_lifetime);
+  // Flow i arrives at i / flows_per_sec, advances totals at rate_pps for
+  // `life` seconds, then freezes and drops out of the report. Only flows
+  // inside the live window [t - life, t] appear, so a tick's cost is
+  // O(live flows) even after millions of cumulative arrivals.
+  const auto hi =
+      static_cast<std::uint64_t>(t * churn.flows_per_sec);
+  const auto lo = t > life ? static_cast<std::uint64_t>(
+                                 (t - life) * churn.flows_per_sec)
+                           : 0ull;
+  const std::uint64_t stride = churn.reverse ? 2 : 1;
+  for (std::uint64_t i = lo; i <= hi; ++i) {
+    const double arrival = static_cast<double>(i) / churn.flows_per_sec;
+    if (arrival > t) break;
+    const double active = std::min(t - arrival, life);
+    // +1 so a flow's very first report already shows traffic (a zero-total
+    // flow would be recorded but never touched as active).
+    const auto segs =
+        static_cast<std::uint64_t>(churn.rate_pps * active) + 1;
+    control::Controller::FlowTotals ft;
+    ft.flow = churn.first_flow_id + i * stride;
+    ft.segs = segs;
+    ft.bytes = segs * net::kTcpMss;
+    out.push_back(ft);
+    if (churn.reverse) {
+      ft.flow += 1;
+      out.push_back(ft);
+    }
+  }
 }
 
 }  // namespace mflow::exp

@@ -110,6 +110,31 @@ struct ScenarioConfig {
     /// Controller tick period (sample + classify + retarget).
     sim::Time interval = sim::us(100);
     control::ControllerParams params;
+    /// Synthetic flow churn merged into the controller's totals source on
+    /// top of the engine's real flow_totals(): `flows_per_sec` new flows
+    /// arrive continuously, each advances its totals at `rate_pps` for
+    /// `flow_lifetime`, then goes idle and stops being reported — exactly
+    /// what the controller's TTL sweep must reclaim. Totals are closed-form
+    /// in the tick time (no per-flow simulation state), so a churn run is
+    /// deterministic and can sweep millions of cumulative flows cheaply.
+    /// Requires params.monitor.table.ttl > 0 so expiry actually runs.
+    struct Churn {
+      bool enabled = false;
+      double flows_per_sec = 1000.0;
+      /// Active lifetime of each synthetic flow.
+      sim::Time flow_lifetime = sim::ms(1);
+      /// Per-flow packet rate while active. Keep it under the classifier's
+      /// promote threshold unless the run wants churning elephants.
+      double rate_pps = 10000.0;
+      /// Emit a reverse twin (flow_id + 1) per flow with the same totals —
+      /// the ACK-direction state a connection-tracking table also carries.
+      bool reverse = false;
+      /// First synthetic FlowId; spaced far above real sender flow ids so
+      /// the two populations never collide. With `reverse`, each flow i
+      /// takes ids first_flow_id + 2i and first_flow_id + 2i + 1.
+      net::FlowId first_flow_id = 1ull << 20;
+    };
+    Churn churn;
   };
   ControlPlane control;
 
@@ -214,6 +239,12 @@ struct ScenarioResult {
   std::uint64_t control_rescales = 0;
   std::uint64_t control_elephants = 0;
   std::vector<control::RescaleEvent> control_history;
+  // Flow-state lifecycle (bounded-state invariant): flows still tracked at
+  // run end, the high-water tracked count (must scale with LIVE flows, not
+  // cumulative arrivals), and flows reclaimed by the controller's TTL sweep.
+  std::uint64_t control_tracked_flows = 0;
+  std::uint64_t control_peak_tracked = 0;
+  std::uint64_t control_expired = 0;
 
   // Tracing output (populated only when cfg.trace.enabled and tracing is
   // compiled in). `tracer` keeps the raw event buffers alive for exporters;
@@ -240,5 +271,13 @@ struct ScenarioResult {
 
 /// Run one scenario to completion and collect metrics.
 ScenarioResult run_scenario(const ScenarioConfig& cfg);
+
+/// Append the closed-form churn totals at tick time `now` (see
+/// ScenarioConfig::ControlPlane::Churn). Exposed so benches and tests can
+/// drive a control::Controller through the same churn source without a
+/// full scenario run.
+void append_churn_totals(const ScenarioConfig::ControlPlane::Churn& churn,
+                         sim::Time now,
+                         std::vector<control::Controller::FlowTotals>& out);
 
 }  // namespace mflow::exp

@@ -3,7 +3,9 @@
 #include <atomic>
 #include <bit>
 #include <chrono>
+#include <memory>
 
+#include "control/flowtable.hpp"
 #include "rt/calibrate.hpp"
 #include "trace/trace.hpp"
 #include "util/rng.hpp"
@@ -124,6 +126,24 @@ EngineResult Engine::run(
   };
   std::vector<OverlayCounts> ov_counts(W);
 
+  // Flow-state plane (churn mode): one shared FlowTable, created before
+  // thread spawn. The generator inserts/sweeps; workers only touch() —
+  // which never allocates — so the no-alloc steady state holds for them.
+  struct FlowStat {
+    std::uint64_t batches = 0;
+  };
+  std::unique_ptr<control::FlowTable<FlowStat>> ftable_storage;
+  if (config_.flow_table.enabled) {
+    ftable_storage = std::make_unique<control::FlowTable<FlowStat>>(
+        control::FlowTableParams{
+            config_.flow_table.shards, config_.flow_table.capacity,
+            static_cast<sim::Time>(
+                std::max<std::uint64_t>(config_.flow_table.ttl_batches, 1))});
+  }
+  control::FlowTable<FlowStat>* const ftable = ftable_storage.get();
+  const std::uint64_t flow_life =
+      std::max<std::uint64_t>(config_.flow_table.flow_lifetime_batches, 1);
+
   std::atomic<bool> produce_done{false};
   std::atomic<std::size_t> workers_done{0};
   // Packets lost to backpressure (retry budget exhausted) or injected
@@ -154,7 +174,8 @@ EngineResult Engine::run(
       // straight to the merger.
       const bool forward_only = tr == nullptr &&
                                 config_.cost_ns_per_packet == 0 &&
-                                config_.fault_drop_rate <= 0.0 && !overlay_on;
+                                config_.fault_drop_rate <= 0.0 &&
+                                !overlay_on && ftable == nullptr;
       auto& cache = caches[w];
       const std::size_t slot_mask = cache.empty() ? 0 : cache.size() - 1;
       OverlayCounts ov;
@@ -182,10 +203,20 @@ EngineResult Engine::run(
         // Process in place; compact survivors to the front of the chunk so
         // one deposit_batch publishes them all.
         std::size_t m = 0;
+        std::uint64_t last_touched = 0;  // flow ids are >= 1 when tracked
         for (std::size_t i = 0; i < n; ++i) {
           RtPacket& pkt = chunk[i];
           saw_last = saw_last || pkt.last;
           wt.event(trace::EventKind::kRingDequeue, pkt.seq, pkt.batch);
+          if (ftable != nullptr && !pkt.marker && pkt.skb &&
+              pkt.skb->flow_id != last_touched) {
+            // Replay the flow's own batch index: monotone against the
+            // generator's stamp, so this keeps recency live without ever
+            // perturbing the deterministic expiry order.
+            ftable->touch(pkt.skb->flow_id,
+                          static_cast<sim::Time>(pkt.batch));
+            last_touched = pkt.skb->flow_id;
+          }
           if (overlay_on && !pkt.marker && pkt.skb) {
             net::Packet& skb = *pkt.skb;
             bool spliced = false;
@@ -364,6 +395,22 @@ EngineResult Engine::run(
         }
       }
       target = static_cast<std::size_t>((batch - epoch_first) % w_active);
+      if (ftable != nullptr) {
+        // Register the batch's flow before any of its packets are pushed,
+        // so worker touches can never race an unregistered flow into
+        // being missed. The clock is the batch index.
+        const net::FlowId fid =
+            overlay_on ? static_cast<net::FlowId>(batch % overlay_flows + 1)
+                       : static_cast<net::FlowId>(batch / flow_life + 1);
+        FlowStat& fs =
+            ftable->upsert(fid, static_cast<sim::Time>(batch));
+        fs.batches += 1;
+        ftable->touch(fid, static_cast<sim::Time>(batch));
+        if (batch % std::max<std::uint64_t>(
+                        config_.flow_table.sweep_every, 1) ==
+            0)
+          ftable->expire_idle(static_cast<sim::Time>(batch));
+      }
     }
     const std::uint64_t room_in_batch = config_.batch_size - in_batch;
     const std::uint64_t want =
@@ -420,8 +467,12 @@ EngineResult Engine::run(
         skb->wire_seq = i;
         skb->microflow_id = batch;
       } else {
-        // Stamp the skb the way the splitter stamps real packets.
-        skb->flow_id = static_cast<net::FlowId>(batch);
+        // Stamp the skb the way the splitter stamps real packets. With the
+        // flow table on, flow identity follows the churn generator (a new
+        // flow every flow_lifetime_batches) instead of being per-batch.
+        skb->flow_id = ftable != nullptr
+                           ? static_cast<net::FlowId>(batch / flow_life + 1)
+                           : static_cast<net::FlowId>(batch);
         skb->wire_seq = i;
         skb->microflow_id = batch;
         skb->payload_len = net::kTcpMss;
@@ -480,6 +531,11 @@ EngineResult Engine::run(
     res.cache_misses += ov.misses;
     res.cache_invalidations += ov.invals;
     res.decap_failures += ov.fails;
+  }
+  if (ftable != nullptr) {
+    res.flow_table_peak = ftable->peak_size();
+    res.flow_table_expired = ftable->expirations();
+    res.flow_table_live = ftable->size();
   }
   return res;
 }

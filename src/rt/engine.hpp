@@ -98,6 +98,29 @@ struct EngineConfig {
     std::uint32_t vni = 42;
   };
   OverlayConfig overlay;
+  /// Flow-state plane (churn mode): the generator registers each batch's
+  /// flow in a shared control::FlowTable, workers touch entries while
+  /// processing, and the generator sweeps out idle flows — the rt twin of
+  /// the control plane's expiring flow table. The table's clock is the
+  /// BATCH INDEX, not wall time: worker touches replay a flow's own batch
+  /// number, which the monotone-touch rule turns into no-ops against the
+  /// generator's newer stamps, so peak/expired/live counts are
+  /// deterministic despite real threads.
+  struct FlowTableConfig {
+    bool enabled = false;
+    std::size_t shards = 8;
+    /// Resident-entry bound (occupancy stays under it by construction).
+    std::size_t capacity = 1 << 14;
+    /// Batches of inactivity after which a flow expires.
+    std::uint64_t ttl_batches = 1024;
+    /// Expiry-sweep cadence, in batches.
+    std::uint64_t sweep_every = 256;
+    /// Without overlay mode, a fresh FlowId starts every this many batches
+    /// (the churn generator). Overlay mode keeps its `batch % flows`
+    /// identity and this knob is ignored.
+    std::uint64_t flow_lifetime_batches = 8;
+  };
+  FlowTableConfig flow_table;
 };
 
 struct EngineResult {
@@ -123,6 +146,11 @@ struct EngineResult {
   /// epoch than the entry was installed under.
   std::uint64_t cache_invalidations = 0;
   std::uint64_t decap_failures = 0;
+  /// Flow-table telemetry (zero unless flow_table.enabled). Peak is the
+  /// high-water resident count — bounded by live flows, not cumulative.
+  std::uint64_t flow_table_peak = 0;
+  std::uint64_t flow_table_expired = 0;
+  std::uint64_t flow_table_live = 0;
   double packets_per_second() const {
     return wall_seconds > 0 ? static_cast<double>(packets) / wall_seconds
                             : 0.0;

@@ -33,6 +33,32 @@ double Registry::gauge(std::string_view name) const {
   return it == gauges_.end() ? 0.0 : it->second;
 }
 
+bool Registry::remove_counter(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) return false;
+  counters_.erase(it);
+  return true;
+}
+
+bool Registry::remove_gauge(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) return false;
+  gauges_.erase(it);
+  return true;
+}
+
+std::size_t Registry::num_counters() const {
+  std::lock_guard lock(mu_);
+  return counters_.size();
+}
+
+std::size_t Registry::num_gauges() const {
+  std::lock_guard lock(mu_);
+  return gauges_.size();
+}
+
 Registry::Snapshot Registry::snapshot() const {
   std::lock_guard lock(mu_);
   Snapshot s;

@@ -30,6 +30,16 @@ class Registry {
   std::uint64_t counter(std::string_view name) const;
   double gauge(std::string_view name) const;
 
+  /// Drop a stat entirely (flow-state reclamation: exporters must stop
+  /// reporting expired flows, not report them frozen at the last value).
+  /// Returns false when the name was never registered.
+  bool remove_counter(std::string_view name);
+  bool remove_gauge(std::string_view name);
+
+  /// Registered-name counts — the churn tests' boundedness probes.
+  std::size_t num_counters() const;
+  std::size_t num_gauges() const;
+
   struct Snapshot {
     std::map<std::string, std::uint64_t> counters;
     std::map<std::string, double> gauges;

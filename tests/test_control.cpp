@@ -571,3 +571,299 @@ TEST(ControlScenario, LiveRescaleDeterministic) {
               b.control_history[i].new_degree);
   }
 }
+
+// --- flow-state lifecycle under churn ----------------------------------------
+
+// Satellite of the sharded-flow-table fix: the retained sample span must
+// never exceed the window. The old trim compared against samples[1],
+// keeping up to window + one interval — with a front-loaded burst that
+// inflates the measured rate and delays demotion.
+TEST(FlowMonitor, WindowTrimBoundsRetainedSpan) {
+  control::FlowMonitor mon(control::MonitorParams{sim::ms(1), 32});
+  // Burst of 1000 segs in the first interval, then 100 per 250us.
+  mon.record(1, 0, 0, 0);
+  std::uint64_t total = 1000;
+  for (int i = 0; i < 5; ++i) {
+    mon.record(1, total, total * 1500, sim::us(250) * (i + 1));
+    total += 100;
+  }
+  // Retained samples must span [250us, 1250us]: 400 segs / 1ms. A trim
+  // that keeps the t=0 sample reports (1400 - 0) / 1.25ms = 1.12M.
+  EXPECT_DOUBLE_EQ(mon.rate_pps(1), 400'000.0);
+}
+
+TEST(FlowMonitor, EraseRetractsRegistryGauges) {
+  trace::Registry reg;
+  control::MonitorParams mp;
+  mp.table.ttl = sim::ms(1);
+  control::FlowMonitor mon(mp);
+  mon.export_to(&reg);
+  mon.record(1, 100, 1000, 0);
+  mon.record(2, 100, 1000, 0);
+  EXPECT_EQ(reg.num_gauges(), 4u);  // rate_pps + rate_bps per flow
+
+  std::vector<net::FlowId> idle;
+  mon.collect_idle(sim::ms(2), idle);
+  EXPECT_EQ(idle, (std::vector<net::FlowId>{1, 2}));
+  EXPECT_TRUE(mon.erase(1));
+  EXPECT_EQ(reg.num_gauges(), 2u);
+  EXPECT_FALSE(mon.erase(1));
+  mon.clear();
+  EXPECT_EQ(reg.num_gauges(), 0u);
+  EXPECT_EQ(mon.tracked_flows(), 0u);
+}
+
+namespace {
+
+control::ControllerParams churn_controller_params() {
+  control::ControllerParams p;
+  p.monitor.window = sim::us(400);
+  p.monitor.table.ttl = sim::us(500);
+  p.classifier.promote_pps = 200'000.0;
+  p.classifier.demote_pps = 100'000.0;
+  p.classifier.dwell = sim::us(200);
+  return p;
+}
+
+}  // namespace
+
+// A storm of short flows (arrive, send for 3 ticks, vanish) must leave
+// table occupancy and the gauge surface bounded by the LIVE window — not
+// by cumulative arrivals. This is the unbounded-growth regression test.
+TEST(Controller, ChurnStormKeepsStateAndGaugesBounded) {
+  FakeTarget target;
+  trace::Registry reg;
+  constexpr int kPerTick = 20;   // new flows per tick
+  constexpr int kLifeTicks = 3;  // ticks a flow advances totals for
+  constexpr int kTicks = 500;
+  int tick = 0;
+  auto source = [&] {
+    std::vector<control::Controller::FlowTotals> v;
+    // Flows are numbered by arrival tick; only live ones report.
+    for (int born = std::max(0, tick - kLifeTicks); born <= tick; ++born) {
+      const int age = tick - born;
+      for (int j = 0; j < kPerTick; ++j) {
+        const auto id =
+            static_cast<net::FlowId>(born) * kPerTick + j + 1000;
+        const auto segs = static_cast<std::uint64_t>(
+            (std::min(age, kLifeTicks) + 1) * 5);  // 50k pps: mice
+        v.push_back({id, segs, segs * 1500});
+      }
+    }
+    return v;
+  };
+  control::Controller ctl(churn_controller_params(), source, &target);
+  ctl.export_to(&reg);
+  for (tick = 1; tick <= kTicks; ++tick)
+    ctl.tick(sim::us(100) * tick);
+
+  const auto cumulative =
+      static_cast<std::uint64_t>(kTicks) * kPerTick;
+  // Live window: (lifetime + ttl + dwell slack) worth of flows, far under
+  // cumulative. 20 flows/tick * ~10 ticks of retention = ~200.
+  EXPECT_GE(ctl.expired_flows(), cumulative - 400);
+  EXPECT_LE(ctl.peak_tracked(), 300u);
+  EXPECT_LE(ctl.tracked_flows(), 300u);
+  // Gauge surface is 2 per tracked flow plus the controller's own few: it
+  // must shrink with expiry, not accumulate one pair per cumulative flow.
+  EXPECT_LE(reg.num_gauges(), 2 * 300 + 8);
+  EXPECT_EQ(ctl.release_retries(), 0u);
+}
+
+namespace {
+
+/// Records release_flow calls and vetoes the first `veto_count`.
+struct ReleasingTarget final : control::ScalingTarget {
+  std::vector<std::pair<net::FlowId, std::uint32_t>> degree_calls;
+  std::vector<net::FlowId> releases;
+  int veto_count = 0;
+  void set_flow_degree(net::FlowId flow, std::uint32_t degree) override {
+    degree_calls.emplace_back(flow, degree);
+  }
+  std::uint32_t max_degree() const override { return 4; }
+  bool release_flow(net::FlowId flow) override {
+    if (veto_count > 0) {
+      --veto_count;
+      return false;
+    }
+    releases.push_back(flow);
+    return true;
+  }
+};
+
+}  // namespace
+
+// An elephant that goes idle is demoted by expiry (degree forced to 0 so
+// the drain protocol runs), released, and — when the FlowId later returns
+// at mouse rates — starts as a brand-new mouse with no resurrected degree
+// override or classifier state.
+TEST(Controller, ExpiryDemotesAndFlowIdReuseStartsFresh) {
+  ReleasingTarget target;
+  std::uint64_t segs = 0;
+  bool reporting = true;
+  auto source = [&] {
+    std::vector<control::Controller::FlowTotals> v;
+    if (reporting) v.push_back({7, segs, segs * 1500});
+    return v;
+  };
+  control::Controller ctl(churn_controller_params(), source, &target);
+
+  // Phase 1: elephant (500k pps) promotes.
+  sim::Time t = 0;
+  for (int i = 0; i < 10; ++i) {
+    segs += 50;
+    t += sim::us(100);
+    ctl.tick(t);
+  }
+  ASSERT_GT(ctl.degree_of(7), 0u);
+  const auto promoted_degree = ctl.degree_of(7);
+
+  // Phase 2: the flow vanishes (source stops reporting it). After the TTL
+  // the controller must demote it to 0 (drain) and release it.
+  reporting = false;
+  for (int i = 0; i < 10; ++i) {
+    t += sim::us(100);
+    ctl.tick(t);
+  }
+  EXPECT_EQ(ctl.expired_flows(), 1u);
+  EXPECT_EQ(ctl.tracked_flows(), 0u);
+  EXPECT_EQ(target.releases, (std::vector<net::FlowId>{7}));
+  ASSERT_FALSE(target.degree_calls.empty());
+  EXPECT_EQ(target.degree_calls.back(),
+            (std::pair<net::FlowId, std::uint32_t>{7, 0}));
+  // The expiry demotion is a real history event (old degree -> 0).
+  EXPECT_EQ(ctl.history().back().old_degree, promoted_degree);
+  EXPECT_EQ(ctl.history().back().new_degree, 0u);
+
+  // Phase 3: FlowId 7 returns at mouse rates. No stale elephant state may
+  // resurrect: it stays degree 0 and commits no rescale.
+  const auto rescales_before = ctl.rescales();
+  reporting = true;
+  for (int i = 0; i < 10; ++i) {
+    segs += 1;  // 10k pps
+    t += sim::us(100);
+    ctl.tick(t);
+  }
+  EXPECT_EQ(ctl.degree_of(7), 0u);
+  EXPECT_EQ(ctl.rescales(), rescales_before);
+  EXPECT_EQ(ctl.elephants(), 0u);
+}
+
+// A vetoed release (drain still in flight) must keep the flow's state
+// intact and retry — reclamation is all-or-nothing.
+TEST(Controller, ReleaseVetoRetriesUntilAccepted) {
+  ReleasingTarget target;
+  target.veto_count = 3;
+  bool reporting = true;
+  std::uint64_t segs = 0;
+  auto source = [&] {
+    std::vector<control::Controller::FlowTotals> v;
+    if (reporting) v.push_back({9, segs, segs * 1500});
+    return v;
+  };
+  control::Controller ctl(churn_controller_params(), source, &target);
+  sim::Time t = 0;
+  for (int i = 0; i < 5; ++i) {
+    segs += 1;
+    t += sim::us(100);
+    ctl.tick(t);
+  }
+  reporting = false;
+  // Not yet idle for a full TTL (last activity at t=500us, ttl=500us):
+  // no candidate, no veto.
+  while (t < sim::us(900)) {
+    t += sim::us(100);
+    ctl.tick(t);
+  }
+  EXPECT_EQ(ctl.release_retries(), 0u);
+  // From t=1000us the flow is a candidate each tick: three ticks are
+  // vetoed (flow stays tracked), the fourth reclaims.
+  for (int i = 0; i < 3; ++i) {
+    t += sim::us(100);
+    ctl.tick(t);
+  }
+  EXPECT_EQ(ctl.expired_flows(), 0u);
+  EXPECT_EQ(ctl.tracked_flows(), 1u);
+  EXPECT_EQ(ctl.release_retries(), 3u);
+  t += sim::us(100);
+  ctl.tick(t);
+  EXPECT_EQ(ctl.expired_flows(), 1u);
+  EXPECT_EQ(ctl.tracked_flows(), 0u);
+  EXPECT_EQ(target.releases, (std::vector<net::FlowId>{9}));
+}
+
+TEST(ScenarioValidate, RejectsChurnWithoutControlOrTtl) {
+  auto cfg = valid_config();
+  cfg.control.churn.enabled = true;
+  // Churn without the control plane: nothing would read the totals.
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.mode = exp::Mode::kMflow;
+  cfg.control.enabled = true;
+  // Control on, but no TTL: churned flows would never expire.
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.control.params.monitor.table.ttl = sim::ms(1);
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+// --- DES: expiry interleaved with live rescales --------------------------------
+
+namespace {
+
+exp::ScenarioConfig expiring_rescale_config() {
+  exp::ScenarioConfig cfg = live_rescale_config();
+  // TTL shorter than flow 0's throttled pace (one message per 2ms): the
+  // demoted elephant goes idle between messages, expires mid-run with the
+  // unsplit drain potentially still in flight, and re-registers fresh on
+  // its next message. The release_flow veto keeps that lossless.
+  cfg.control.params.monitor.table.ttl = sim::ms(1);
+  return cfg;
+}
+
+}  // namespace
+
+TEST(ControlScenario, ExpiryDuringLiveRescaleDrainsLosslessly) {
+  const auto r = exp::run_scenario(expiring_rescale_config());
+  EXPECT_GT(r.goodput_gbps, 1.0);
+  EXPECT_GE(r.control_expired, 1u);
+  EXPECT_LE(r.control_tracked_flows, 3u);
+  // Expiry must not cost a single packet: nothing written off, no forced
+  // merge-head advance, nothing late.
+  EXPECT_EQ(r.drops_recovered, 0u);
+  EXPECT_EQ(r.evictions, 0u);
+  EXPECT_EQ(r.late_deliveries, 0u);
+  EXPECT_EQ(r.nic_drops, 0u);
+}
+
+TEST(ControlScenario, ExpiryDuringLiveRescaleDeterministic) {
+  const auto a = exp::run_scenario(expiring_rescale_config());
+  const auto b = exp::run_scenario(expiring_rescale_config());
+  EXPECT_DOUBLE_EQ(a.goodput_gbps, b.goodput_gbps);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.control_expired, b.control_expired);
+  EXPECT_EQ(a.control_peak_tracked, b.control_peak_tracked);
+  EXPECT_EQ(a.control_rescales, b.control_rescales);
+}
+
+// Synthetic churn merged into the engine's totals: cumulative flows far
+// exceed what is ever tracked at once, and the engine accepts the
+// release handshake for flows it never carried.
+TEST(ControlScenario, ChurnFlowsExpireAndStayBounded) {
+  exp::ScenarioConfig cfg = live_rescale_config();
+  cfg.rate_changes.clear();
+  cfg.control.params.monitor.table.ttl = sim::ms(1);
+  cfg.control.churn.enabled = true;
+  cfg.control.churn.flows_per_sec = 100'000.0;
+  cfg.control.churn.flow_lifetime = sim::ms(1);
+  cfg.control.churn.rate_pps = 20'000.0;
+  cfg.control.churn.reverse = true;
+  const auto r = exp::run_scenario(cfg);
+  // 12ms at 100k flows/s, two directions: ~2400 cumulative synthetic
+  // flows, but live window is ~(1ms + 1ms) * 100k * 2 = ~400.
+  EXPECT_GE(r.control_expired, 1000u);
+  EXPECT_LE(r.control_peak_tracked, 800u);
+  EXPECT_LE(r.control_tracked_flows, 800u);
+  EXPECT_GT(r.goodput_gbps, 1.0);
+  EXPECT_EQ(r.drops_recovered, 0u);
+  EXPECT_EQ(r.late_deliveries, 0u);
+}

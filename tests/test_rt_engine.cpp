@@ -345,3 +345,55 @@ TEST(RtEngine, RescaleUnderFaultsConservesSurvivors) {
   EXPECT_TRUE(res.in_order);
   EXPECT_EQ(res.rescales_applied, 3u);
 }
+
+// Flow-state churn tracking: the shared control::FlowTable driven on the
+// batch-index clock. Peak occupancy must follow the live window (ttl /
+// flow lifetime), not cumulative flows, and — because worker touches
+// replay a flow's own batch number, which monotone touch turns into
+// no-ops against the generator's stamps — the telemetry must be
+// bit-identical across runs despite real threads.
+TEST(RtEngine, FlowTableChurnBoundedAndDeterministic) {
+  EngineConfig cfg;
+  cfg.workers = 3;
+  cfg.batch_size = 16;
+  cfg.cost_ns_per_packet = 0;
+  cfg.max_push_spins = 0;
+  cfg.flow_table.enabled = true;
+  cfg.flow_table.capacity = 1 << 10;
+  cfg.flow_table.ttl_batches = 64;
+  cfg.flow_table.sweep_every = 16;
+  cfg.flow_table.flow_lifetime_batches = 4;
+  constexpr std::uint64_t kTotal = 80000;  // 5000 batches, ~1250 flows
+  const auto a = Engine(cfg).run(kTotal);
+  EXPECT_TRUE(a.in_order);
+  EXPECT_EQ(a.packets, kTotal);
+  EXPECT_GT(a.flow_table_expired, 1000u);
+  EXPECT_LE(a.flow_table_peak, 64u);  // live window ~ ttl/lifetime + 1 = 17
+  EXPECT_LE(a.flow_table_live, a.flow_table_peak);
+  const auto b = Engine(cfg).run(kTotal);
+  EXPECT_EQ(b.flow_table_peak, a.flow_table_peak);
+  EXPECT_EQ(b.flow_table_expired, a.flow_table_expired);
+  EXPECT_EQ(b.flow_table_live, a.flow_table_live);
+}
+
+// Overlay mode keeps its batch % flows identity: every flow is re-touched
+// well inside the TTL, so the table settles at exactly the flow count and
+// nothing ever expires.
+TEST(RtEngine, FlowTableOverlayHotSetNeverExpires) {
+  EngineConfig cfg;
+  cfg.workers = 2;
+  cfg.batch_size = 16;
+  cfg.cost_ns_per_packet = 0;
+  cfg.max_push_spins = 0;
+  cfg.overlay.enabled = true;
+  cfg.overlay.flows = 8;
+  cfg.flow_table.enabled = true;
+  cfg.flow_table.ttl_batches = 32;
+  cfg.flow_table.sweep_every = 8;
+  const auto res = Engine(cfg).run(20000);
+  EXPECT_TRUE(res.in_order);
+  EXPECT_EQ(res.packets, 20000u);
+  EXPECT_EQ(res.flow_table_peak, 8u);
+  EXPECT_EQ(res.flow_table_live, 8u);
+  EXPECT_EQ(res.flow_table_expired, 0u);
+}

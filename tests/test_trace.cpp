@@ -506,3 +506,23 @@ TEST(RtTrace, EngineAbsorbsThreadLocalBuffers) {
 
 }  // namespace
 }  // namespace mflow
+
+// remove_counter/remove_gauge exist for flow expiry: the monitor retracts
+// a dead flow's rate gauges so the stat surface stays bounded under churn.
+TEST(Registry, RemoveRetractsStats) {
+  mflow::trace::Registry reg;
+  reg.add("a.count");
+  reg.set_gauge("b.rate", 1.0);
+  reg.set_gauge("c.rate", 2.0);
+  EXPECT_EQ(reg.num_counters(), 1u);
+  EXPECT_EQ(reg.num_gauges(), 2u);
+  EXPECT_TRUE(reg.remove_gauge("b.rate"));
+  EXPECT_FALSE(reg.remove_gauge("b.rate"));
+  EXPECT_EQ(reg.num_gauges(), 1u);
+  EXPECT_TRUE(reg.remove_counter("a.count"));
+  EXPECT_FALSE(reg.remove_counter("absent"));
+  EXPECT_EQ(reg.num_counters(), 0u);
+  const auto snap = reg.snapshot();
+  EXPECT_DOUBLE_EQ(snap.gauge("c.rate"), 2.0);
+  EXPECT_EQ(snap.counter("a.count"), 0u);
+}
