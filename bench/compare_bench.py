@@ -70,6 +70,7 @@ def main() -> int:
         return 1
 
     regressions, missing, warnings = [], [], []
+    rows = []  # every compared case, for the end-of-run summary table
     for bench_name, base in sorted(baselines.items()):
         new = news.get(bench_name)
         if new is None:
@@ -84,6 +85,14 @@ def main() -> int:
                 continue
             status, ratio = compare_case(bcase, ncase, args.tolerance)
             unit = bcase.get("unit", "")
+            # Direction-normalized severity: how far the case moved in the
+            # REGRESSING direction (positive = worse), regardless of whether
+            # higher or lower is better for it.
+            if ratio == ratio:  # not NaN
+                worse = (1 - ratio) if bcase.get("higher_is_better", True) \
+                    else (ratio - 1)
+                rows.append((worse, f"{bench_name}/{name}", bcase["best"],
+                             ncase["best"], unit, status))
             line = (f"{bench_name}/{name}: {bcase['best']:.6g} -> "
                     f"{ncase['best']:.6g} {unit} ({ratio:+.1%} of baseline)")
             if status == "regression":
@@ -103,6 +112,20 @@ def main() -> int:
         print(f"MISSING     {m}")
     for w in warnings:
         print(f"warning     {w}")
+
+    # End-of-run summary: the cases that moved furthest in the regressing
+    # direction, worst first, so a long scroll of per-case lines never buries
+    # the headline. Shown whenever anything moved at all.
+    movers = sorted((r for r in rows if r[0] > 0), reverse=True)[:10]
+    if movers:
+        print("\nworst regressions (direction-normalized, worst first):")
+        name_w = max(len(r[1]) for r in movers)
+        print(f"  {'case':<{name_w}}  {'baseline':>12}  {'new':>12}  "
+              f"{'change':>8}  flag")
+        for worse, name, b, n, unit, status in movers:
+            flag = "REGRESSION" if status == "regression" else ""
+            print(f"  {name:<{name_w}}  {b:>12.6g}  {n:>12.6g}  "
+                  f"{-worse:>+7.1%}  {flag}".rstrip())
 
     failed = False
     if missing:

@@ -10,6 +10,7 @@
 
 #include "core/adaptive.hpp"
 #include "core/mflow.hpp"
+#include "nf/stage.hpp"
 #include "overlay/topology.hpp"
 #include "rt/pool.hpp"
 #include "sim/simulator.hpp"
@@ -106,6 +107,35 @@ void ScenarioConfig::validate() const {
       fail("fastpath.enabled requires an overlay mode (mode 'native' has no "
            "VXLAN/bridge/veth segment to cache); pick an overlay mode or "
            "disable fastpath");
+  }
+
+  if (nf.enabled) {
+    if (nf.chain.chain.empty())
+      fail("nf.enabled with an empty nf.chain.chain — nothing to run; add "
+           "nat/fw/lb to the chain or disable nf");
+    if (nf.state_capacity == 0)
+      fail("nf.state_capacity must be >= 1 (the tables could never hold a "
+           "flow)");
+    if (nf.state_ttl > 0 && nf.sweep_interval <= 0)
+      fail("nf.state_ttl > 0 requires nf.sweep_interval > 0 — without a "
+           "sweep the TTL never fires and expired flows leak");
+    const bool has_nat = std::find(nf.chain.chain.begin(),
+                                   nf.chain.chain.end(),
+                                   nf::Kind::kNat) != nf.chain.chain.end();
+    const bool has_lb = std::find(nf.chain.chain.begin(),
+                                  nf.chain.chain.end(),
+                                  nf::Kind::kLoadBalancer) !=
+                        nf.chain.chain.end();
+    if (has_nat && nf.chain.nat_port_span == 0)
+      fail("nf chain includes nat but nf.chain.nat_port_span=0 — no ports "
+           "to allocate");
+    if (has_lb && nf.chain.lb_backends == 0)
+      fail("nf chain includes lb but nf.chain.lb_backends=0 — no backends "
+           "to pick");
+    for (int c : nf.affinity_cores)
+      if (c < 0 || c >= server_cores)
+        fail("nf.affinity_cores entry " + str(c) +
+             " outside [0, server_cores=" + str(server_cores) + ")");
   }
 
   if (control.enabled) {
@@ -248,7 +278,39 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
         stack::FlowCacheConfig{cfg.fastpath.capacity});
 
   stack::Machine server(sim, mp);
-  server.set_path(overlay::build_rx_path(server.costs(), spec));
+
+  // NF layer: stages are spliced into the path before it is handed to the
+  // machine; the affinity hook (if any) is installed at the first NF index.
+  std::unique_ptr<nf::NfLayer> nflayer;
+  {
+    auto path = overlay::build_rx_path(server.costs(), spec);
+    std::size_t nf_index = 0;
+    if (cfg.nf.enabled) {
+      nf::LayerParams np;
+      np.chain = cfg.nf.chain;
+      np.strategy = cfg.nf.strategy;
+      np.state_capacity = cfg.nf.state_capacity;
+      np.state_ttl = cfg.nf.state_ttl;
+      np.num_cores = cfg.server_cores;
+      np.affinity_cores = cfg.nf.affinity_cores;
+      if (np.affinity_cores.empty() &&
+          np.strategy == nf::Strategy::kFlowAffinity) {
+        // Default pin: the first kernel core after the IRQ cores, falling
+        // back to the first kernel core when every kernel core owns a queue.
+        int pin = cfg.first_kernel_core + cfg.nic_queues;
+        if (pin >= cfg.first_kernel_core + cfg.kernel_cores ||
+            pin >= cfg.server_cores)
+          pin = cfg.first_kernel_core;
+        np.affinity_cores = {pin};
+      }
+      nflayer = std::make_unique<nf::NfLayer>(std::move(np), cfg.costs);
+      nf_index = nf::insert_stages(path, *nflayer);
+      if (tracer) nflayer->set_registry(&tracer->registry());
+    }
+    server.set_path(std::move(path));
+    if (nflayer && cfg.nf.strategy == nf::Strategy::kFlowAffinity)
+      server.set_transition_hook(nf_index, &nflayer->affinity_hook(server));
+  }
   if (flowcache) overlay::install_flow_cache(server, *flowcache);
 
   // Kernel cores not used as IRQ cores: targets for RPS / FALCON pipelines.
@@ -368,6 +430,17 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
     sim.after(cfg.control.interval, [&control_tick] { control_tick(); });
   }
 
+  // --- NF expiry sweep --------------------------------------------------------
+  std::function<void()> nf_sweep;  // outlives every queued sweep event
+  if (nflayer && cfg.nf.state_ttl > 0) {
+    nf_sweep = [&sim, &nf_sweep, layer = nflayer.get(),
+                interval = cfg.nf.sweep_interval] {
+      layer->sweep(sim.now());
+      sim.after(interval, [&nf_sweep] { nf_sweep(); });
+    };
+    sim.after(cfg.nf.sweep_interval, [&nf_sweep] { nf_sweep(); });
+  }
+
   // --- interference on kernel cores ---------------------------------------------
   sim::Interference interference(sim, cfg.interference, cfg.seed ^ 0xABCD);
   for (int c = cfg.first_kernel_core;
@@ -474,6 +547,7 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
   std::uint64_t events = sim.run_until(cfg.warmup);
   server.reset_measurement();
   if (engine) engine->reset_stats();
+  if (nflayer) nflayer->reset_measurement();
   if (tracer) tracer->clear();  // drop warmup events and counters
   const std::uint64_t drops0 = server.nic().total_drops();
   std::uint64_t offered0 = 0;
@@ -543,6 +617,20 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
     res.cache_inserts = flowcache->inserts();
     res.cache_invalidations = flowcache->invalidations();
     res.cache_evictions = flowcache->evictions();
+  }
+  if (nflayer) {
+    const auto& nc = nflayer->counters();
+    res.nf_packets = nc.packets;
+    res.nf_segs = nc.segs;
+    res.nf_nat_rewrites = nc.nat_rewrites;
+    res.nf_lock_acquires = nc.lock_acquires;
+    res.nf_lock_contended = nc.lock_contended;
+    res.nf_scr_updates = nc.scr_updates;
+    res.nf_flows_live = nflayer->live_flows();
+    res.nf_flows_peak = nflayer->peak_flows();
+    res.nf_flows_expired = nc.flows_expired;
+    res.nf_state = nflayer->merged_state();
+    res.nf_state_digest = nflayer->state_digest();
   }
   if (controller) {
     res.control_rescales = controller->rescales();
@@ -618,6 +706,11 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
       reg.set_counter("flowcache.invalidations", res.cache_invalidations);
       reg.set_counter("flowcache.evictions", res.cache_evictions);
       reg.set_gauge("flowcache.hit_rate", res.cache_hit_rate());
+    }
+    if (nflayer) {
+      nflayer->export_stats();
+      reg.set_gauge("nf.state_digest",
+                    static_cast<double>(res.nf_state_digest));
     }
     reg.set_counter("reasm.ooo_arrivals", res.ooo_arrivals);
     reg.set_counter("reasm.batches_merged", res.batches_merged);

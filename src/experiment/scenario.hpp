@@ -14,6 +14,7 @@
 #include "core/config.hpp"
 #include "experiment/mode.hpp"
 #include "net/fault.hpp"
+#include "nf/nf.hpp"
 #include "sim/interference.hpp"
 #include "stack/costs.hpp"
 #include "trace/attribution.hpp"
@@ -138,6 +139,29 @@ struct ScenarioConfig {
   };
   ControlPlane control;
 
+  /// Stateful NF chain (src/nf): dynamic NAT, stateful firewall and/or a
+  /// Maglev L4 load balancer inserted right after the inner IP stage, with
+  /// per-flow state parallelized by `strategy` (shared-lock / flow-affinity
+  /// / state-compute replication). Default OFF — NF-off runs are
+  /// byte-identical to pre-NF builds.
+  struct Nf {
+    bool enabled = false;
+    nf::Strategy strategy = nf::Strategy::kScr;
+    /// Chain order + NAT/LB knobs (nf::ChainConfig); chain.chain must be
+    /// non-empty when enabled.
+    nf::ChainConfig chain;
+    /// Per-table resident-entry bound (sharer table and every replica).
+    std::size_t state_capacity = 1 << 14;
+    /// Idle horizon for NF state expiry; 0 = no TTL (capacity still binds).
+    sim::Time state_ttl = 0;
+    /// Expiry-sweep cadence; must be > 0 when state_ttl > 0.
+    sim::Time sweep_interval = sim::ms(1);
+    /// Pinned-core pool for kFlowAffinity (each flow hashes to one). Empty
+    /// = auto: the first kernel core after the IRQ cores.
+    std::vector<int> affinity_cores;
+  };
+  Nf nf;
+
   /// Mid-run sender rate changes (the many-flow transition scenario: an
   /// elephant throttling down to mouse rates, or a mouse surging). Times
   /// are absolute simulation time (the measurement window starts at
@@ -245,6 +269,22 @@ struct ScenarioResult {
   std::uint64_t control_tracked_flows = 0;
   std::uint64_t control_peak_tracked = 0;
   std::uint64_t control_expired = 0;
+
+  // NF layer (populated when cfg.nf.enabled): measurement-window counters,
+  // the flow-state lifecycle, and the merged per-flow semantic state
+  // (sorted by flow id) plus its order-insensitive digest — the surface
+  // the cross-strategy oracle-equality tests compare.
+  std::uint64_t nf_packets = 0;        // skbs through any NF stage
+  std::uint64_t nf_segs = 0;           // wire segments those carried
+  std::uint64_t nf_nat_rewrites = 0;
+  std::uint64_t nf_lock_acquires = 0;
+  std::uint64_t nf_lock_contended = 0;
+  std::uint64_t nf_scr_updates = 0;
+  std::uint64_t nf_flows_live = 0;
+  std::uint64_t nf_flows_peak = 0;
+  std::uint64_t nf_flows_expired = 0;
+  std::uint64_t nf_state_digest = 0;
+  std::vector<std::pair<net::FlowId, nf::FlowState>> nf_state;
 
   // Tracing output (populated only when cfg.trace.enabled and tracing is
   // compiled in). `tracer` keeps the raw event buffers alive for exporters;

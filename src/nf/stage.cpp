@@ -1,0 +1,241 @@
+#include "nf/stage.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+#include <string>
+
+#include "stack/machine.hpp"
+#include "trace/trace.hpp"
+
+namespace mflow::nf {
+
+namespace {
+
+/// Delivers every packet of a flow to its pinned NF core, bypassing the
+/// steering policy at this one transition (the handoff charge still
+/// applies). Downstream stages continue on the pinned core — which is the
+/// point: affinity serializes the flow from the NF onward.
+class AffinityHook final : public stack::TransitionHook {
+ public:
+  AffinityHook(NfLayer& layer, stack::Machine& machine)
+      : layer_(layer), machine_(machine) {}
+
+  void on_forward(net::PacketPtr pkt, std::size_t next_index,
+                  int from_core) override {
+    int target = layer_.affinity_core_for(pkt->flow_id);
+    if (target < 0) target = from_core;
+    machine_.deliver_to_stage(next_index, target, from_core, std::move(pkt),
+                              /*charge_handoff=*/true);
+  }
+
+ private:
+  NfLayer& layer_;
+  stack::Machine& machine_;
+};
+
+}  // namespace
+
+NfLayer::NfLayer(LayerParams params, const stack::CostModel& costs)
+    : params_(std::move(params)),
+      costs_(costs),
+      maglev_(MaglevTable::build(params_.chain.lb_backends,
+                                 params_.chain.lb_table_size,
+                                 params_.chain.lb_seed)),
+      sharers_(control::FlowTableParams{1, params_.state_capacity,
+                                        params_.state_ttl}) {
+  // DES processing is single-threaded, so every table uses one shard —
+  // iteration order (and thus expiry and digests) stays deterministic.
+  const std::size_t n =
+      params_.strategy == Strategy::kScr
+          ? static_cast<std::size_t>(std::max(params_.num_cores, 1))
+          : 1;
+  replicas_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    replicas_.push_back(std::make_unique<control::FlowTable<FlowState>>(
+        control::FlowTableParams{1, params_.state_capacity, /*ttl=*/0}));
+}
+
+control::FlowTable<FlowState>& NfLayer::table_for(int core_id) {
+  if (params_.strategy != Strategy::kScr) return *replicas_[0];
+  const std::size_t i = std::min<std::size_t>(
+      static_cast<std::size_t>(std::max(core_id, 0)), replicas_.size() - 1);
+  return *replicas_[i];
+}
+
+sim::Time NfLayer::cost_of(Kind kind, const net::Packet& pkt) const {
+  const std::uint32_t segs = std::max<std::uint32_t>(pkt.gro_segs, 1);
+  sim::Time c = costs_.nf_state_lookup +
+                costs_.nf_per_seg * static_cast<sim::Time>(segs - 1);
+  switch (kind) {
+    case Kind::kNat: c += costs_.nf_nat_per_skb; break;
+    case Kind::kFirewall: c += costs_.nf_fw_per_skb; break;
+    case Kind::kLoadBalancer: c += costs_.nf_lb_per_skb; break;
+  }
+  if (params_.strategy == Strategy::kSharedLock) {
+    c += costs_.nf_lock_acquire;
+    // Contention scales with the cores currently touching this flow's
+    // state: cache-line bouncing plus serialization behind the holder.
+    if (const std::uint64_t* mask = sharers_.find(pkt.flow_id)) {
+      const int sharers = std::popcount(*mask);
+      if (sharers > 1)
+        c += costs_.nf_lock_contended * static_cast<sim::Time>(sharers - 1);
+    }
+  }
+  return c;
+}
+
+void NfLayer::process(Kind kind, net::Packet& pkt, sim::Core& core,
+                      stack::Machine& machine) {
+  const sim::Time now = core.vnow();
+  const net::FlowId fid = pkt.flow_id;
+  const PacketView v = view_of(pkt);
+  ++counters_.packets;
+  counters_.segs += v.segs;
+
+  // Sharer-mask bookkeeping (simulation-side, not semantic state): which
+  // cores have touched this flow. Doubles as the authoritative recency
+  // clock for expiry.
+  std::uint64_t& mask = sharers_.upsert(fid, now);
+  const std::uint64_t self = 1ull << (core.id() & 63);
+  const std::uint64_t peers = mask & ~self;
+  mask |= self;
+  sharers_.touch(fid, now);
+
+  switch (params_.strategy) {
+    case Strategy::kSharedLock:
+      ++counters_.lock_acquires;
+      if (peers != 0) ++counters_.lock_contended;
+      break;
+    case Strategy::kScr:
+      // The compact replicated update: every peer core carrying a replica
+      // of this flow absorbs the update off its own cycle budget.
+      for (int c = 0; c < params_.num_cores && c < 64; ++c) {
+        if ((peers >> c) & 1) {
+          machine.core(c).inject(sim::Tag::kNf, costs_.nf_scr_update);
+          ++counters_.scr_updates;
+        }
+      }
+      break;
+    case Strategy::kFlowAffinity:
+      break;  // the hook already paid the handoff
+  }
+
+  control::FlowTable<FlowState>& table = table_for(core.id());
+  FlowState& st = table.upsert(fid, now);
+  if (kind == Kind::kFirewall &&
+      v.flow.protocol == net::Ipv4Header::kProtoTcp &&
+      (v.tcp_flags & kTcpFlagSyn) == 0 &&
+      (st.fw.flags & (kFwSawSyn | kFwSawSynAck)) == 0)
+    counters_.fw_unsolicited += v.segs;
+  apply(params_.chain, &maglev_, kind, v, st);
+  table.touch(fid, now);
+
+  if (kind == Kind::kNat) {
+    if (nat_rewrite(params_.chain, pkt, st.nat.ext_port))
+      ++counters_.nat_rewrites;
+    else
+      ++counters_.nat_rewrite_failures;
+  }
+
+  if (trace::Tracer* tr = trace::active())
+    tr->packet(trace::EventKind::kNfApply, core.vnow(), core.id(),
+               pkt.flow_id, pkt.wire_seq, pkt.microflow_id,
+               static_cast<std::uint64_t>(kind));
+}
+
+std::size_t NfLayer::sweep(sim::Time now) {
+  if (params_.state_ttl <= 0) return 0;
+  idle_scratch_.clear();
+  sharers_.collect_idle(now, idle_scratch_);
+  for (const net::FlowId fid : idle_scratch_) {
+    // Expiry is atomic per flow: the sharer table's recency is the newest
+    // touch on ANY core, so when it says idle, every replica's piece is
+    // idle — fold them all out together.
+    FlowState total;
+    for (const auto& rp : replicas_) {
+      if (FlowState* s = rp->find(fid)) {
+        merge(total, *s);
+        rp->erase(fid);
+      }
+    }
+    sharers_.erase(fid);
+    ++counters_.flows_expired;
+    counters_.expired_segs += total.fw.segs + total.nat.segs + total.lb.segs;
+    if (reg_ != nullptr)
+      reg_->remove_gauge("nf.flow." + std::to_string(fid) + ".cores");
+  }
+  if (reg_ != nullptr) {
+    sharers_.for_each([&](net::FlowId fid, const std::uint64_t& mask) {
+      reg_->set_gauge("nf.flow." + std::to_string(fid) + ".cores",
+                      static_cast<double>(std::popcount(mask)));
+    });
+    reg_->set_gauge("nf.flows_live", static_cast<double>(sharers_.size()));
+  }
+  return idle_scratch_.size();
+}
+
+void NfLayer::export_stats() {
+  if (reg_ == nullptr) return;
+  reg_->set_counter("nf.packets", counters_.packets);
+  reg_->set_counter("nf.segs", counters_.segs);
+  reg_->set_counter("nf.nat_rewrites", counters_.nat_rewrites);
+  reg_->set_counter("nf.nat_rewrite_failures",
+                    counters_.nat_rewrite_failures);
+  reg_->set_counter("nf.fw_unsolicited", counters_.fw_unsolicited);
+  reg_->set_counter("nf.lock_acquires", counters_.lock_acquires);
+  reg_->set_counter("nf.lock_contended", counters_.lock_contended);
+  reg_->set_counter("nf.scr_updates", counters_.scr_updates);
+  reg_->set_counter("nf.flows_expired", counters_.flows_expired);
+  reg_->set_counter("nf.expired_segs", counters_.expired_segs);
+  reg_->set_counter("nf.flows_peak", peak_flows());
+  reg_->set_gauge("nf.flows_live", static_cast<double>(live_flows()));
+}
+
+void NfLayer::reset_measurement() { counters_ = Counters{}; }
+
+std::vector<std::pair<net::FlowId, FlowState>> NfLayer::merged_state() const {
+  std::map<net::FlowId, FlowState> acc;
+  for (const auto& rp : replicas_) {
+    rp->for_each([&](net::FlowId fid, const FlowState& s) {
+      merge(acc[fid], s);
+    });
+  }
+  return {acc.begin(), acc.end()};
+}
+
+std::uint64_t NfLayer::state_digest() const {
+  std::uint64_t h = 0;
+  for (const auto& [fid, st] : merged_state()) h = fold_digest(h, fid, st);
+  return h;
+}
+
+int NfLayer::affinity_core_for(net::FlowId flow) const {
+  if (params_.affinity_cores.empty()) return -1;
+  return params_.affinity_cores[(flow * 2654435761ull) %
+                                params_.affinity_cores.size()];
+}
+
+stack::TransitionHook& NfLayer::affinity_hook(stack::Machine& machine) {
+  if (!hook_) hook_ = std::make_unique<AffinityHook>(*this, machine);
+  return *hook_;
+}
+
+void NfStage::process(net::PacketPtr pkt, stack::StageContext& ctx) {
+  layer_.process(kind_, *pkt, ctx.core, ctx.machine);
+  ctx.forward(std::move(pkt));
+}
+
+std::size_t insert_stages(std::vector<std::unique_ptr<stack::Stage>>& path,
+                          NfLayer& layer) {
+  std::size_t pos = path.size();
+  for (std::size_t i = 0; i < path.size(); ++i)
+    if (path[i]->id() == stack::StageId::kIp) pos = i + 1;
+  std::size_t at = pos;
+  for (Kind k : layer.params().chain.chain)
+    path.insert(path.begin() + static_cast<std::ptrdiff_t>(at++),
+                std::make_unique<NfStage>(layer, k));
+  return pos;
+}
+
+}  // namespace mflow::nf

@@ -1,0 +1,163 @@
+// DES-side NF layer: the strategy seam between MFLOW's packet-level
+// parallelism and stateful middlebox processing.
+//
+// NfLayer owns the chain configuration, the Maglev table, the per-strategy
+// state store(s) — all `control::FlowTable`s with TTL expiry — and the
+// counters. One NfStage per chained NF (all StageId::kNf) is inserted into
+// the machine path right after the inner IP stage, so both the slow overlay
+// path and the flow-cache fast path (which re-enters at inner IP) traverse
+// the chain, as does the native path.
+//
+// Strategies:
+//   kSharedLock   one table; every packet charges the lock acquire plus a
+//                 contention penalty scaling with the cores currently
+//                 sharing the flow — the serialization MFLOW splitting
+//                 induces on a naive NF.
+//   kFlowAffinity a TransitionHook before the first NF stage delivers every
+//                 packet of a flow to its pinned core — state is trivially
+//                 single-writer, but the split is defeated from the NF on.
+//   kScr          per-core replica tables; processing a packet on core c
+//                 updates c's replica only and charges the compact
+//                 replicated-update cost to the OTHER cores sharing the
+//                 flow (Core::inject). Lock-free, split preserved; the
+//                 merged state is exact because nf::FlowState is a lattice.
+//
+// Expiry is driven by the shared sharer-mask table (its recency = the
+// flow's newest touch on ANY core), so a flow's replicas are reclaimed
+// atomically: no partial expiry can split a flow's merged state.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "control/flowtable.hpp"
+#include "nf/nf.hpp"
+#include "stack/costs.hpp"
+#include "stack/stage.hpp"
+#include "trace/registry.hpp"
+
+namespace mflow::stack {
+class Machine;
+}
+
+namespace mflow::nf {
+
+struct LayerParams {
+  ChainConfig chain;
+  Strategy strategy = Strategy::kScr;
+  /// Per-table resident-entry bound (the sharer table and every replica).
+  std::size_t state_capacity = 1 << 14;
+  /// Idle horizon for sweep(); 0 disables TTL expiry (capacity still binds).
+  sim::Time state_ttl = 0;
+  /// Core count of the machine (replica array size; core ids must be < 64).
+  int num_cores = 16;
+  /// Pinned-core pool for kFlowAffinity: each flow hashes to one of these.
+  std::vector<int> affinity_cores;
+};
+
+class NfLayer {
+ public:
+  NfLayer(LayerParams params, const stack::CostModel& costs);
+
+  const LayerParams& params() const { return params_; }
+  const MaglevTable& maglev() const { return maglev_; }
+
+  /// Chargeable CPU for running `kind` over `pkt` on the packet's current
+  /// core (NfStage::cost). Includes the strategy's own-core overhead; SCR's
+  /// cross-core replication charge is injected during process() instead.
+  sim::Time cost_of(Kind kind, const net::Packet& pkt) const;
+
+  /// The state update for one packet at one chained NF.
+  void process(Kind kind, net::Packet& pkt, sim::Core& core,
+               stack::Machine& machine);
+
+  /// TTL sweep at `now`: expire flows idle on EVERY core, fold their
+  /// replicas into the expired accumulators, retract their gauges. Returns
+  /// the number of flows expired. No-op when state_ttl == 0.
+  std::size_t sweep(sim::Time now);
+
+  /// Registry receiving nf.* counters/gauges (nullable). Per-flow gauges
+  /// `nf.flow.<id>.cores` are set on sweep and retracted on expiry.
+  void set_registry(trace::Registry* reg) { reg_ = reg; }
+  /// Write the final aggregate counters/gauges into the registry.
+  void export_stats();
+
+  /// Zero the measurement-window counters (warmup boundary). State tables
+  /// keep their entries — warmup-established bindings are the steady state.
+  void reset_measurement();
+
+  /// Merged semantic state over every replica, sorted by flow id — the
+  /// surface the oracle-equality tests compare.
+  std::vector<std::pair<net::FlowId, FlowState>> merged_state() const;
+  /// fold_digest over merged_state().
+  std::uint64_t state_digest() const;
+
+  struct Counters {
+    std::uint64_t packets = 0;        // skbs through any NF stage
+    std::uint64_t segs = 0;           // wire segments those carried
+    std::uint64_t nat_rewrites = 0;   // skbs with bytes rewritten
+    std::uint64_t nat_rewrite_failures = 0;
+    std::uint64_t fw_unsolicited = 0; // data segs on flows with no SYN seen
+    std::uint64_t lock_acquires = 0;
+    std::uint64_t lock_contended = 0; // acquires with >1 core on the flow
+    std::uint64_t scr_updates = 0;    // replica updates pushed to peer cores
+    std::uint64_t flows_expired = 0;
+    std::uint64_t expired_segs = 0;   // segs folded out by expiry
+  };
+  const Counters& counters() const { return counters_; }
+  std::size_t live_flows() const { return sharers_.size(); }
+  std::size_t peak_flows() const { return sharers_.peak_size(); }
+
+  /// Pinned core for `flow` under kFlowAffinity.
+  int affinity_core_for(net::FlowId flow) const;
+  /// TransitionHook delivering packets to their pinned core; install at the
+  /// first NF stage's path index. Owned by the layer.
+  stack::TransitionHook& affinity_hook(stack::Machine& machine);
+
+ private:
+  control::FlowTable<FlowState>& table_for(int core_id);
+  const control::FlowTable<FlowState>* table_at(std::size_t i) const;
+
+  LayerParams params_;
+  stack::CostModel costs_;  // by value: callers may pass temporaries
+  MaglevTable maglev_;
+  /// replicas_[core] for kScr; replicas_[0] is the single shared table for
+  /// kSharedLock / kFlowAffinity.
+  std::vector<std::unique_ptr<control::FlowTable<FlowState>>> replicas_;
+  /// flow -> bitmask of cores that processed it (strategy bookkeeping and
+  /// the authoritative recency clock; NOT part of the semantic state).
+  control::FlowTable<std::uint64_t> sharers_;
+  Counters counters_;
+  trace::Registry* reg_ = nullptr;
+  std::unique_ptr<stack::TransitionHook> hook_;
+  std::vector<net::FlowId> idle_scratch_;
+};
+
+/// One chained NF as a pipeline stage.
+class NfStage final : public stack::Stage {
+ public:
+  NfStage(NfLayer& layer, Kind kind) : layer_(layer), kind_(kind) {}
+
+  stack::StageId id() const override { return stack::StageId::kNf; }
+  sim::Tag tag() const override { return sim::Tag::kNf; }
+  sim::Time cost(const net::Packet& pkt) const override {
+    return layer_.cost_of(kind_, pkt);
+  }
+  void process(net::PacketPtr pkt, stack::StageContext& ctx) override;
+  Kind kind() const { return kind_; }
+
+ private:
+  NfLayer& layer_;
+  Kind kind_;
+};
+
+/// Insert one NfStage per chained NF right after the LAST IP stage (the
+/// container-side position a middlebox chain occupies — downstream of the
+/// flow-cache fast-path re-entry, upstream of transport). Appends at the
+/// end when the path has no IP stage. Returns the index of the first NF
+/// stage — the affinity hook's install point.
+std::size_t insert_stages(std::vector<std::unique_ptr<stack::Stage>>& path,
+                          NfLayer& layer);
+
+}  // namespace mflow::nf

@@ -1,8 +1,10 @@
 #include "rt/engine.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <bit>
 #include <chrono>
+#include <map>
 #include <memory>
 
 #include "control/flowtable.hpp"
@@ -144,6 +146,44 @@ EngineResult Engine::run(
   const std::uint64_t flow_life =
       std::max<std::uint64_t>(config_.flow_table.flow_lifetime_batches, 1);
 
+  // NF plane: Maglev table and every state table built BEFORE thread spawn.
+  // The shared table's shard mutex is the kSharedLock lock; the private
+  // tables are strictly single-writer (only their owning worker touches
+  // them while threads run; folded after join).
+  const bool nf_on = config_.nf.enabled && !config_.nf.chain.chain.empty();
+  const bool nf_shared =
+      nf_on && config_.nf.strategy == nf::Strategy::kSharedLock;
+  const bool nf_has_nat =
+      nf_on && std::find(config_.nf.chain.chain.begin(),
+                         config_.nf.chain.chain.end(),
+                         nf::Kind::kNat) != config_.nf.chain.chain.end();
+  const bool nf_has_lb =
+      nf_on && std::find(config_.nf.chain.chain.begin(),
+                         config_.nf.chain.chain.end(),
+                         nf::Kind::kLoadBalancer) !=
+                   config_.nf.chain.chain.end();
+  const nf::MaglevTable nf_maglev =
+      nf_has_lb ? nf::MaglevTable::build(config_.nf.chain.lb_backends,
+                                         config_.nf.chain.lb_table_size,
+                                         config_.nf.chain.lb_seed)
+                : nf::MaglevTable{};
+  std::unique_ptr<control::FlowTable<nf::FlowState>> nf_shared_table;
+  std::vector<std::unique_ptr<control::FlowTable<nf::FlowState>>> nf_tables;
+  if (nf_shared) {
+    nf_shared_table = std::make_unique<control::FlowTable<nf::FlowState>>(
+        control::FlowTableParams{config_.nf.shared_shards,
+                                 config_.nf.state_capacity, 0});
+  } else if (nf_on) {
+    for (std::size_t wi = 0; wi < W; ++wi)
+      nf_tables.push_back(
+          std::make_unique<control::FlowTable<nf::FlowState>>(
+              control::FlowTableParams{1, config_.nf.state_capacity, 0}));
+  }
+  struct NfCounts {
+    std::uint64_t pkts = 0, rewrites = 0, rewrite_fails = 0, locks = 0;
+  };
+  std::vector<NfCounts> nf_counts(W);
+
   std::atomic<bool> produce_done{false};
   std::atomic<std::size_t> workers_done{0};
   // Packets lost to backpressure (retry budget exhausted) or injected
@@ -175,7 +215,7 @@ EngineResult Engine::run(
       const bool forward_only = tr == nullptr &&
                                 config_.cost_ns_per_packet == 0 &&
                                 config_.fault_drop_rate <= 0.0 &&
-                                !overlay_on && ftable == nullptr;
+                                !overlay_on && ftable == nullptr && !nf_on;
       auto& cache = caches[w];
       const std::size_t slot_mask = cache.empty() ? 0 : cache.size() - 1;
       OverlayCounts ov;
@@ -268,10 +308,44 @@ EngineResult Engine::run(
             dropped.fetch_add(1, std::memory_order_release);
             wt.event(trace::EventKind::kDrop, pkt.seq, pkt.batch);
             pkt.skb.reset();  // recycle the slab now
-          } else if (m != i) {
-            chunk[m++] = std::move(pkt);
           } else {
-            ++m;
+            if (nf_on && !pkt.marker && pkt.skb) {
+              // NF chain over SURVIVORS only, so the merged state counts
+              // exactly the delivered stream (drops upstream of here never
+              // enter it). The recency clock is the batch index, as for the
+              // churn flow table; ttl is 0 so it only orders evictions.
+              net::Packet& skb = *pkt.skb;
+              const nf::PacketView view = nf::view_of(skb);
+              const nf::MaglevTable* lb = nf_has_lb ? &nf_maglev : nullptr;
+              NfCounts& nc = nf_counts[w];
+              ++nc.pkts;
+              std::uint16_t ext_port = 0;
+              auto update = [&](nf::FlowState& st) {
+                for (nf::Kind k : config_.nf.chain.chain)
+                  nf::apply(config_.nf.chain, lb, k, view, st);
+                ext_port = st.nat.ext_port;
+              };
+              if (nf_shared) {
+                ++nc.locks;
+                nf_shared_table->upsert_apply(
+                    skb.flow_id, static_cast<sim::Time>(pkt.batch), update);
+              } else {
+                update(nf_tables[w]->upsert(
+                    skb.flow_id, static_cast<sim::Time>(pkt.batch)));
+              }
+              if (nf_has_nat && overlay_on && !skb.encapsulated &&
+                  ext_port != 0) {
+                if (nf::nat_rewrite(config_.nf.chain, skb, ext_port))
+                  ++nc.rewrites;
+                else
+                  ++nc.rewrite_fails;
+              }
+              wt.event(trace::EventKind::kNfApply, pkt.seq, pkt.batch);
+            }
+            if (m != i)
+              chunk[m++] = std::move(pkt);
+            else
+              ++m;
           }
         }
         const std::size_t ok =
@@ -476,6 +550,14 @@ EngineResult Engine::run(
         skb->wire_seq = i;
         skb->microflow_id = batch;
         skb->payload_len = net::kTcpMss;
+        if (nf_on) {
+          // Give each flow a distinct 5-tuple so the NF bindings (NAT
+          // port, LB backend) are per-flow functions, as with real bytes.
+          skb->flow = net::FlowKey{
+              net::Ipv4Addr(10, 0, 1, 2), net::Ipv4Addr(10, 0, 1, 3),
+              static_cast<std::uint16_t>(40000 + (skb->flow_id & 0x3FFF)),
+              5000, net::Ipv4Header::kProtoUdp};
+        }
       }
       stage[staged++] = RtPacket{i, batch, config_.cost_ns_per_packet,
                                  static_cast<std::uint32_t>(rescales_applied),
@@ -536,6 +618,30 @@ EngineResult Engine::run(
     res.flow_table_peak = ftable->peak_size();
     res.flow_table_expired = ftable->expirations();
     res.flow_table_live = ftable->size();
+  }
+  if (nf_on) {
+    for (const auto& nc : nf_counts) {
+      res.nf_packets += nc.pkts;
+      res.nf_nat_rewrites += nc.rewrites;
+      res.nf_nat_rewrite_failures += nc.rewrite_fails;
+      res.nf_lock_acquires += nc.locks;
+    }
+    // Fold every table (shared, or one replica per worker) into the merged
+    // per-flow state; the fold is exact because nf::FlowState is a lattice.
+    std::map<net::FlowId, nf::FlowState> merged;
+    const auto fold = [&merged](net::FlowId fid, const nf::FlowState& st) {
+      nf::merge(merged[fid], st);
+    };
+    if (nf_shared_table) nf_shared_table->for_each(fold);
+    for (const auto& t : nf_tables) t->for_each(fold);
+    res.nf_flows = merged.size();
+    std::uint64_t h = 0;
+    res.nf_state.reserve(merged.size());
+    for (const auto& [fid, st] : merged) {
+      h = nf::fold_digest(h, fid, st);
+      res.nf_state.emplace_back(fid, st);
+    }
+    res.nf_state_digest = h;
   }
   return res;
 }

@@ -38,6 +38,7 @@
 #include <thread>
 #include <vector>
 
+#include "nf/nf.hpp"
 #include "rt/pool.hpp"
 #include "rt/reassembler.hpp"
 
@@ -121,6 +122,28 @@ struct EngineConfig {
     std::uint64_t flow_lifetime_batches = 8;
   };
   FlowTableConfig flow_table;
+  /// Stateful NF plane: every worker runs the configured nf:: chain over
+  /// each surviving packet it processes, with per-flow state held per
+  /// `strategy` — kSharedLock: one shared control::FlowTable updated
+  /// through upsert_apply (the shard mutex is the lock every split packet
+  /// serializes on); kScr / kFlowAffinity: one PRIVATE single-writer table
+  /// per worker, folded into the merged state after join (exact, because
+  /// nf::FlowState is a lattice). In overlay mode the NAT stage rewrites
+  /// the real decapsulated header bytes. Tables are sized before thread
+  /// spawn, so the no-alloc steady state holds as long as `state_capacity`
+  /// covers the live flows.
+  struct NfConfig {
+    bool enabled = false;
+    nf::Strategy strategy = nf::Strategy::kScr;
+    nf::ChainConfig chain;
+    /// Resident-flow bound per table. Eviction past it DROPS that flow's
+    /// replica contribution (reclaim is not wired here), so size it to
+    /// cover the flow population when digest equality matters.
+    std::size_t state_capacity = 1 << 14;
+    /// Shard count of the shared table (kSharedLock contention knob).
+    std::size_t shared_shards = 8;
+  };
+  NfConfig nf;
 };
 
 struct EngineResult {
@@ -151,6 +174,18 @@ struct EngineResult {
   std::uint64_t flow_table_peak = 0;
   std::uint64_t flow_table_expired = 0;
   std::uint64_t flow_table_live = 0;
+  /// NF-plane accounting (zero unless nf.enabled). The merged state and
+  /// its digest (seeded 0, folded in flow-id order — same convention as
+  /// nf::NfLayer::state_digest) cover only SURVIVING packets, so for a
+  /// lossless run they are equal across all three strategies and equal to
+  /// the single-threaded oracle over the same stream.
+  std::uint64_t nf_packets = 0;
+  std::uint64_t nf_nat_rewrites = 0;
+  std::uint64_t nf_nat_rewrite_failures = 0;
+  std::uint64_t nf_lock_acquires = 0;
+  std::uint64_t nf_flows = 0;
+  std::uint64_t nf_state_digest = 0;
+  std::vector<std::pair<net::FlowId, nf::FlowState>> nf_state;
   double packets_per_second() const {
     return wall_seconds > 0 ? static_cast<double>(packets) / wall_seconds
                             : 0.0;

@@ -18,6 +18,7 @@ std::string_view tag_name(Tag tag) {
     case Tag::kIpRx: return "ip_rx";
     case Tag::kTcpRx: return "tcp_rx";
     case Tag::kUdpRx: return "udp_rx";
+    case Tag::kNf: return "nf";
     case Tag::kMerge: return "merge";
     case Tag::kCopy: return "copy";
     case Tag::kApp: return "app";

@@ -35,6 +35,7 @@ enum class Tag : std::uint8_t {
   kIpRx,      // IP receive (outer or inner)
   kTcpRx,     // TCP receive processing
   kUdpRx,     // UDP receive processing
+  kNf,        // stateful NF stages (NAT / firewall / LB, src/nf)
   kMerge,     // MFLOW batch reassembling
   kCopy,      // kernel->user data copy (packet delivery thread)
   kApp,       // application-level work

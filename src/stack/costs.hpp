@@ -47,6 +47,25 @@ struct CostModel {
   Time fastpath_per_seg = 15;   // per coalesced segment inside a super-skb
   Time fastpath_insert = 180;   // entry commit after the first slow pass
 
+  // --- stateful NFs (src/nf: NAT / firewall / Maglev LB) ---------------------
+  // Per-NF service anchored to reported per-packet middlebox costs (mmb,
+  // nfos): a conntrack update is cheaper than a NAT rewrite, an LB table
+  // probe cheaper still. The strategy costs model the parallelization tax:
+  // an uncontended spinlock acquire is ~100ns; a CONTENDED acquire pays a
+  // cache-line bounce plus serialization behind the holder (order-of-1us,
+  // scaling with sharers); an SCR replicated update is one compact message
+  // absorbed off the peer's cycle budget (SCR paper: state updates compress
+  // to tens of bytes, no lock, no bounce).
+  Time nf_state_lookup = 60;     // flow-keyed state-table probe
+  Time nf_per_seg = 25;          // per coalesced segment in a super-skb
+  Time nf_nat_per_skb = 250;     // port binding + header rewrite + checksum
+  Time nf_fw_per_skb = 180;      // conntrack flag classification + counters
+  Time nf_lb_per_skb = 150;      // consistent-hash lookup + counters
+  Time nf_lock_acquire = 120;    // uncontended shared-state lock
+  Time nf_lock_contended = 900;  // extra, per peer core sharing the flow
+  Time nf_scr_update = 90;       // replicated compact update, charged to
+                                 // each peer core holding a replica
+
   // --- transport -------------------------------------------------------------
   Time tcp_rx_per_skb = 360;
   Time tcp_rx_per_seg = 70;   // per coalesced wire segment (seq/ack/sack

@@ -17,6 +17,7 @@ std::string_view stage_name(StageId id) {
     case StageId::kTcp: return "tcp";
     case StageId::kUdp: return "udp";
     case StageId::kSocket: return "socket";
+    case StageId::kNf: return "nf";
   }
   return "?";
 }

@@ -36,6 +36,7 @@ enum class StageId : std::uint8_t {
   kTcp,      // TCP receive
   kUdp,      // UDP receive
   kSocket,   // terminal: socket ingest
+  kNf,       // stateful network function (src/nf: NAT / firewall / LB)
 };
 
 std::string_view stage_name(StageId id);

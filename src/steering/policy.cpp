@@ -24,7 +24,12 @@ int RpsSteering::core_for(StageId stage, const net::Packet& pkt,
 
 FalconSteering::FalconSteering(Level level, std::vector<int> pool,
                                bool overlay_path)
-    : level_(level), pool_(std::move(pool)), overlay_(overlay_path) {
+    : level_(level),
+      pool_(std::move(pool)),
+      overlay_(overlay_path),
+      flow_base_(control::FlowTableParams{/*shards=*/1,
+                                          /*capacity=*/1 << 12,
+                                          /*ttl=*/0}) {
   assert(!pool_.empty());
 }
 
@@ -86,12 +91,12 @@ int FalconSteering::core_for(StageId stage, const net::Packet& pkt,
   // fixed set of cores chosen when the flow appears. Like RSS, independent
   // per-flow choices collide (two flows' heavy VXLAN stages landing on the
   // same core), which is what skews its load distribution in Figure 12.
-  auto [it, inserted] = flow_base_.try_emplace(
-      pkt.flow_id,
-      static_cast<int>((pkt.flow_id * 2654435761u) % pool_.size()));
-  (void)inserted;
+  bool inserted = false;
+  int& base = flow_base_.upsert(pkt.flow_id, ++clock_, &inserted);
+  if (inserted)
+    base = static_cast<int>((pkt.flow_id * 2654435761u) % pool_.size());
   const auto idx =
-      static_cast<std::size_t>(it->second + group - 1) % pool_.size();
+      static_cast<std::size_t>(base + group - 1) % pool_.size();
   return pool_[idx];
 }
 

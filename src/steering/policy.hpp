@@ -15,6 +15,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "control/flowtable.hpp"
 #include "stack/machine.hpp"
 #include "stack/stage.hpp"
 
@@ -71,12 +72,21 @@ class FalconSteering final : public SteeringPolicy {
   int group_of(StageId stage) const;
   int groups() const;
 
+  /// Flows currently holding a pinned pipeline base (bounded: the LRU flow
+  /// is evicted at capacity, as a real per-flow steering table must under
+  /// churn — re-pinning a returning flow recomputes the same base, so
+  /// eviction never changes placement, only table occupancy).
+  std::size_t flows_pinned() const { return flow_base_.size(); }
+  std::uint64_t pins_evicted() const { return flow_base_.evictions(); }
+
  private:
   Level level_;
   std::vector<int> pool_;
   bool overlay_;
-  std::unordered_map<net::FlowId, int> flow_base_;
-  int next_base_ = 0;
+  /// flow -> pipeline base core index, LRU-bounded. Single-threaded (DES),
+  /// so writing through upsert()'s reference is safe.
+  control::FlowTable<int> flow_base_;
+  sim::Time clock_ = 0;  // monotone access counter driving table recency
 };
 
 class PairedPipelineSteering final : public SteeringPolicy {

@@ -26,6 +26,10 @@ std::string classify(const TraceEvent& prev, const TraceEvent& ev) {
       return "reader_proc";
     case EventKind::kCopyDone:
       return "copy";
+    // NF state updates fire inside the NF stage's service span; the gap
+    // into them is svc time, same as the enclosing kStageExit would say.
+    case EventKind::kNfApply:
+      return "svc:nf";
     // Producer-side markers fire at the producer's charge point; any
     // residual gap into them is queueing delay.
     case EventKind::kWireArrival:
@@ -68,6 +72,7 @@ std::string_view stage_short_name(std::uint64_t aux) {
     case 7: return "tcp";
     case 8: return "udp";
     case 9: return "socket";
+    case 10: return "nf";
     case 0xFF: return "rt";
     default: return "?";
   }

@@ -35,6 +35,7 @@ std::string_view event_kind_name(EventKind kind) {
     case EventKind::kCopyDone: return "copy_done";
     case EventKind::kFaultVerdict: return "fault_verdict";
     case EventKind::kDrop: return "drop";
+    case EventKind::kNfApply: return "nf_apply";
     case EventKind::kCount: break;
   }
   return "?";

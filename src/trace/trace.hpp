@@ -59,6 +59,7 @@ enum class EventKind : std::uint8_t {
   kCopyDone,       // copy-to-user completed (dur = copy cost)
   kFaultVerdict,   // injector perturbed the packet (aux = FaultAction)
   kDrop,           // packet died inside the path
+  kNfApply,        // an NF stage updated per-flow state (aux = nf::Kind)
   kCount,
 };
 
