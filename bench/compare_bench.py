@@ -19,6 +19,7 @@ see docs/BENCHMARKS.md for the refresh procedure.
 
 import argparse
 import json
+import re
 import sys
 from pathlib import Path
 
@@ -126,6 +127,28 @@ def main() -> int:
             flag = "REGRESSION" if status == "regression" else ""
             print(f"  {name:<{name_w}}  {b:>12.6g}  {n:>12.6g}  "
                   f"{-worse:>+7.1%}  {flag}".rstrip())
+
+    # Per-worker-count view: cases following the sweep naming convention
+    # (`...w<N>` as a dotted component, e.g. engine.cost200.w4 or
+    # prof.w4.pps) grouped by N, so a scaling regression confined to one
+    # worker count reads as such instead of being buried among scalar
+    # cases. Shown whenever any sweep case was compared.
+    by_workers = {}
+    for row in rows:
+        m = re.search(r"\.w(\d+)(?:\.|$)", row[1])
+        if m:
+            by_workers.setdefault(int(m.group(1)), []).append(row)
+    if by_workers:
+        print("\nper-worker-count summary:")
+        print(f"  {'workers':>7}  {'cases':>5}  {'regressed':>9}  "
+              f"worst case (change)")
+        for n in sorted(by_workers):
+            group = by_workers[n]
+            regressed = sum(1 for r in group if r[5] == "regression")
+            worst = max(group, key=lambda r: r[0])
+            worst_txt = (f"{worst[1]} ({-worst[0]:+.1%})"
+                         if worst[0] > 0 else "-")
+            print(f"  {n:>7}  {len(group):>5}  {regressed:>9}  {worst_txt}")
 
     failed = False
     if missing:

@@ -96,6 +96,31 @@ const CaseResult& Harness::record(const std::string& name,
   return results_.back();
 }
 
+std::vector<double> Harness::run_sweep(
+    const std::string& name, const std::string& unit, bool higher_is_better,
+    const std::vector<std::size_t>& counts,
+    const std::function<double(std::size_t)>& fn) {
+  std::vector<double> bests;
+  bests.reserve(counts.size());
+  for (std::size_t n : counts) {
+    const CaseResult& r = run_case(name + ".w" + std::to_string(n), unit,
+                                   higher_is_better, [&] { return fn(n); });
+    bests.push_back(r.best);
+  }
+  // Efficiency curve vs linear scaling from the first (anchor) point.
+  if (counts.size() > 1 && bests.front() > 0.0 && counts.front() > 0) {
+    const double anchor = bests.front();
+    const double anchor_n = static_cast<double>(counts.front());
+    for (std::size_t i = 1; i < counts.size(); ++i) {
+      const double speedup = bests[i] / anchor;
+      const double ideal = static_cast<double>(counts[i]) / anchor_n;
+      record(name + ".eff.w" + std::to_string(counts[i]), "ratio", true,
+             speedup / ideal);
+    }
+  }
+  return bests;
+}
+
 std::string to_json(const HarnessConfig& cfg,
                     const std::vector<CaseResult>& results) {
   std::ostringstream os;

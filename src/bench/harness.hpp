@@ -77,6 +77,23 @@ class Harness {
   const CaseResult& record(const std::string& name, const std::string& unit,
                            bool higher_is_better, double value);
 
+  /// Worker-count sweep: measure `fn(counts[i])` as a full run_case() at
+  /// each count, recording `<name>.w<N>` per point, then derive the
+  /// scaling-efficiency curve against linear scaling from the FIRST count
+  /// (the anchor — almost always 1): for every later point,
+  ///
+  ///   <name>.eff.w<N> = (best_N / best_anchor) / (N / anchor)
+  ///
+  /// recorded as a ratio in [0, 1]-ish (1.0 = perfectly linear, >1 =
+  /// super-linear). Efficiency is derived from already-measured bests, so
+  /// it is record()ed, not re-measured. Returns the per-count bests in
+  /// `counts` order. docs/SCALING.md §6 explains how to read the curve.
+  std::vector<double> run_sweep(const std::string& name,
+                                const std::string& unit,
+                                bool higher_is_better,
+                                const std::vector<std::size_t>& counts,
+                                const std::function<double(std::size_t)>& fn);
+
   /// Convenience for --json-dir style overrides after construction.
   void set_json_dir(std::string dir) { cfg_.json_dir = std::move(dir); }
   /// Add/overwrite one config note echoed into the JSON.

@@ -9,6 +9,7 @@
 
 #include "control/flowtable.hpp"
 #include "rt/calibrate.hpp"
+#include "rt/topology.hpp"
 #include "trace/trace.hpp"
 #include "util/rng.hpp"
 
@@ -110,6 +111,53 @@ EngineResult Engine::run(
   // the fallback when this ring is full/empty — e.g. around drops).
   SpscRing<net::PacketPtr> recycle_ring(std::bit_ceil(pool_cap + 1));
 
+  // Worker -> generator drop-return fan-in: one small SPSC ring per worker
+  // so slabs dropped mid-pipeline (injected faults, deposit backpressure)
+  // return without CAS-contending on the pool free list — under fan-in, N
+  // droppers hammering one Treiber head is a real contention point. The
+  // generator batch-drains these only when the main recycle ring is dry;
+  // overflow falls back to the CAS list (the PacketPtr destructor).
+  std::vector<std::unique_ptr<SpscRing<net::PacketPtr>>> drop_rings;
+  for (std::size_t i = 0; i < W; ++i)
+    drop_rings.push_back(std::make_unique<SpscRing<net::PacketPtr>>(
+        std::bit_ceil(2 * kChunk)));
+  struct RecycleCounts {
+    std::uint64_t ring_returns = 0, cas_fallbacks = 0;
+  };
+  std::vector<RecycleCounts> rec_counts(W);
+  std::uint64_t consumer_ring_returns = 0;   // consumer-thread private,
+  std::uint64_t consumer_cas_fallbacks = 0;  // read only after join
+
+  // Scalability profiler: one cache-line-aligned counter block per
+  // pipeline thread, written only by its owner while running and folded
+  // after join (rt/profiler.hpp). Null pointers when profiling is off, so
+  // the default path never touches them.
+  const bool prof_on = config_.profile;
+  std::vector<StageCounters> prof_workers(W);
+  StageCounters prof_generator, prof_consumer;
+
+  // Topology-aware core assignment: auto-plan from the discovered
+  // topology, then apply any explicit per-thread overrides. Worker and
+  // consumer threads pin themselves on startup; the generator (caller)
+  // thread is pinned here and restored before returning.
+  CorePlan plan;
+  plan.workers.assign(W, -1);
+  std::atomic<std::uint32_t> threads_pinned{0};
+  if (config_.topology.pin_threads) {
+    plan = plan_cores(CpuTopology::discover(), W);
+    if (config_.topology.generator_cpu >= 0)
+      plan.generator = config_.topology.generator_cpu;
+    if (config_.topology.consumer_cpu >= 0)
+      plan.consumer = config_.topology.consumer_cpu;
+    for (std::size_t i = 0;
+         i < config_.topology.worker_cpus.size() && i < W; ++i)
+      if (config_.topology.worker_cpus[i] >= 0)
+        plan.workers[i] = config_.topology.worker_cpus[i];
+  }
+  const bool generator_pinned =
+      plan.generator >= 0 && pin_current_thread(plan.generator);
+  if (generator_pinned) threads_pinned.fetch_add(1);
+
   // Overlay-mode state, all sized BEFORE any thread spawns so the steady
   // state stays allocation-free: one direct-mapped cache per worker (only
   // its owner touches it) and one counter block per worker (written once,
@@ -203,7 +251,27 @@ EngineResult Engine::run(
   workers.reserve(W);
   for (std::size_t w = 0; w < W; ++w) {
     workers.emplace_back([&, w] {
+      if (plan.workers[w] >= 0 && pin_current_thread(plan.workers[w]))
+        threads_pinned.fetch_add(1, std::memory_order_relaxed);
       auto& in = *split_rings[w];
+      auto& drop_ring = *drop_rings[w];
+      RecycleCounts& rc = rec_counts[w];
+      // Drop-site slab return: per-worker SPSC ring first, CAS list only
+      // on overflow (try_push moves only on success, so the fallback
+      // reset() still owns the slab).
+      const auto return_slab = [&](net::PacketPtr&& skb) {
+        if (!skb) return;
+        if (drop_ring.try_push(std::move(skb))) {
+          ++rc.ring_returns;
+        } else {
+          skb.reset();
+          ++rc.cas_fallbacks;
+        }
+      };
+      StageCounters* const pc = prof_on ? &prof_workers[w] : nullptr;
+      StallClock input_dry;
+      std::uint64_t chunks_seen = 0;
+      const auto w_start = std::chrono::steady_clock::now();
       util::Rng faults(config_.fault_seed + 0x9e37 * (w + 1));
       ThreadTrace wt(tr, t0, static_cast<int>(w));
       std::vector<RtPacket> chunk(kChunk);
@@ -225,18 +293,29 @@ EngineResult Engine::run(
           if (saw_last ||
               (produce_done.load(std::memory_order_acquire) && in.empty()))
             break;
+          if (pc != nullptr) input_dry.stall();
           std::this_thread::yield();
           continue;
+        }
+        if (pc != nullptr) {
+          input_dry.resolve(pc->input_dry_episodes, pc->input_dry_ns);
+          pc->items += n;
+          // Sampled queue pressure on this worker's input ring (consumer-
+          // side size() is exact for already-published items).
+          if ((++chunks_seen & 31) == 0) {
+            pc->occupancy_sum += in.size();
+            ++pc->occupancy_samples;
+          }
         }
         if (forward_only) {
           // The end-of-stream packet is always the final element of its
           // chunk (the generator emits in seq order).
           saw_last = saw_last || chunk[n - 1].last;
-          const std::size_t ok =
-              merger.deposit_batch(w, chunk.data(), n, config_.max_push_spins);
+          const std::size_t ok = merger.deposit_batch(
+              w, chunk.data(), n, config_.max_push_spins, pc);
           for (std::size_t i = ok; i < n; ++i) {
             dropped.fetch_add(1, std::memory_order_release);
-            chunk[i].skb.reset();
+            return_slab(std::move(chunk[i].skb));
           }
           continue;
         }
@@ -307,7 +386,7 @@ EngineResult Engine::run(
           if (lost) {
             dropped.fetch_add(1, std::memory_order_release);
             wt.event(trace::EventKind::kDrop, pkt.seq, pkt.batch);
-            pkt.skb.reset();  // recycle the slab now
+            return_slab(std::move(pkt.skb));  // recycle the slab now
           } else {
             if (nf_on && !pkt.marker && pkt.skb) {
               // NF chain over SURVIVORS only, so the merged state counts
@@ -348,8 +427,8 @@ EngineResult Engine::run(
               ++m;
           }
         }
-        const std::size_t ok =
-            merger.deposit_batch(w, chunk.data(), m, config_.max_push_spins);
+        const std::size_t ok = merger.deposit_batch(
+            w, chunk.data(), m, config_.max_push_spins, pc);
         // Scalar metadata survives the move into the ring, so tracing off
         // the staged entries after deposit_batch is safe.
         for (std::size_t i = 0; i < ok; ++i)
@@ -358,11 +437,19 @@ EngineResult Engine::run(
         for (std::size_t i = ok; i < m; ++i) {
           dropped.fetch_add(1, std::memory_order_release);
           wt.event(trace::EventKind::kDrop, chunk[i].seq, chunk[i].batch);
-          chunk[i].skb.reset();
+          return_slab(std::move(chunk[i].skb));
         }
       }
       wt.flush();
       ov_counts[w] = ov;  // single write, read only after join
+      if (pc != nullptr) {
+        input_dry.resolve(pc->input_dry_episodes, pc->input_dry_ns);
+        pc->recycle_cas_fallbacks = rc.cas_fallbacks;
+        pc->active_ns = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - w_start)
+                .count());
+      }
       workers_done.fetch_add(1, std::memory_order_release);
     });
   }
@@ -374,6 +461,12 @@ EngineResult Engine::run(
   std::uint64_t next_seq_floor = 0;
   bool in_order = true;
   std::jthread consumer([&] {
+    if (plan.consumer >= 0 && pin_current_thread(plan.consumer))
+      threads_pinned.fetch_add(1, std::memory_order_relaxed);
+    StageCounters* const cc = prof_on ? &prof_consumer : nullptr;
+    StallClock merge_dry;
+    std::uint64_t pops_seen = 0;
+    const auto c_start = std::chrono::steady_clock::now();
     ThreadTrace ct(tr, t0, static_cast<int>(W));  // track one past workers
     std::vector<RtPacket> out(kChunk);
     std::vector<net::PacketPtr> spent(kChunk);
@@ -385,9 +478,20 @@ EngineResult Engine::run(
           // never filled or emptied by drops — can be skipped.
           merger.force_advance();
         } else {
+          if (cc != nullptr) merge_dry.stall();
           std::this_thread::yield();
         }
         continue;
+      }
+      if (cc != nullptr) {
+        merge_dry.resolve(cc->input_dry_episodes, cc->input_dry_ns);
+        cc->items += n;
+        // Sampled fan-in backlog (sum of all buffer-ring sizes) — the
+        // merge-side queue-pressure signal.
+        if ((++pops_seen & 31) == 0) {
+          cc->occupancy_sum += merger.occupancy();
+          ++cc->occupancy_samples;
+        }
       }
       std::size_t s = 0;
       for (std::size_t k = 0; k < n; ++k) {
@@ -402,9 +506,20 @@ EngineResult Engine::run(
       // Copy-to-user done: hand the slabs back to the generator through the
       // recycle ring in one batched push. Overflow is fine — the handle's
       // destructor recycles through the pool free list instead.
-      for (std::size_t k = recycle_ring.try_push_batch(spent.data(), s);
-           k < s; ++k)
+      const std::size_t pushed = recycle_ring.try_push_batch(spent.data(), s);
+      consumer_ring_returns += pushed;
+      for (std::size_t k = pushed; k < s; ++k) {
         spent[k].reset();
+        ++consumer_cas_fallbacks;
+      }
+    }
+    if (cc != nullptr) {
+      merge_dry.resolve(cc->input_dry_episodes, cc->input_dry_ns);
+      cc->recycle_cas_fallbacks = consumer_cas_fallbacks;
+      cc->active_ns = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - c_start)
+              .count());
     }
   });
 
@@ -430,6 +545,10 @@ EngineResult Engine::run(
   std::vector<RtPacket> stage(kChunk);
   std::vector<net::PacketPtr> stash(kChunk);  // slabs popped off recycle ring
   std::size_t stash_n = 0, stash_i = 0;
+  StageCounters* const gc = prof_on ? &prof_generator : nullptr;
+  StallClock pool_dry, out_full;
+  std::uint64_t gen_chunks = 0;
+  std::uint64_t gen_cas_acquires = 0;  // slabs drawn off the pool CAS list
   std::uint64_t i = 0;
   while (i < total) {
     if (in_batch >= config_.batch_size) {
@@ -501,17 +620,32 @@ EngineResult Engine::run(
         if (stash_i == stash_n) {
           stash_n = recycle_ring.try_pop_batch(stash.data(), kChunk);
           stash_i = 0;
+          // Top up from the per-worker drop-return rings on EVERY refill
+          // (not just when the main ring is dry): the drop rings are small,
+          // so sweeping them each refill keeps them from overflowing to
+          // the pool's CAS list. One consumer (this thread) over N SPSC
+          // rings — same fan-in shape as the merge side; an empty ring
+          // costs one cached-index check.
+          for (std::size_t w2 = 0; stash_n < kChunk && w2 < W; ++w2)
+            stash_n += drop_rings[w2]->try_pop_batch(stash.data() + stash_n,
+                                                     kChunk - stash_n);
         }
         if (stash_i < stash_n) {
           skb = std::move(stash[stash_i++]);
           break;
         }
-        if ((skb = pool.acquire())) break;
+        if ((skb = pool.acquire())) {
+          ++gen_cas_acquires;
+          break;
+        }
+        if (gc != nullptr) pool_dry.stall();
         if (config_.max_push_spins != 0 &&
             ++spins >= config_.max_push_spins)
           break;
         std::this_thread::yield();
       }
+      if (gc != nullptr)
+        pool_dry.resolve(gc->pool_dry_episodes, gc->pool_dry_ns);
       gt.event(trace::EventKind::kSplitDeposit, i, batch,
                static_cast<std::uint64_t>(target));
       if (!skb) {
@@ -575,6 +709,7 @@ EngineResult Engine::run(
       done += n;
       if (done == staged) break;
       if (n == 0) {
+        if (gc != nullptr) out_full.stall();
         if (config_.max_push_spins != 0 &&
             ++spins >= config_.max_push_spins)
           break;
@@ -586,9 +721,25 @@ EngineResult Engine::run(
       gt.event(trace::EventKind::kDrop, stage[k].seq, stage[k].batch);
       stage[k].skb.reset();
     }
+    if (gc != nullptr) {
+      out_full.resolve(gc->output_full_episodes, gc->output_full_ns);
+      gc->items += done;
+      // Sampled fan-out pressure on the split ring just written to.
+      if ((++gen_chunks & 31) == 0) {
+        gc->occupancy_sum += ring.size();
+        ++gc->occupancy_samples;
+      }
+    }
   }
   produce_done.store(true, std::memory_order_release);
   gt.flush();
+  if (gc != nullptr) {
+    gc->recycle_cas_fallbacks = gen_cas_acquires;
+    gc->active_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+  }
   // Slabs parked in the stash go back to the pool before the consumer's
   // recycle pushes are cut off.
   for (std::size_t k = stash_i; k < stash_n; ++k) stash[k].reset();
@@ -596,6 +747,7 @@ EngineResult Engine::run(
   consumer.join();
   workers.clear();  // join all
   const auto t1 = std::chrono::steady_clock::now();
+  if (generator_pinned) unpin_current_thread();
 
   EngineResult res;
   res.packets = consumed;
@@ -642,6 +794,23 @@ EngineResult Engine::run(
       res.nf_state.emplace_back(fid, st);
     }
     res.nf_state_digest = h;
+  }
+  // Recycle-fabric split: ring-path returns vs CAS-list fallbacks, summed
+  // over every thread that touched a slab return path.
+  for (const auto& rc : rec_counts) {
+    res.recycle_ring_returns += rc.ring_returns;
+    res.recycle_cas_fallbacks += rc.cas_fallbacks;
+  }
+  res.recycle_ring_returns += consumer_ring_returns;
+  res.recycle_cas_fallbacks += consumer_cas_fallbacks + gen_cas_acquires;
+  res.threads_pinned = threads_pinned.load(std::memory_order_acquire);
+  if (prof_on) {
+    res.profile.enabled = true;
+    res.profile.workers = W;
+    res.profile.wall_seconds = res.wall_seconds;
+    res.profile.generator = prof_generator;
+    res.profile.consumer = prof_consumer;
+    res.profile.worker = std::move(prof_workers);
   }
   return res;
 }

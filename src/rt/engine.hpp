@@ -8,16 +8,24 @@
 //        | acquires a pool slab per packet, assigns micro-flow batches
 //        | round-robin, pushes CHUNKS into the splitting rings
 //        v
-//   per-worker SPSC splitting rings
+//   per-worker SPSC splitting rings                    (1:N fan-out)
 //        |            (worker threads: pop a chunk, spin cost_ns of
 //        |             "processing" per packet, deposit the chunk)
 //        v
-//   per-worker SPSC buffer rings
-//        |            (consumer thread: batch-based merge)
+//   per-worker SPSC buffer rings                       (N:1 fan-in)
+//        |            (consumer thread: batched in-order merge across the
+//        |             fan-in rings — batch ownership is implied by the
+//        |             splitter's round-robin, so N workers deposit
+//        |             concurrently with no global lock anywhere)
 //        v
-//   in-order output, verified against the generator's sequence;
-//   each consumed packet's slab returns to the generator through an
-//   internal SPSC recycle ring (pool free-list only as fallback)
+//   in-order output, verified against the generator's sequence.
+//
+// Slab return is itself a fan-in fabric: delivered slabs go back to the
+// generator through a consumer→generator SPSC recycle ring, and slabs
+// dropped mid-pipeline (injected faults, shed on backpressure) through one
+// drop-return SPSC ring per worker — the pool's CAS free list is only the
+// overflow fallback on every path (EngineResult::recycle_* count the
+// split).
 //
 // Steady-state processing performs ZERO heap allocations: every packet
 // lives in a pre-sized rt::PacketPool slab, ring handoffs move the RAII
@@ -26,10 +34,12 @@
 // slab lifecycle.
 //
 // With workers == 1 this degenerates to the vanilla single-core pipeline,
-// giving a baseline for the throughput comparison in bench/micro_rt.
-// NOTE: on a single-CPU host the engine is validated for *correctness*
-// (ordering, conservation, no deadlock); wall-clock speedup requires real
-// cores.
+// giving the 1-worker anchor for the scaling-efficiency curves in
+// bench/ablate_scaling. NOTE: on a single-CPU host the engine is validated
+// for *correctness* (ordering, conservation, no deadlock); wall-clock
+// speedup requires real cores — docs/SCALING.md covers the threading
+// model, the topology-aware core assignment (EngineConfig::topology), and
+// the scalability profiler (EngineConfig::profile) end to end.
 #pragma once
 
 #include <cstdint>
@@ -40,6 +50,7 @@
 
 #include "nf/nf.hpp"
 #include "rt/pool.hpp"
+#include "rt/profiler.hpp"
 #include "rt/reassembler.hpp"
 
 namespace mflow::rt {
@@ -144,6 +155,29 @@ struct EngineConfig {
     std::size_t shared_shards = 8;
   };
   NfConfig nf;
+  /// Scalability profiler (rt/profiler.hpp): every pipeline thread records
+  /// per-stage stall episodes (ring empty/full, pool dry), recycle-path
+  /// pressure, and sampled ring occupancy into its own cache-line-aligned
+  /// counter block, folded into EngineResult::profile after join. Timing
+  /// is episode-based (clock reads only when a stage is already blocked),
+  /// so the happy path is untouched; off (the default) the counters are
+  /// never written at all.
+  bool profile = false;
+  /// Cache/NUMA-topology-aware core assignment (rt/topology.hpp). With
+  /// `pin_threads`, the engine discovers the host topology and pins
+  /// workers to distinct physical cores first (SMT siblings only when
+  /// cores run out) with generator+consumer co-located on the remaining
+  /// cores of the same NUMA node — or leaves everything unpinned when the
+  /// host cannot give each pipeline thread its own logical CPU. Explicit
+  /// fields override the plan per thread (-1 / missing = use the plan).
+  /// The generator (caller) thread's affinity is restored after run().
+  struct TopologyConfig {
+    bool pin_threads = false;
+    int generator_cpu = -1;
+    int consumer_cpu = -1;
+    std::vector<int> worker_cpus;
+  };
+  TopologyConfig topology;
 };
 
 struct EngineResult {
@@ -186,6 +220,19 @@ struct EngineResult {
   std::uint64_t nf_flows = 0;
   std::uint64_t nf_state_digest = 0;
   std::vector<std::pair<net::FlowId, nf::FlowState>> nf_state;
+  /// Recycle-fabric accounting (always on — plain per-thread counters):
+  /// slabs a worker returned to the generator through its per-worker
+  /// drop-return SPSC ring vs. slabs that fell back to the pool's CAS
+  /// free list (worker drop-ring overflow + consumer recycle-ring
+  /// overflow + generator draws from the pool itself).
+  std::uint64_t recycle_ring_returns = 0;
+  std::uint64_t recycle_cas_fallbacks = 0;
+  /// Threads actually pinned under EngineConfig::topology (0 when pinning
+  /// is off or the plan came back unpinned).
+  std::uint32_t threads_pinned = 0;
+  /// Per-stage stall/occupancy profile (enabled == EngineConfig::profile;
+  /// feed to rt::attribute_scaling / rt::export_profile).
+  ProfileReport profile;
   double packets_per_second() const {
     return wall_seconds > 0 ? static_cast<double>(packets) / wall_seconds
                             : 0.0;

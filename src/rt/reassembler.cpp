@@ -58,19 +58,26 @@ bool RtReassembler::deposit(std::size_t w, RtPacket&& pkt,
 
 std::size_t RtReassembler::deposit_batch(std::size_t w, RtPacket* pkts,
                                          std::size_t count,
-                                         std::uint32_t max_spins) {
+                                         std::uint32_t max_spins,
+                                         StageCounters* prof) {
   auto& ring = *rings_[w];
   std::size_t done = 0;
   std::uint32_t spins = 0;
+  StallClock full;
   while (done < count) {
     const std::size_t n = ring.try_push_batch(pkts + done, count - done);
     done += n;
     if (done == count) break;
     if (n == 0) {
+      if (prof != nullptr) full.stall();
       if (max_spins != 0 && ++spins >= max_spins) break;
       std::this_thread::yield();
     }
   }
+  // Resolve whether the stall ended in progress or in giving up — either
+  // way the time was spent blocked on a full merge ring.
+  if (prof != nullptr)
+    full.resolve(prof->output_full_episodes, prof->output_full_ns);
   return done;
 }
 
@@ -135,6 +142,12 @@ bool RtReassembler::drained() const {
   for (const auto& ring : rings_)
     if (!ring->empty()) return false;
   return true;
+}
+
+std::size_t RtReassembler::occupancy() const {
+  std::size_t total = 0;
+  for (const auto& ring : rings_) total += ring->size();
+  return total;
 }
 
 }  // namespace mflow::rt

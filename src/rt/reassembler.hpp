@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "net/packet.hpp"
+#include "rt/profiler.hpp"
 #include "rt/spsc_ring.hpp"
 
 namespace mflow::rt {
@@ -76,9 +77,15 @@ class RtReassembler {
   /// accepted (a prefix — the rest are left intact for the caller to retry
   /// or drop). Amortizes ring atomics across the batch; spins/yields like
   /// deposit() only when the ring is full mid-batch.
+  ///
+  /// `prof` (optional): full-ring stall episodes inside the deposit are
+  /// charged to `prof->output_full_*` — the fan-in fabric's
+  /// merge-backpressure signal (rt::StageCounters; nullptr = no telemetry,
+  /// no clock reads).
   [[nodiscard]] std::size_t deposit_batch(std::size_t w, RtPacket* pkts,
                                           std::size_t count,
-                                          std::uint32_t max_spins = 0);
+                                          std::uint32_t max_spins = 0,
+                                          StageCounters* prof = nullptr);
 
   /// Consumer: next packet in original flow order, or nullopt if the head
   /// of the current micro-flow hasn't arrived yet.
@@ -124,6 +131,12 @@ class RtReassembler {
   /// All buffer rings empty — nothing deposited awaits merging. Quiescent
   /// use only (consumer idle): the rescale-drain completion condition.
   bool drained() const;
+
+  /// Total packets currently buffered across all fan-in rings. Approximate
+  /// from any thread (each ring's size is a racy-but-monotone snapshot);
+  /// the scalability profiler samples it as the merge-side queue-pressure
+  /// signal.
+  std::size_t occupancy() const;
 
  private:
   /// Drain pending epoch announcements into the applied table. Called on

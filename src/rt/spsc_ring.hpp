@@ -71,6 +71,8 @@ class SpscRing {
       if (space == 0) return 0;
     }
     const std::size_t n = count < space ? count : space;
+    if (n == 0) return 0;  // count == 0: no no-op release store (see §ring
+                           // fan-in note in docs/SCALING.md)
     for (std::size_t i = 0; i < n; ++i)
       slots_[(head + i) & mask_] = std::move(items[i]);
     head_.store(head + n, std::memory_order_release);
@@ -91,6 +93,15 @@ class SpscRing {
 
   /// Pop up to `max` items into `out`; returns how many were written. One
   /// release store frees the whole batch for the producer.
+  ///
+  /// Cached-index contract on this path (audited for the fan-in fabric,
+  /// where one consumer thread batch-drains MANY rings): the cached head
+  /// is refreshed with an acquire load whenever it cannot satisfy the full
+  /// `max` request, so a short return value always reflects a fresh view
+  /// of the producer's published index — there is no window in which items
+  /// already published release-side stay invisible to a caller that asked
+  /// for them. A stale cache can only ever UNDER-report (the next call
+  /// refreshes), never fabricate items.
   std::size_t try_pop_batch(T* out, std::size_t max) {
     const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
     std::size_t avail = static_cast<std::size_t>(cached_head_ - tail);
@@ -100,6 +111,8 @@ class SpscRing {
       if (avail == 0) return 0;
     }
     const std::size_t n = max < avail ? max : avail;
+    if (n == 0) return 0;  // max == 0: a no-op release store of tail_ would
+                           // needlessly dirty the line producers poll
     for (std::size_t i = 0; i < n; ++i)
       out[i] = std::move(slots_[(tail + i) & mask_]);
     tail_.store(tail + n, std::memory_order_release);

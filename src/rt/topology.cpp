@@ -1,0 +1,235 @@
+#include "rt/topology.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <tuple>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace mflow::rt {
+
+namespace {
+
+/// Read a whole small sysfs file; nullopt-style: empty string on failure.
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Read an integer sysfs attribute; `def` when missing/garbled.
+int read_int(const std::string& path, int def) {
+  const std::string s = read_file(path);
+  if (s.empty()) return def;
+  try {
+    return std::stoi(s);
+  } catch (...) {
+    return def;
+  }
+}
+
+}  // namespace
+
+std::vector<int> parse_cpulist(const std::string& list) {
+  std::vector<int> cpus;
+  std::stringstream ss(list);
+  std::string chunk;
+  while (std::getline(ss, chunk, ',')) {
+    // Trim whitespace/newlines the kernel appends.
+    while (!chunk.empty() && std::isspace(static_cast<unsigned char>(
+                                 chunk.back())))
+      chunk.pop_back();
+    while (!chunk.empty() && std::isspace(static_cast<unsigned char>(
+                                 chunk.front())))
+      chunk.erase(chunk.begin());
+    if (chunk.empty()) continue;
+    const std::size_t dash = chunk.find('-');
+    try {
+      if (dash == std::string::npos) {
+        cpus.push_back(std::stoi(chunk));
+      } else {
+        const int lo = std::stoi(chunk.substr(0, dash));
+        const int hi = std::stoi(chunk.substr(dash + 1));
+        for (int c = lo; c <= hi; ++c) cpus.push_back(c);
+      }
+    } catch (...) {
+      // Malformed chunk: skip it rather than failing discovery outright.
+    }
+  }
+  std::sort(cpus.begin(), cpus.end());
+  cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+  return cpus;
+}
+
+CpuTopology CpuTopology::discover(const std::string& sysfs_root) {
+  CpuTopology topo;
+  const std::string cpu_root = sysfs_root + "/devices/system/cpu";
+  std::vector<int> online = parse_cpulist(read_file(cpu_root + "/online"));
+  if (online.empty()) {
+    // No sysfs (non-Linux, masked container): synthesize N independent
+    // cores on one node so every consumer of the table still works.
+    const unsigned n = std::max(1u, std::thread::hardware_concurrency());
+    for (unsigned c = 0; c < n; ++c)
+      topo.cpus.push_back({static_cast<int>(c), static_cast<int>(c), 0, 0});
+    return topo;
+  }
+
+  // NUMA membership: node -> cpulist. Missing tree = everything on node 0.
+  std::map<int, int> cpu_node;
+  for (int node = 0; node < 1024; ++node) {
+    const std::string path = sysfs_root + "/devices/system/node/node" +
+                             std::to_string(node) + "/cpulist";
+    const std::string list = read_file(path);
+    if (list.empty()) {
+      if (node > 0) break;  // node0 may legitimately be absent; stop at gaps
+      continue;
+    }
+    for (int c : parse_cpulist(list)) cpu_node[c] = node;
+  }
+
+  for (int c : online) {
+    const std::string base = cpu_root + "/cpu" + std::to_string(c);
+    CpuInfo info;
+    info.cpu = c;
+    info.core_id = read_int(base + "/topology/core_id", c);
+    info.package_id = read_int(base + "/topology/physical_package_id", 0);
+    const auto it = cpu_node.find(c);
+    info.numa_node = it == cpu_node.end() ? 0 : it->second;
+    topo.cpus.push_back(info);
+  }
+  return topo;
+}
+
+bool CorePlan::any() const {
+  if (generator >= 0 || consumer >= 0) return true;
+  return std::any_of(workers.begin(), workers.end(),
+                     [](int c) { return c >= 0; });
+}
+
+CorePlan plan_cores(const CpuTopology& topo, std::size_t workers) {
+  CorePlan plan;
+  plan.workers.assign(workers, -1);
+  const std::size_t threads = workers + 2;  // + generator + consumer
+  if (topo.size() < threads) return plan;   // unpinned: see header comment
+
+  // Pick the NUMA node with the most logical CPUs as home; spill to other
+  // nodes only when home cannot hold every thread.
+  std::map<int, std::size_t> per_node;
+  for (const auto& c : topo.cpus) ++per_node[c.numa_node];
+  int home = topo.cpus.front().numa_node;
+  for (const auto& [node, n] : per_node)
+    if (n > per_node[home]) home = node;
+
+  // Order CPUs home-node-first, then group by physical core: within a
+  // group the first CPU is the core's "primary" sibling, the rest are SMT.
+  auto sorted = topo.cpus;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [&](const CpuInfo& a, const CpuInfo& b) {
+                     const bool ah = a.numa_node == home;
+                     const bool bh = b.numa_node == home;
+                     if (ah != bh) return ah;
+                     if (a.numa_node != b.numa_node)
+                       return a.numa_node < b.numa_node;
+                     if (a.package_id != b.package_id)
+                       return a.package_id < b.package_id;
+                     if (a.core_id != b.core_id) return a.core_id < b.core_id;
+                     return a.cpu < b.cpu;
+                   });
+  // Primary pass: one CPU per distinct (node, package, core) — the
+  // physical cores. Secondary pass: everything else (SMT siblings).
+  std::vector<int> primaries, siblings;
+  std::set<std::tuple<int, int, int>> seen;
+  for (const auto& c : sorted) {
+    if (seen.insert({c.numa_node, c.package_id, c.core_id}).second)
+      primaries.push_back(c.cpu);
+    else
+      siblings.push_back(c.cpu);
+  }
+
+  // Workers claim physical cores first; SMT siblings only when the
+  // machine has fewer cores than workers.
+  std::size_t p = 0, s = 0;
+  for (std::size_t w = 0; w < workers; ++w) {
+    if (p < primaries.size())
+      plan.workers[w] = primaries[p++];
+    else if (s < siblings.size())
+      plan.workers[w] = siblings[s++];
+  }
+  // Generator + consumer: stay on the HOME node first (they talk to every
+  // worker through the split/merge rings — cross-node handoffs there cost
+  // more than anything SMT pairing can win back), and within that prefer
+  // two SMT siblings of one core (ideally a spare one — they share the
+  // recycle ring, and co-residency keeps it in one core's private cache).
+  std::vector<int> rest;
+  for (; p < primaries.size(); ++p) rest.push_back(primaries[p]);
+  for (; s < siblings.size(); ++s) rest.push_back(siblings[s]);
+  if (rest.size() < 2) return CorePlan{-1, -1, std::vector<int>(workers, -1)};
+  auto core_of = [&](int cpu) {
+    for (const auto& c : topo.cpus)
+      if (c.cpu == cpu) return std::tuple{c.numa_node, c.package_id, c.core_id};
+    return std::tuple{-1, -1, cpu};
+  };
+  auto node_of = [&](int cpu) {
+    for (const auto& c : topo.cpus)
+      if (c.cpu == cpu) return c.numa_node;
+    return -1;
+  };
+  // Home-node CPUs first so the unranked fallback (first two) is already
+  // the right node when no core-sharing pair exists.
+  std::stable_partition(rest.begin(), rest.end(),
+                        [&](int c) { return node_of(c) == home; });
+  int gen = rest[0], cons = rest[1];
+  int best_rank = -1;
+  for (std::size_t i = 0; i + 1 < rest.size(); ++i)
+    for (std::size_t j = i + 1; j < rest.size(); ++j) {
+      const bool on_home =
+          node_of(rest[i]) == home && node_of(rest[j]) == home;
+      const bool share_core = core_of(rest[i]) == core_of(rest[j]);
+      const int rank = (on_home ? 2 : 0) + (share_core ? 1 : 0);
+      if (rank > best_rank) {
+        best_rank = rank;
+        gen = rest[i];
+        cons = rest[j];
+      }
+    }
+  plan.generator = gen;
+  plan.consumer = cons;
+  return plan;
+}
+
+#if defined(__linux__)
+
+bool pin_current_thread(int cpu) {
+  if (cpu < 0) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(cpu), &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+}
+
+bool unpin_current_thread() {
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  const unsigned n = std::max(1u, std::thread::hardware_concurrency());
+  for (unsigned c = 0; c < n && c < CPU_SETSIZE; ++c) CPU_SET(c, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+}
+
+#else
+
+bool pin_current_thread(int) { return false; }
+bool unpin_current_thread() { return false; }
+
+#endif
+
+}  // namespace mflow::rt
