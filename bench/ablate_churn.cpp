@@ -84,7 +84,7 @@ double churn_table_ops(std::size_t capacity, std::uint64_t ops_per_thread,
 
 /// Accepts every degree change and release — the control plane's cost and
 /// state bounds are what this drive measures, not a data path.
-struct NullTarget final : control::ScalingTarget {
+struct NullTarget final : control::CapacityTarget {
   void set_flow_degree(net::FlowId, std::uint32_t) override {}
   std::uint32_t max_degree() const override { return 4; }
 };
@@ -251,20 +251,20 @@ int main(int argc, char** argv) {
   // --- full DES scenario: churn against the real engine ---------------------
   const exp::ScenarioResult des = exp::run_scenario(des_churn_config());
   harness.record("des/goodput", "Gbps", true, des.goodput_gbps);
-  harness.record("des/peak_tracked", "count", false,
-                 static_cast<double>(des.control_peak_tracked));
-  harness.record("des/tracked_end", "count", false,
-                 static_cast<double>(des.control_tracked_flows));
-  harness.record("des/expired", "count", true,
-                 static_cast<double>(des.control_expired));
+  harness.record("des/control.peak", "count", false,
+                 static_cast<double>(des.control.peak));
+  harness.record("des/control.tracked", "count", false,
+                 static_cast<double>(des.control.tracked));
+  harness.record("des/control.expired", "count", true,
+                 static_cast<double>(des.control.expired));
 
   const std::string json = harness.finish(std::cout);
   std::cout << "\nchurn: " << d.cumulative_flows << " cumulative flows, peak "
             << d.peak_tracked << " tracked, " << d.expired
             << " expired; surge promoted after " << d.reaction_us << " us\n"
             << "des: " << des.goodput_gbps << " Gbps, peak "
-            << des.control_peak_tracked << " tracked, "
-            << des.control_expired << " expired\n";
+            << des.control.peak << " tracked, "
+            << des.control.expired << " expired\n";
   if (!json.empty()) std::cout << "wrote " << json << "\n";
   return 0;
 }

@@ -49,24 +49,20 @@ struct Setup {
 
 /// Receiver layout: 1 app core, IRQ on core 1, four splitting lanes.
 /// 20 flows into 7 kernel cores is the num_flows >> kernel_cores regime.
-exp::ScenarioConfig base_config(const Setup& s) {
-  exp::ScenarioConfig cfg;
-  cfg.protocol = net::Ipv4Header::kProtoTcp;
-  cfg.message_size = 65536;
-  cfg.num_flows = s.flows;
-  cfg.server_cores = 8;
-  cfg.app_cores = 1;
-  cfg.first_kernel_core = 1;
-  cfg.kernel_cores = 7;
-  cfg.warmup = s.warmup;
-  cfg.measure = s.measure;
-  cfg.seed = s.seed;
+exp::ScenarioBuilder base_builder(const Setup& s) {
+  exp::ScenarioBuilder b;
+  b.tcp(s.flows)
+      .message_size(65536)
+      .layout(/*server_cores=*/8, /*app_cores=*/1, /*first_kernel_core=*/1,
+              /*kernel_cores=*/7)
+      .windows(s.warmup, s.measure)
+      .seed(s.seed);
   // Senders all start unpaced; the mice throttle immediately (t = 1ns) via
   // the runtime rate-change hook — the same mechanism the transition run
   // uses mid-measurement.
   for (int i = s.elephants; i < s.flows; ++i)
-    cfg.rate_changes.push_back({i, 1, s.mouse_pace});
-  return cfg;
+    b.rate_change(i, 1, s.mouse_pace);
+  return b;
 }
 
 core::MflowConfig mflow_config() {
@@ -76,26 +72,26 @@ core::MflowConfig mflow_config() {
   return mcfg;
 }
 
-exp::ScenarioConfig dynamic_config(const Setup& s) {
-  exp::ScenarioConfig cfg = base_config(s);
-  cfg.mode = exp::Mode::kMflow;
-  cfg.mflow = mflow_config();
-  cfg.control.enabled = true;
-  cfg.control.interval = sim::us(100);
-  // Rate over a multi-ms window: windowed TCP is bursty at the ~1ms scale
-  // (window drain / ACK clumping), and a monitor faster than that feeds
-  // the scaler an oscillating rate it would chase. Measure over the
-  // timescale the degree is meant to be stable on.
-  cfg.control.params.monitor.window = sim::ms(4);
-  cfg.control.params.monitor.max_samples = 64;
-  // Elephants run at hundreds of k segs/s, mice at ~23k: thresholds sit in
-  // the gap, and the band + dwell keep a mouse's per-message burst from
-  // promoting it.
-  cfg.control.params.classifier.promote_pps = 200'000;
-  cfg.control.params.classifier.demote_pps = 100'000;
-  cfg.control.params.classifier.dwell = sim::ms(1);
-  cfg.control.params.scaling.per_core_pps = 150'000;
-  return cfg;
+exp::ScenarioBuilder dynamic_builder(const Setup& s) {
+  return base_builder(s)
+      .mode(exp::Mode::kMflow)
+      .mflow(mflow_config())
+      .control([](exp::ScenarioConfig::ControlPlane& cp) {
+        cp.interval = sim::us(100);
+        // Rate over a multi-ms window: windowed TCP is bursty at the ~1ms
+        // scale (window drain / ACK clumping), and a monitor faster than
+        // that feeds the scaler an oscillating rate it would chase.
+        // Measure over the timescale the degree is meant to be stable on.
+        cp.params.monitor.window = sim::ms(4);
+        cp.params.monitor.max_samples = 64;
+        // Elephants run at hundreds of k segs/s, mice at ~23k: thresholds
+        // sit in the gap, and the band + dwell keep a mouse's per-message
+        // burst from promoting it.
+        cp.params.classifier.promote_pps = 200'000;
+        cp.params.classifier.demote_pps = 100'000;
+        cp.params.classifier.dwell = sim::ms(1);
+        cp.params.scaling.per_core_pps = 150'000;
+      });
 }
 
 double elephant_goodput_gbps(const exp::ScenarioResult& r, int elephants) {
@@ -145,18 +141,15 @@ int main(int argc, char** argv) {
   bench::Harness harness(hc);
 
   // --- steady state: dynamic vs static vs vanilla ---------------------------
-  const exp::ScenarioResult dyn = exp::run_scenario(dynamic_config(s));
+  const exp::ScenarioResult dyn = exp::run_scenario(dynamic_builder(s).build());
 
-  exp::ScenarioConfig static_cfg = base_config(s);
-  static_cfg.mode = exp::Mode::kMflow;
   auto static_mcfg = mflow_config();
   static_mcfg.elephant_threshold_pkts = 0;  // split every flow, always
-  static_cfg.mflow = static_mcfg;
-  const exp::ScenarioResult sta = exp::run_scenario(static_cfg);
+  const exp::ScenarioResult sta = exp::run_scenario(
+      base_builder(s).mode(exp::Mode::kMflow).mflow(static_mcfg).build());
 
-  exp::ScenarioConfig vanilla_cfg = base_config(s);
-  vanilla_cfg.mode = exp::Mode::kVanilla;
-  const exp::ScenarioResult van = exp::run_scenario(vanilla_cfg);
+  const exp::ScenarioResult van =
+      exp::run_scenario(base_builder(s).mode(exp::Mode::kVanilla).build());
 
   const double dyn_eleph = elephant_goodput_gbps(dyn, s.elephants);
   const double sta_eleph = elephant_goodput_gbps(sta, s.elephants);
@@ -171,21 +164,20 @@ int main(int argc, char** argv) {
   harness.record("vanilla/mouse_p99", "us", false, van_p99);
   harness.record("dynamic_vs_vanilla/mouse_p99_ratio", "ratio", false,
                  van_p99 > 0 ? dyn_p99 / van_p99 : 0.0);
-  harness.record("dynamic/rescales", "count", true,
-                 static_cast<double>(dyn.control_rescales));
+  harness.record("dynamic/control.rescales", "count", true,
+                 static_cast<double>(dyn.control.rescales));
 
   // --- transition: every elephant throttles to mouse rates mid-run ----------
-  exp::ScenarioConfig trans_cfg = dynamic_config(s);
+  exp::ScenarioBuilder trans = dynamic_builder(s);
   const sim::Time t_mid = s.warmup + (s.measure * 2) / 5;
-  for (int i = 0; i < s.elephants; ++i)
-    trans_cfg.rate_changes.push_back({i, t_mid, s.mouse_pace});
-  trans_cfg.usage_split_at = s.warmup + (s.measure * 3) / 5;
-  const exp::ScenarioResult trans = exp::run_scenario(trans_cfg);
+  for (int i = 0; i < s.elephants; ++i) trans.rate_change(i, t_mid, s.mouse_pace);
+  trans.usage_split_at(s.warmup + (s.measure * 3) / 5);
+  const exp::ScenarioResult trans_res = exp::run_scenario(trans.build());
 
-  const double util_before = split_util_pct(trans.cores_before);
-  const double util_after = split_util_pct(trans.cores_after);
+  const double util_before = split_util_pct(trans_res.cores_before);
+  const double util_after = split_util_pct(trans_res.cores_after);
   std::uint64_t demotions = 0;
-  for (const auto& ev : trans.control_history)
+  for (const auto& ev : trans_res.control.history)
     if (ev.new_degree < ev.old_degree) ++demotions;
   harness.record("transition/split_util_before", "pct", true, util_before);
   harness.record("transition/split_util_after", "pct", false, util_after);
@@ -193,10 +185,10 @@ int main(int argc, char** argv) {
                  static_cast<double>(demotions));
 
   // --- determinism: same seed, same numbers ---------------------------------
-  const exp::ScenarioResult dyn2 = exp::run_scenario(dynamic_config(s));
+  const exp::ScenarioResult dyn2 = exp::run_scenario(dynamic_builder(s).build());
   const bool identical = dyn2.goodput_gbps == dyn.goodput_gbps &&
                          dyn2.messages == dyn.messages &&
-                         dyn2.control_rescales == dyn.control_rescales;
+                         dyn2.control.rescales == dyn.control.rescales;
   harness.record("deterministic_same_seed", "bool", true,
                  identical ? 1.0 : 0.0);
 

@@ -128,6 +128,32 @@ def main() -> int:
             print(f"  {name:<{name_w}}  {b:>12.6g}  {n:>12.6g}  "
                   f"{-worse:>+7.1%}  {flag}".rstrip())
 
+    # Elastic SLO-vs-cost view: workloads following the autoscaler naming
+    # convention (`<wl>/slo_attainment` paired with `<wl>/core_seconds_frac`
+    # in the same bench) summarized as attainment per core-seconds fraction
+    # — the "how much SLO does each provisioned core-second buy" ratio.
+    # > 1 means the autoscaled run beats proportional provisioning; a drop
+    # between baseline and new that the per-case tolerances individually
+    # missed still shows up here.
+    slo, frac = {}, {}
+    for worse, name, b, n, unit, status in rows:
+        if name.endswith("/slo_attainment"):
+            slo[name.rsplit("/", 1)[0]] = (b, n)
+        elif name.endswith("/core_seconds_frac"):
+            frac[name.rsplit("/", 1)[0]] = (b, n)
+    paired = sorted(set(slo) & set(frac))
+    if paired:
+        print("\nSLO attainment per core-seconds fraction "
+              "(elastic efficiency, higher is better):")
+        name_w = max(len(p) for p in paired)
+        print(f"  {'workload':<{name_w}}  {'baseline':>9}  {'new':>9}")
+        for p in paired:
+            sb, sn = slo[p]
+            fb, fn = frac[p]
+            eb = sb / fb if fb else float("nan")
+            en = sn / fn if fn else float("nan")
+            print(f"  {p:<{name_w}}  {eb:>9.3f}  {en:>9.3f}")
+
     # Per-worker-count view: cases following the sweep naming convention
     # (`...w<N>` as a dotted component, e.g. engine.cost200.w4 or
     # prof.w4.pps) grouped by N, so a scaling regression confined to one

@@ -13,20 +13,21 @@
 int main() {
   using namespace mflow;
 
-  exp::ScenarioConfig cfg;
-  cfg.protocol = net::Ipv4Header::kProtoTcp;
-  cfg.message_size = 65536;  // 64KB messages, fragmented into MSS segments
+  // One elephant TCP flow, 64KB messages fragmented into MSS segments.
+  exp::ScenarioBuilder scenario;
+  scenario.tcp(1).message_size(65536);
 
   std::cout << "Simulating a single elephant TCP flow into a container\n"
                "behind a VXLAN overlay network...\n\n";
 
-  cfg.mode = exp::Mode::kVanilla;
-  const auto vanilla = exp::run_scenario(cfg);
+  const auto vanilla =
+      exp::run_scenario(scenario.mode(exp::Mode::kVanilla).build());
   std::cout << "  " << exp::throughput_row(vanilla) << "\n";
 
-  cfg.mode = exp::Mode::kMflow;  // paper defaults: IRQ splitting, batch 256,
-                                 // two splitting cores, merge before TCP
-  const auto mflow = exp::run_scenario(cfg);
+  // Paper defaults: IRQ splitting, batch 256, two splitting cores, merge
+  // before TCP.
+  const auto mflow =
+      exp::run_scenario(scenario.mode(exp::Mode::kMflow).build());
   std::cout << "  " << exp::throughput_row(mflow) << "\n\n";
 
   std::cout << "MFLOW speedup: " << mflow.goodput_gbps / vanilla.goodput_gbps

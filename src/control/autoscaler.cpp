@@ -1,0 +1,95 @@
+#include "control/autoscaler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace mflow::control {
+
+Autoscaler::Autoscaler(AutoscalerParams params, LoadSource source,
+                       CapacityTarget* target)
+    : params_(params), source_(std::move(source)), target_(target) {}
+
+std::uint32_t Autoscaler::desired_for(double load_pps) const {
+  if (params_.per_worker_pps <= 0.0) return params_.min_workers;
+  const double want =
+      std::ceil(std::max(0.0, load_pps) * params_.headroom /
+                params_.per_worker_pps);
+  std::uint32_t limit = target_->worker_limit();
+  if (params_.max_workers > 0) limit = std::min(limit, params_.max_workers);
+  limit = std::max<std::uint32_t>(limit, 1);
+  const std::uint32_t floor_w =
+      std::min(std::max<std::uint32_t>(params_.min_workers, 1), limit);
+  return std::clamp(static_cast<std::uint32_t>(
+                        std::min(want, static_cast<double>(limit))),
+                    floor_w, limit);
+}
+
+void Autoscaler::account(sim::Time now) {
+  if (!accounting_started_) {
+    accounted_to_ = now;
+    accounting_started_ = true;
+    return;
+  }
+  if (now <= accounted_to_) return;
+  core_seconds_ += static_cast<double>(target_->active_workers()) *
+                   sim::to_seconds(now - accounted_to_);
+  accounted_to_ = now;
+}
+
+void Autoscaler::tick(sim::Time now) {
+  account(now);
+  const std::uint32_t current = target_->active_workers();
+  const std::uint32_t want = desired_for(source_());
+
+  bool commit = false;
+  if (want > current) {
+    // A growth request cancels any pending shrink: demand came back.
+    down_since_ = -1;
+    commit = true;
+  } else if (want < current) {
+    if (down_since_ < 0) down_since_ = now;
+    commit = now - down_since_ >= params_.down_dwell;
+  } else {
+    down_since_ = -1;
+  }
+  if (commit && ever_committed_ && now - last_commit_ < params_.cooldown)
+    commit = false;
+
+  if (commit) {
+    if (target_->set_active_workers(want)) {
+      history_.push_back(ScaleEvent{now, current, want});
+      if (want > current)
+        ++scale_ups_;
+      else
+        ++scale_downs_;
+      last_commit_ = now;
+      ever_committed_ = true;
+      down_since_ = -1;
+    } else {
+      // Drain in flight on the retiring lanes (or a fixed-capacity
+      // target). Keep the candidate armed — dwell has been served, the
+      // retry commits as soon as the target accepts.
+      ++vetoes_;
+    }
+  }
+
+  if (registry_ != nullptr) {
+    registry_->set_gauge("elastic.active_workers",
+                         static_cast<double>(target_->active_workers()));
+    registry_->set_gauge("elastic.core_seconds", core_seconds_);
+    registry_->set_counter("elastic.scale_ups", scale_ups_);
+    registry_->set_counter("elastic.scale_downs", scale_downs_);
+    registry_->set_counter("elastic.vetoes", vetoes_);
+  }
+}
+
+void Autoscaler::finalize(sim::Time now) { account(now); }
+
+void Autoscaler::reset_accounting(sim::Time now) {
+  core_seconds_ = 0.0;
+  accounted_to_ = now;
+  accounting_started_ = true;
+}
+
+}  // namespace mflow::control

@@ -39,9 +39,13 @@ void FlowMonitor::record(net::FlowId flow, std::uint64_t total_segs,
 
 double FlowMonitor::rate(net::FlowId flow, bool bytes) const {
   const PerFlow* pf = flows_.find(flow);
-  if (pf == nullptr || pf->samples.size() < 2) return 0.0;
-  const Sample& first = pf->samples.front();
-  const Sample& last = pf->samples.back();
+  return pf != nullptr ? window_rate(*pf, bytes) : 0.0;
+}
+
+double FlowMonitor::window_rate(const PerFlow& pf, bool bytes) {
+  if (pf.samples.size() < 2) return 0.0;
+  const Sample& first = pf.samples.front();
+  const Sample& last = pf.samples.back();
   const sim::Time span = last.at - first.at;
   if (span <= 0) return 0.0;
   const std::uint64_t delta =
@@ -55,6 +59,16 @@ double FlowMonitor::rate_pps(net::FlowId flow) const {
 
 double FlowMonitor::rate_bps(net::FlowId flow) const {
   return rate(flow, /*bytes=*/true) * 8.0;
+}
+
+double FlowMonitor::aggregate_rate_pps() const {
+  double total = 0.0;
+  // Rate straight from the visited entry — for_each holds the shard lock,
+  // so re-entering the table via rate()/find() would self-deadlock.
+  flows_.for_each([&total](net::FlowId, const PerFlow& pf) {
+    total += window_rate(pf, /*bytes=*/false);
+  });
+  return total;
 }
 
 std::uint64_t FlowMonitor::total_segs(net::FlowId flow) const {

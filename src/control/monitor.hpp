@@ -70,6 +70,10 @@ class FlowMonitor {
   double rate_pps(net::FlowId flow) const;
   double rate_bps(net::FlowId flow) const;
 
+  /// Sum of rate_pps over every tracked flow — the Autoscaler's load
+  /// signal (aggregate offered load the active workers must absorb).
+  double aggregate_rate_pps() const;
+
   /// Currently tracked flows in first-seen order (deterministic iteration
   /// for the classifier loop). Expired flows drop out.
   std::vector<net::FlowId> flows() const;
@@ -111,6 +115,7 @@ class FlowMonitor {
   };
 
   double rate(net::FlowId flow, bool bytes) const;
+  static double window_rate(const PerFlow& pf, bool bytes);
   void remove_gauges(const PerFlow& pf);
 
   MonitorParams params_;

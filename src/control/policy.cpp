@@ -27,7 +27,7 @@ std::uint32_t ScalingPolicy::degree_for(FlowClass cls, double rate_pps,
 }
 
 Controller::Controller(ControllerParams params, Source source,
-                       ScalingTarget* target)
+                       CapacityTarget* target)
     : params_(params),
       source_(std::move(source)),
       target_(target),

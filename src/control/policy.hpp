@@ -7,9 +7,11 @@
 // per-core service capacity, clamped to the target's core budget. The
 // Controller owns one monitor/classifier/policy triple, pulls per-flow
 // totals from a source callback on each tick, and pushes degree changes
-// into a ScalingTarget — the one seam both engines implement
-// (core::MflowEngine directly; the rt engine applies an equivalent
-// schedule at batch boundaries, see rt/engine.hpp).
+// into a control::CapacityTarget (capacity.hpp) — the one seam both
+// engines implement, each via a single adapter
+// (core::MflowCapacityAdapter; rt::EngineCapacityAdapter). max_degree()
+// is the target's CURRENT active-worker budget, so when the Autoscaler
+// shrinks capacity the Controller auto-clamps degrees on its next tick.
 //
 // Degree changes are NOT applied instantaneously by the data path: the
 // splitter retargets only at batch boundaries and the reassembler holds
@@ -22,6 +24,7 @@
 #include <functional>
 #include <vector>
 
+#include "control/capacity.hpp"
 #include "control/classifier.hpp"
 #include "control/flowtable.hpp"
 #include "control/monitor.hpp"
@@ -30,27 +33,6 @@
 #include "trace/registry.hpp"
 
 namespace mflow::control {
-
-/// The data-path seam the controller retargets. Degree 0 = unsplit (mouse
-/// path: deliver on the arrival core); degree k in [1, max_degree()] =
-/// split round-robin over the first k kernel lanes.
-class ScalingTarget {
- public:
-  virtual ~ScalingTarget() = default;
-  virtual void set_flow_degree(net::FlowId flow, std::uint32_t degree) = 0;
-  virtual std::uint32_t max_degree() const = 0;
-  /// Flow-state expiry handshake: the Controller asks the data path to
-  /// forget everything it holds for an idle flow (split-point counters,
-  /// degree overrides, reassembly bookkeeping, cached fast-path entries).
-  /// Return false to veto — e.g. a rescale drain is still in flight — and
-  /// the Controller keeps the flow's control state and retries next tick,
-  /// so reclamation is all-or-nothing: a reused FlowId can never meet a
-  /// half-forgotten flow. Targets with no per-flow state accept by default.
-  virtual bool release_flow(net::FlowId flow) {
-    (void)flow;
-    return true;
-  }
-};
 
 struct ScalingParams {
   /// Packets/s one kernel lane is assumed to absorb; an elephant at rate R
@@ -108,7 +90,7 @@ class Controller {
   };
   using Source = std::function<std::vector<FlowTotals>()>;
 
-  Controller(ControllerParams params, Source source, ScalingTarget* target);
+  Controller(ControllerParams params, Source source, CapacityTarget* target);
 
   /// One control iteration: sample -> classify -> retarget. Only committed
   /// degree changes reach the target (no-op ticks are free).
@@ -142,7 +124,7 @@ class Controller {
 
   ControllerParams params_;
   Source source_;
-  ScalingTarget* target_;
+  CapacityTarget* target_;
   FlowMonitor monitor_;
   Classifier classifier_;
   ScalingPolicy policy_;

@@ -1,5 +1,7 @@
 #include "core/mflow.hpp"
 
+#include <algorithm>
+
 #include "stack/flowcache.hpp"
 
 namespace mflow::core {
@@ -150,6 +152,64 @@ util::RunningStats MflowEngine::recovery_latency_ns() const {
 
 void MflowEngine::reset_stats() {
   for (auto& [_, ra] : reassemblers_) ra->reset_stats();
+}
+
+MflowCapacityAdapter::MflowCapacityAdapter(MflowEngine& engine,
+                                           std::uint32_t initial_workers)
+    : engine_(engine) {
+  active_ = clamp_workers(initial_workers == 0 ? engine_.max_degree()
+                                               : initial_workers);
+}
+
+std::uint32_t MflowCapacityAdapter::clamp_workers(
+    std::uint32_t workers) const {
+  const std::uint32_t limit = std::max<std::uint32_t>(worker_limit(), 1);
+  return std::min(std::max<std::uint32_t>(workers, 1), limit);
+}
+
+void MflowCapacityAdapter::set_flow_degree(net::FlowId flow,
+                                           std::uint32_t degree) {
+  const std::uint32_t want = std::min(degree, active_);
+  const auto it = degrees_.find(flow);
+  const std::uint32_t current = it == degrees_.end() ? 0 : it->second;
+  if (want == current) return;  // dedup: engine calls invalidate caches
+  if (want == 0)
+    degrees_.erase(it);
+  else
+    degrees_[flow] = want;
+  engine_.set_flow_degree(flow, want);
+}
+
+bool MflowCapacityAdapter::release_flow(net::FlowId flow) {
+  if (!engine_.release_flow(flow)) return false;
+  degrees_.erase(flow);
+  return true;
+}
+
+bool MflowCapacityAdapter::set_active_workers(std::uint32_t workers) {
+  const std::uint32_t want = clamp_workers(workers);
+  if (want >= active_) {
+    // Growth (or no-op): the lanes already exist, the flow dimension picks
+    // them up on its next tick through max_degree().
+    active_ = want;
+    return true;
+  }
+  // Shrink: demote every flow whose degree exceeds the new budget. The
+  // engine runs the rescale-drain protocol per flow; the demotions are
+  // issued once (the mirror map is updated immediately, so a vetoed
+  // retry does not re-issue them).
+  for (auto it = degrees_.begin(); it != degrees_.end(); ++it) {
+    if (it->second > want) {
+      it->second = want;
+      engine_.set_flow_degree(it->first, want);
+    }
+  }
+  // The retiring lanes may still carry in-flight batches from the old
+  // degrees; committing now would hand the Controller a budget the data
+  // path has not vacated. Veto until the drain completes.
+  if (!engine_.drained()) return false;
+  active_ = want;
+  return true;
 }
 
 }  // namespace mflow::core

@@ -13,13 +13,14 @@
 #include <unordered_map>
 #include <vector>
 
+#include "control/capacity.hpp"
 #include "control/policy.hpp"
 #include "core/irq_split.hpp"
 #include "core/splitter.hpp"
 
 namespace mflow::core {
 
-class MflowEngine final : public control::ScalingTarget {
+class MflowEngine final {
  public:
   MflowEngine(stack::Machine& machine, MflowConfig config);
   ~MflowEngine();
@@ -41,13 +42,16 @@ class MflowEngine final : public control::ScalingTarget {
 
   Reassembler* reassembler_for_port(std::uint16_t port);
 
-  // --- control::ScalingTarget ----------------------------------------------
+  // --- data-path entry points for MflowCapacityAdapter ---------------------
+  // The control plane never calls these directly: it goes through a
+  // control::CapacityTarget, implemented for this engine by
+  // MflowCapacityAdapter below (the one place allowed to call them).
   /// Retarget one flow's split degree on every installed splitting
   /// mechanism. Effective from the flow's next packet; micro-flow targets
   /// change only at batch boundaries, and the reassemblers run the
   /// rescale-drain protocol for the transition.
-  void set_flow_degree(net::FlowId flow, std::uint32_t degree) override;
-  std::uint32_t max_degree() const override {
+  void set_flow_degree(net::FlowId flow, std::uint32_t degree);
+  std::uint32_t max_degree() const {
     return static_cast<std::uint32_t>(config_.splitting_cores.size());
   }
   /// Flow-state expiry (control-plane TTL): forget the flow everywhere —
@@ -55,7 +59,7 @@ class MflowEngine final : public control::ScalingTarget {
   /// fast-path entries — IF no reassembler holds in-flight work for it;
   /// otherwise refuse (the Controller retries after the drain). All-or-
   /// nothing so a reused FlowId never meets half-stale state.
-  bool release_flow(net::FlowId flow) override;
+  bool release_flow(net::FlowId flow);
 
   /// Cumulative per-flow split-point totals across all splitters — the
   /// pull source for the control plane's FlowMonitor.
@@ -83,6 +87,47 @@ class MflowEngine final : public control::ScalingTarget {
       reassemblers_;
   std::unique_ptr<FlowSplitter> splitter_;
   std::vector<std::unique_ptr<IrqSplitter>> irq_splitters_;
+};
+
+/// The DES engine's single control::CapacityTarget implementation.
+///
+/// Flow dimension: forwards degree/release calls to the engine, deduping
+/// no-op degree reissues (each engine-level set_flow_degree invalidates
+/// fast-path cache entries, so a redundant call is not free) and clamping
+/// every degree to the active-worker budget.
+///
+/// Capacity dimension: `active` is the worker budget in [1, worker_limit]
+/// (worker_limit = the engine's splitting-core count). max_degree()
+/// reports the CURRENT budget, so the Controller self-clamps on its next
+/// tick. Growing commits immediately. Shrinking first demotes every
+/// tracked flow whose degree exceeds the new budget (opening the normal
+/// rescale-drain protocol on each), then VETOES the commit until every
+/// reassembler reports drained() — the retiring lanes may still carry
+/// in-flight micro-flow batches until then. The Autoscaler retries; the
+/// shrink target is re-derived fresh on each attempt.
+class MflowCapacityAdapter final : public control::CapacityTarget {
+ public:
+  explicit MflowCapacityAdapter(MflowEngine& engine,
+                                std::uint32_t initial_workers = 0);
+
+  void set_flow_degree(net::FlowId flow, std::uint32_t degree) override;
+  std::uint32_t max_degree() const override { return active_; }
+  bool release_flow(net::FlowId flow) override;
+
+  std::uint32_t worker_limit() const override {
+    return engine_.max_degree();
+  }
+  std::uint32_t active_workers() const override { return active_; }
+  bool set_active_workers(std::uint32_t workers) override;
+
+ private:
+  std::uint32_t clamp_workers(std::uint32_t workers) const;
+
+  MflowEngine& engine_;
+  std::uint32_t active_ = 1;
+  /// Mirror of the degrees the adapter has committed to the engine
+  /// (split flows only), for dedup and shrink-time demotion.
+  std::unordered_map<net::FlowId, std::uint32_t> degrees_;
 };
 
 }  // namespace mflow::core

@@ -172,6 +172,28 @@ void ScenarioConfig::validate() const {
       fail("control.churn.rate_pps must be > 0");
   }
 
+  if (elastic.enabled) {
+    if (!control.enabled)
+      fail("elastic.enabled requires control.enabled — the autoscaler sizes "
+           "capacity from the controller's FlowMonitor aggregate, and the "
+           "controller is what re-spreads flows over the new budget");
+    if (elastic.interval <= 0) fail("elastic.interval must be > 0");
+    if (elastic.params.per_worker_pps <= 0)
+      fail("elastic.params.per_worker_pps must be > 0");
+    if (elastic.params.headroom < 1.0)
+      fail("elastic.params.headroom must be >= 1 — provisioning below the "
+           "measured load guarantees an SLO miss");
+    if (elastic.params.min_workers < 1)
+      fail("elastic.params.min_workers must be >= 1 (zero workers cannot "
+           "serve the baseline load)");
+    if (elastic.params.max_workers != 0 &&
+        elastic.params.max_workers < elastic.params.min_workers)
+      fail("elastic.params.max_workers=" + str(elastic.params.max_workers) +
+           " < min_workers=" + str(elastic.params.min_workers));
+    if (elastic.params.cooldown < 0 || elastic.params.down_dwell < 0)
+      fail("elastic.params.cooldown and down_dwell must be >= 0");
+  }
+
   const int senders = tcp ? num_flows : udp_clients;
   for (const auto& rc : rate_changes) {
     if (rc.sender_index < 0 || rc.sender_index >= senders)
@@ -401,8 +423,11 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
   }
 
   // --- dynamic flow control plane -------------------------------------------
+  std::unique_ptr<core::MflowCapacityAdapter> capacity;
   std::unique_ptr<control::Controller> controller;
+  std::unique_ptr<control::Autoscaler> autoscaler;
   std::function<void()> control_tick;  // outlives every queued tick event
+  std::function<void()> elastic_tick;
   if (engine && cfg.control.enabled) {
     // With churn on, the synthetic flows ride the same totals vector as the
     // engine's real ones, so the controller monitors/classifies/expires both
@@ -417,8 +442,18 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
     } else {
       source = [eng = engine.get()] { return eng->flow_totals(); };
     }
+    // The control plane reaches the engine ONLY through its CapacityTarget
+    // adapter. With the elastic tier on, the budget starts at the
+    // configured initial worker count instead of full capacity.
+    std::uint32_t initial_workers = 0;  // adapter default: worker_limit
+    if (cfg.elastic.enabled)
+      initial_workers = cfg.elastic.initial_workers != 0
+                            ? cfg.elastic.initial_workers
+                            : cfg.elastic.params.min_workers;
+    capacity =
+        std::make_unique<core::MflowCapacityAdapter>(*engine, initial_workers);
     controller = std::make_unique<control::Controller>(
-        cfg.control.params, std::move(source), engine.get());
+        cfg.control.params, std::move(source), capacity.get());
     if (tracer) controller->export_to(&tracer->registry());
     // Recurring tick. The chain re-arms itself past the end of the run;
     // the final queued event simply never fires once run_until() stops.
@@ -428,6 +463,20 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
       sim.after(interval, [&control_tick] { control_tick(); });
     };
     sim.after(cfg.control.interval, [&control_tick] { control_tick(); });
+
+    if (cfg.elastic.enabled) {
+      autoscaler = std::make_unique<control::Autoscaler>(
+          cfg.elastic.params,
+          [mon = &controller->monitor()] { return mon->aggregate_rate_pps(); },
+          capacity.get());
+      if (tracer) autoscaler->export_to(&tracer->registry());
+      elastic_tick = [&sim, &elastic_tick, as = autoscaler.get(),
+                      interval = cfg.elastic.interval] {
+        as->tick(sim.now());
+        sim.after(interval, [&elastic_tick] { elastic_tick(); });
+      };
+      sim.after(cfg.elastic.interval, [&elastic_tick] { elastic_tick(); });
+    }
   }
 
   // --- NF expiry sweep --------------------------------------------------------
@@ -547,6 +596,9 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
   std::uint64_t events = sim.run_until(cfg.warmup);
   server.reset_measurement();
   if (engine) engine->reset_stats();
+  // Core-seconds are metered over the measurement window only (warmup ramp
+  // is not what the SLO-vs-cost comparison charges for).
+  if (autoscaler) autoscaler->reset_accounting(sim.now());
   if (nflayer) nflayer->reset_measurement();
   if (tracer) tracer->clear();  // drop warmup events and counters
   const std::uint64_t drops0 = server.nic().total_drops();
@@ -633,12 +685,32 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
     res.nf_state_digest = nflayer->state_digest();
   }
   if (controller) {
-    res.control_rescales = controller->rescales();
-    res.control_elephants = controller->elephants();
-    res.control_history = controller->history();
-    res.control_tracked_flows = controller->tracked_flows();
-    res.control_peak_tracked = controller->peak_tracked();
-    res.control_expired = controller->expired_flows();
+    res.control.rescales = controller->rescales();
+    res.control.elephants = controller->elephants();
+    res.control.history = controller->history();
+    res.control.tracked = controller->tracked_flows();
+    res.control.peak = controller->peak_tracked();
+    res.control.expired = controller->expired_flows();
+  }
+  if (autoscaler) {
+    autoscaler->finalize(sim.now());
+    res.elastic.scale_ups = autoscaler->scale_ups();
+    res.elastic.scale_downs = autoscaler->scale_downs();
+    res.elastic.vetoes = autoscaler->vetoes();
+    res.elastic.history = autoscaler->history();
+    res.elastic.core_seconds = autoscaler->core_seconds();
+    res.elastic.workers_final = capacity->active_workers();
+    res.elastic.core_seconds_static =
+        static_cast<double>(capacity->worker_limit()) *
+        sim::to_seconds(cfg.measure);
+    res.elastic.workers_low = res.elastic.workers_final;
+    res.elastic.workers_high = res.elastic.workers_final;
+    for (const control::ScaleEvent& ev : res.elastic.history) {
+      res.elastic.workers_low =
+          std::min({res.elastic.workers_low, ev.from, ev.to});
+      res.elastic.workers_high =
+          std::max({res.elastic.workers_high, ev.from, ev.to});
+    }
   }
 
   for (int c = 0; c < server.num_cores(); ++c) {
@@ -711,6 +783,16 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
       nflayer->export_stats();
       reg.set_gauge("nf.state_digest",
                     static_cast<double>(res.nf_state_digest));
+    }
+    if (autoscaler) {
+      // Final authoritative values (the per-tick gauges stop at the last
+      // tick before the cut; these cover the full measurement window).
+      reg.set_gauge("elastic.active_workers",
+                    static_cast<double>(res.elastic.workers_final));
+      reg.set_gauge("elastic.core_seconds", res.elastic.core_seconds);
+      reg.set_counter("elastic.scale_ups", res.elastic.scale_ups);
+      reg.set_counter("elastic.scale_downs", res.elastic.scale_downs);
+      reg.set_counter("elastic.vetoes", res.elastic.vetoes);
     }
     reg.set_counter("reasm.ooo_arrivals", res.ooo_arrivals);
     reg.set_counter("reasm.batches_merged", res.batches_merged);

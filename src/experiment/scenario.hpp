@@ -5,11 +5,13 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "control/autoscaler.hpp"
 #include "control/policy.hpp"
 #include "core/config.hpp"
 #include "experiment/mode.hpp"
@@ -25,6 +27,10 @@
 
 namespace mflow::exp {
 
+/// Prefer building a ScenarioConfig through exp::ScenarioBuilder (below):
+/// it validates at build() time and names the option clusters, so a typo'd
+/// layout fails where it was written instead of inside run_scenario().
+/// Direct field-poking remains supported as a deprecated shim for one PR.
 struct ScenarioConfig {
   Mode mode = Mode::kVanilla;
   std::uint8_t protocol = net::Ipv4Header::kProtoTcp;
@@ -162,6 +168,24 @@ struct ScenarioConfig {
   };
   Nf nf;
 
+  /// Elastic capacity tier (control::Autoscaler, the tier above the
+  /// Controller): sizes the ACTIVE worker budget from the FlowMonitor's
+  /// aggregate load and drives it through the engine's
+  /// core::MflowCapacityAdapter; the Controller then self-clamps split
+  /// degrees to the budget on its next tick. Requires control.enabled (the
+  /// autoscaler reads the controller's monitor) and Mode::kMflow.
+  struct Elastic {
+    bool enabled = false;
+    /// Autoscaler tick cadence (the decision loop; commits are further
+    /// gated by params.cooldown / params.down_dwell).
+    sim::Time interval = sim::us(200);
+    control::AutoscalerParams params;
+    /// Active workers at t=0. 0 = start cold at params.min_workers; set to
+    /// the splitting-core count to start hot and let the trough shrink it.
+    std::uint32_t initial_workers = 0;
+  };
+  Elastic elastic;
+
   /// Mid-run sender rate changes (the many-flow transition scenario: an
   /// elephant throttling down to mouse rates, or a mouse surging). Times
   /// are absolute simulation time (the measurement window starts at
@@ -257,18 +281,40 @@ struct ScenarioResult {
                             static_cast<double>(total);
   }
 
-  // Control plane (populated when cfg.control.enabled): committed degree
-  // changes over the measurement window, flows classified elephant at the
-  // end, and the full rescale history for transition plots/tests.
-  std::uint64_t control_rescales = 0;
-  std::uint64_t control_elephants = 0;
-  std::vector<control::RescaleEvent> control_history;
-  // Flow-state lifecycle (bounded-state invariant): flows still tracked at
-  // run end, the high-water tracked count (must scale with LIVE flows, not
-  // cumulative arrivals), and flows reclaimed by the controller's TTL sweep.
-  std::uint64_t control_tracked_flows = 0;
-  std::uint64_t control_peak_tracked = 0;
-  std::uint64_t control_expired = 0;
+  /// Control plane (populated when cfg.control.enabled), nested under one
+  /// domain per the `domain.metric` naming convention: committed degree
+  /// changes, flows classified elephant at the end, the full rescale
+  /// history for transition plots/tests, and the flow-state lifecycle
+  /// (bounded-state invariant: `peak` must scale with LIVE flows, not
+  /// cumulative arrivals; `expired` counts TTL reclamations).
+  struct ControlStats {
+    std::uint64_t rescales = 0;
+    std::uint64_t elephants = 0;
+    std::vector<control::RescaleEvent> history;
+    std::uint64_t tracked = 0;
+    std::uint64_t peak = 0;
+    std::uint64_t expired = 0;
+  };
+  ControlStats control;
+
+  /// Elastic tier (populated when cfg.elastic.enabled). Event counters and
+  /// history cover the whole run; core_seconds integrates active workers
+  /// over the MEASUREMENT window only, and core_seconds_static is what a
+  /// static full-capacity run would consume over that window
+  /// (worker_limit x measure) — the denominator of the savings ratio
+  /// bench/ablate_elastic reports.
+  struct ElasticStats {
+    std::uint64_t scale_ups = 0;
+    std::uint64_t scale_downs = 0;
+    std::uint64_t vetoes = 0;
+    std::uint32_t workers_final = 0;
+    std::uint32_t workers_low = 0;
+    std::uint32_t workers_high = 0;
+    double core_seconds = 0.0;
+    double core_seconds_static = 0.0;
+    std::vector<control::ScaleEvent> history;
+  };
+  ElasticStats elastic;
 
   // NF layer (populated when cfg.nf.enabled): measurement-window counters,
   // the flow-state lifecycle, and the merged per-flow semantic state
@@ -307,6 +353,157 @@ struct ScenarioResult {
   /// Std deviation of utilization across the given receiver cores
   /// (percent points, as the paper reports for Figure 12).
   double utilization_stddev_pct(int first_core, int count) const;
+};
+
+/// Fluent builder for ScenarioConfig — the supported construction path.
+///
+/// Scalar knobs are chainable setters; the option clusters (faults,
+/// tracing, fastpath, control, nf, elastic) each take a configurator
+/// lambda over the named sub-struct and flip the cluster's `enabled` on
+/// (passing a cluster at all means you want it). build() runs validate(),
+/// so an inconsistent layout throws at the call site that wrote it:
+///
+///   auto cfg = ScenarioBuilder(Mode::kMflow)
+///                  .udp(3)
+///                  .windows(sim::ms(2), sim::ms(10))
+///                  .control([](auto& c) { c.interval = sim::us(50); })
+///                  .elastic([](auto& e) { e.params.headroom = 1.5; })
+///                  .build();
+///
+/// tweak() is the escape hatch for fields without a dedicated setter.
+class ScenarioBuilder {
+ public:
+  ScenarioBuilder() = default;
+  explicit ScenarioBuilder(Mode mode) { cfg_.mode = mode; }
+
+  ScenarioBuilder& mode(Mode m) { return set([&](auto& c) { c.mode = m; }); }
+  /// TCP with this many concurrent flows (each its own socket + sender).
+  ScenarioBuilder& tcp(int flows) {
+    return set([&](auto& c) {
+      c.protocol = net::Ipv4Header::kProtoTcp;
+      c.num_flows = flows;
+    });
+  }
+  /// UDP with this many clients stressing one flow (the paper's setup).
+  ScenarioBuilder& udp(int clients) {
+    return set([&](auto& c) {
+      c.protocol = net::Ipv4Header::kProtoUdp;
+      c.udp_clients = clients;
+    });
+  }
+  ScenarioBuilder& message_size(std::uint32_t bytes) {
+    return set([&](auto& c) { c.message_size = bytes; });
+  }
+  /// Receiver machine layout in one call (the fields validate() most often
+  /// rejects when poked individually).
+  ScenarioBuilder& layout(int server_cores, int app_cores,
+                          int first_kernel_core, int kernel_cores) {
+    return set([&](auto& c) {
+      c.server_cores = server_cores;
+      c.app_cores = app_cores;
+      c.first_kernel_core = first_kernel_core;
+      c.kernel_cores = kernel_cores;
+    });
+  }
+  ScenarioBuilder& nic(int queues, std::size_t ring_capacity = 4096) {
+    return set([&](auto& c) {
+      c.nic_queues = queues;
+      c.nic_ring_capacity = ring_capacity;
+    });
+  }
+  ScenarioBuilder& windows(sim::Time warmup, sim::Time measure) {
+    return set([&](auto& c) {
+      c.warmup = warmup;
+      c.measure = measure;
+    });
+  }
+  ScenarioBuilder& seed(std::uint64_t s) {
+    return set([&](auto& c) { c.seed = s; });
+  }
+  ScenarioBuilder& costs(const stack::CostModel& m) {
+    return set([&](auto& c) { c.costs = m; });
+  }
+  ScenarioBuilder& mflow(const core::MflowConfig& m) {
+    return set([&](auto& c) { c.mflow = m; });
+  }
+  /// 0 = saturation; otherwise one message per sender per interval.
+  ScenarioBuilder& pace(sim::Time per_message) {
+    return set([&](auto& c) { c.pace_per_message = per_message; });
+  }
+  ScenarioBuilder& window_bytes(std::uint64_t bytes) {
+    return set([&](auto& c) { c.window_bytes = bytes; });
+  }
+  /// Append one mid-run sender pace change (absolute time).
+  ScenarioBuilder& rate_change(int sender, sim::Time at, sim::Time pace) {
+    return set([&](auto& c) {
+      c.rate_changes.push_back({sender, at, pace});
+    });
+  }
+  ScenarioBuilder& usage_split_at(sim::Time at) {
+    return set([&](auto& c) { c.usage_split_at = at; });
+  }
+
+  // --- option clusters -----------------------------------------------------
+  using FaultsFn = std::function<void(net::FaultPlan&)>;
+  using TracingFn = std::function<void(trace::TraceConfig&)>;
+  using FastPathFn = std::function<void(ScenarioConfig::FastPath&)>;
+  using ControlFn = std::function<void(ScenarioConfig::ControlPlane&)>;
+  using NfFn = std::function<void(ScenarioConfig::Nf&)>;
+  using ElasticFn = std::function<void(ScenarioConfig::Elastic&)>;
+
+  ScenarioBuilder& faults(const FaultsFn& fn) {
+    return set([&](auto& c) { fn(c.faults); });
+  }
+  ScenarioBuilder& tracing(const TracingFn& fn = {}) {
+    return set([&](auto& c) {
+      c.trace.enabled = true;
+      if (fn) fn(c.trace);
+    });
+  }
+  ScenarioBuilder& fastpath(const FastPathFn& fn = {}) {
+    return set([&](auto& c) {
+      c.fastpath.enabled = true;
+      if (fn) fn(c.fastpath);
+    });
+  }
+  ScenarioBuilder& control(const ControlFn& fn = {}) {
+    return set([&](auto& c) {
+      c.control.enabled = true;
+      if (fn) fn(c.control);
+    });
+  }
+  ScenarioBuilder& nf(const NfFn& fn = {}) {
+    return set([&](auto& c) {
+      c.nf.enabled = true;
+      if (fn) fn(c.nf);
+    });
+  }
+  ScenarioBuilder& elastic(const ElasticFn& fn = {}) {
+    return set([&](auto& c) {
+      c.elastic.enabled = true;
+      if (fn) fn(c.elastic);
+    });
+  }
+
+  /// Escape hatch for fields without a dedicated setter.
+  ScenarioBuilder& tweak(const std::function<void(ScenarioConfig&)>& fn) {
+    return set(fn);
+  }
+
+  /// Validate-at-build: throws std::invalid_argument with the same
+  /// actionable messages as ScenarioConfig::validate().
+  ScenarioConfig build() const {
+    cfg_.validate();
+    return cfg_;
+  }
+
+ private:
+  template <typename Fn>
+  ScenarioBuilder& set(const Fn& fn) {
+    fn(cfg_);
+    return *this;
+  }
+  ScenarioConfig cfg_;
 };
 
 /// Run one scenario to completion and collect metrics.

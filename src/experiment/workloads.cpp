@@ -1,0 +1,70 @@
+#include "experiment/workloads.hpp"
+
+#include <cmath>
+
+namespace mflow::exp {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+double rate_of(sim::Time pace) {
+  return pace > 0 ? 1e9 / static_cast<double>(pace) : 0.0;
+}
+
+sim::Time pace_of(double rate) {
+  return rate > 0.0 ? static_cast<sim::Time>(1e9 / rate) : 0;
+}
+
+}  // namespace
+
+void append_diurnal(std::vector<ScenarioConfig::RateChange>& out,
+                    int senders, sim::Time start, sim::Time period,
+                    int steps, sim::Time trough_pace, sim::Time peak_pace) {
+  const double r_lo = rate_of(trough_pace);
+  const double r_hi = rate_of(peak_pace);
+  for (int s = 0; s < steps; ++s) {
+    const sim::Time at =
+        start + period * static_cast<sim::Time>(s) /
+                    static_cast<sim::Time>(steps);
+    // Raised cosine: 0 at the cycle edges (trough), 1 mid-cycle (peak).
+    const double frac =
+        (1.0 - std::cos(2.0 * kPi * static_cast<double>(s) /
+                        static_cast<double>(steps))) /
+        2.0;
+    const sim::Time pace = pace_of(r_lo + (r_hi - r_lo) * frac);
+    for (int snd = 0; snd < senders; ++snd)
+      out.push_back({snd, at, pace});
+  }
+}
+
+void append_flash_crowd(std::vector<ScenarioConfig::RateChange>& out,
+                        int senders, sim::Time start, sim::Time at,
+                        sim::Time duration, sim::Time idle_pace,
+                        sim::Time crowd_pace) {
+  for (int snd = 0; snd < senders; ++snd) {
+    out.push_back({snd, start, idle_pace});
+    out.push_back({snd, at, crowd_pace});
+    out.push_back({snd, at + duration, idle_pace});
+  }
+}
+
+void append_rotating_elephants(std::vector<ScenarioConfig::RateChange>& out,
+                               int senders, sim::Time start, sim::Time end,
+                               sim::Time rotation, sim::Time mouse_pace,
+                               sim::Time elephant_pace) {
+  for (int snd = 0; snd < senders; ++snd)
+    out.push_back({snd, start, mouse_pace});
+  if (senders <= 0 || rotation <= 0) return;
+  int turn = 0;
+  for (sim::Time at = start; at < end; at += rotation, ++turn) {
+    const int elephant = turn % senders;
+    if (turn > 0) {
+      const int previous = (turn - 1) % senders;
+      if (previous != elephant) out.push_back({previous, at, mouse_pace});
+    }
+    out.push_back({elephant, at, elephant_pace});
+  }
+}
+
+}  // namespace mflow::exp

@@ -1,0 +1,44 @@
+// Long-horizon workload profiles for the elastic scenarios, expressed as
+// ScenarioConfig::RateChange schedules (per-sender pace changes at
+// absolute times). Pure schedule generators — deterministic, no state —
+// so benches and tests drive the same curves.
+//
+// Pace semantics follow SenderParams: `pace` is the interval between two
+// messages of one sender (0 = drive to saturation); rate interpolation is
+// done on 1/pace (messages per second), which is the physically meaningful
+// axis for a load curve.
+#pragma once
+
+#include <vector>
+
+#include "experiment/scenario.hpp"
+
+namespace mflow::exp {
+
+/// One diurnal cycle over [start, start + period): per-sender pace traces
+/// a raised-cosine between trough_pace (slow, at `start`) and peak_pace
+/// (fast, at start + period/2), discretized into `steps` plateaus. Every
+/// sender follows the same curve, so aggregate load sweeps
+/// senders/trough_pace .. senders/peak_pace and back.
+void append_diurnal(std::vector<ScenarioConfig::RateChange>& out,
+                    int senders, sim::Time start, sim::Time period,
+                    int steps, sim::Time trough_pace, sim::Time peak_pace);
+
+/// Flash crowd: all senders idle at idle_pace from `start`, surge to
+/// crowd_pace at `at`, and fall back at `at + duration`.
+void append_flash_crowd(std::vector<ScenarioConfig::RateChange>& out,
+                        int senders, sim::Time start, sim::Time at,
+                        sim::Time duration, sim::Time idle_pace,
+                        sim::Time crowd_pace);
+
+/// Rotating elephants over a mouse crowd: every sender runs at mouse_pace
+/// from `start`, except one "elephant" at elephant_pace (0 = saturation)
+/// that rotates round-robin every `rotation` until `end` — the previous
+/// elephant demotes back to mouse_pace as the next promotes, so exactly
+/// one elephant is live at any instant.
+void append_rotating_elephants(std::vector<ScenarioConfig::RateChange>& out,
+                               int senders, sim::Time start, sim::Time end,
+                               sim::Time rotation, sim::Time mouse_pace,
+                               sim::Time elephant_pace = 0);
+
+}  // namespace mflow::exp

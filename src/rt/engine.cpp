@@ -541,6 +541,39 @@ EngineResult Engine::run(
   std::uint64_t epoch_first = 1;
   std::size_t rescale_idx = 0;
   std::uint64_t rescales_applied = 0;
+  capacity_.active.store(static_cast<std::uint32_t>(W),
+                         std::memory_order_release);
+  // Shared epoch-change protocol for the deterministic schedule AND live
+  // capacity requests: open a new epoch at the batch being opened,
+  // announce it to the merger before any packet of that batch is pushed,
+  // then close every previously-active ring with an epoch-flush marker so
+  // the consumer can prove its final old-epoch batch is complete — after
+  // a shrink no later batch would ever arrive there to provide the FIFO
+  // evidence.
+  auto apply_active = [&](std::size_t requested_workers) {
+    const std::size_t nw = std::min<std::size_t>(
+        std::max<std::size_t>(requested_workers, 1), W);
+    if (nw == w_active) return;  // no mapping change, no epoch needed
+    const std::size_t old_active = w_active;
+    w_active = nw;
+    epoch_first = batch;
+    if (merger.announce_epoch({batch, static_cast<std::uint32_t>(w_active)}))
+      ++rescales_applied;
+    for (std::size_t w2 = 0; w2 < old_active; ++w2) {
+      RtPacket mark;
+      mark.batch = batch;
+      mark.marker = true;
+      auto& ring2 = *split_rings[w2];
+      std::uint32_t spins2 = 0;
+      while (!ring2.try_push(std::move(mark))) {
+        if (config_.max_push_spins != 0 && ++spins2 >= config_.max_push_spins)
+          break;  // shed: end-of-stream force_advance covers the tail
+        std::this_thread::yield();
+      }
+    }
+    capacity_.active.store(static_cast<std::uint32_t>(w_active),
+                           std::memory_order_release);
+  };
   ThreadTrace gt(tr, t0, static_cast<int>(W) + 1);  // generator track
   std::vector<RtPacket> stage(kChunk);
   std::vector<net::PacketPtr> stash(kChunk);  // slabs popped off recycle ring
@@ -556,37 +589,16 @@ EngineResult Engine::run(
       in_batch = 0;
       while (rescale_idx < config_.rescales.size() &&
              i >= config_.rescales[rescale_idx].after_packets) {
-        const std::size_t nw = std::min<std::size_t>(
-            std::max<std::size_t>(config_.rescales[rescale_idx].active_workers,
-                                  1),
-            W);
+        apply_active(config_.rescales[rescale_idx].active_workers);
         ++rescale_idx;
-        if (nw == w_active) continue;  // no mapping change, no epoch needed
-        const std::size_t old_active = w_active;
-        w_active = nw;
-        epoch_first = batch;
-        if (merger.announce_epoch(
-                {batch, static_cast<std::uint32_t>(w_active)}))
-          ++rescales_applied;
-        // Close every previously-active ring with an epoch-flush marker so
-        // the consumer can prove its final old-epoch batch is complete —
-        // after a shrink no later batch would ever arrive there to provide
-        // the FIFO evidence. Pushed after the announce and before any
-        // new-epoch packet, preserving the visibility chain.
-        for (std::size_t w2 = 0; w2 < old_active; ++w2) {
-          RtPacket mark;
-          mark.batch = batch;
-          mark.marker = true;
-          auto& ring2 = *split_rings[w2];
-          std::uint32_t spins2 = 0;
-          while (!ring2.try_push(std::move(mark))) {
-            if (config_.max_push_spins != 0 &&
-                ++spins2 >= config_.max_push_spins)
-              break;  // shed: end-of-stream force_advance covers the tail
-            std::this_thread::yield();
-          }
-        }
       }
+      // Live capacity request (rt::EngineCapacityAdapter). The schedule is
+      // replayed first so a test that uses both has a defined order; the
+      // request wins ties since it is the operator's latest word.
+      if (const std::uint32_t req =
+              capacity_.requested.load(std::memory_order_acquire);
+          req != 0)
+        apply_active(req);
       target = static_cast<std::size_t>((batch - epoch_first) % w_active);
       if (ftable != nullptr) {
         // Register the batch's flow before any of its packets are pushed,
@@ -760,6 +772,7 @@ EngineResult Engine::run(
   res.pool_recycled = pool.recycled();
   res.pool_exhausted = pool.exhausted();
   res.rescales_applied = rescales_applied;
+  res.active_workers_final = static_cast<std::uint32_t>(w_active);
   for (const auto& ov : ov_counts) {
     res.cache_hits += ov.hits;
     res.cache_misses += ov.misses;
@@ -767,9 +780,9 @@ EngineResult Engine::run(
     res.decap_failures += ov.fails;
   }
   if (ftable != nullptr) {
-    res.flow_table_peak = ftable->peak_size();
-    res.flow_table_expired = ftable->expirations();
-    res.flow_table_live = ftable->size();
+    res.flow_table.peak = ftable->peak_size();
+    res.flow_table.expired = ftable->expirations();
+    res.flow_table.live = ftable->size();
   }
   if (nf_on) {
     for (const auto& nc : nf_counts) {

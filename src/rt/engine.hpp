@@ -42,12 +42,15 @@
 // the scalability profiler (EngineConfig::profile) end to end.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <thread>
 #include <vector>
 
+#include "control/capacity.hpp"
 #include "nf/nf.hpp"
 #include "rt/pool.hpp"
 #include "rt/profiler.hpp"
@@ -203,11 +206,16 @@ struct EngineResult {
   /// epoch than the entry was installed under.
   std::uint64_t cache_invalidations = 0;
   std::uint64_t decap_failures = 0;
-  /// Flow-table telemetry (zero unless flow_table.enabled). Peak is the
-  /// high-water resident count — bounded by live flows, not cumulative.
-  std::uint64_t flow_table_peak = 0;
-  std::uint64_t flow_table_expired = 0;
-  std::uint64_t flow_table_live = 0;
+  /// Flow-table telemetry (zero unless flow_table.enabled), nested under
+  /// one domain following the `domain.metric` naming convention the
+  /// scenario results and bench cases share. Peak is the high-water
+  /// resident count — bounded by live flows, not cumulative.
+  struct FlowTableStats {
+    std::uint64_t peak = 0;
+    std::uint64_t expired = 0;
+    std::uint64_t live = 0;
+  };
+  FlowTableStats flow_table;
   /// NF-plane accounting (zero unless nf.enabled). The merged state and
   /// its digest (seeded 0, folded in flow-id order — same convention as
   /// nf::NfLayer::state_digest) cover only SURVIVING packets, so for a
@@ -230,6 +238,9 @@ struct EngineResult {
   /// Threads actually pinned under EngineConfig::topology (0 when pinning
   /// is off or the plan came back unpinned).
   std::uint32_t threads_pinned = 0;
+  /// Active workers when the stream ended (differs from config.workers
+  /// only if a rescale schedule entry or a live capacity request applied).
+  std::uint32_t active_workers_final = 0;
   /// Per-stage stall/occupancy profile (enabled == EngineConfig::profile;
   /// feed to rt::attribute_scaling / rt::export_profile).
   ProfileReport profile;
@@ -239,9 +250,28 @@ struct EngineResult {
   }
 };
 
+/// Live capacity-request channel between an EngineCapacityAdapter and a
+/// running Engine::run(). `requested` is the desired active worker count
+/// (0 = no request); the generator samples it at micro-flow boundaries
+/// only — the same place the deterministic rescale schedule applies — and
+/// runs the identical epoch-announce + ring-flush protocol, then publishes
+/// the applied value into `active`. Requests are therefore never torn:
+/// between boundaries the old mapping keeps draining untouched.
+struct CapacityControl {
+  std::atomic<std::uint32_t> requested{0};
+  std::atomic<std::uint32_t> active{0};
+};
+
 class Engine {
  public:
   explicit Engine(EngineConfig config) : config_(config) {}
+
+  const EngineConfig& config() const { return config_; }
+
+  /// Live capacity channel (see CapacityControl); normally driven through
+  /// an EngineCapacityAdapter rather than directly.
+  CapacityControl& capacity() { return capacity_; }
+  const CapacityControl& capacity() const { return capacity_; }
 
   /// Push `total` packets through the split/process/merge pipeline.
   /// `on_output` (optional) observes every merged packet in order; the
@@ -253,6 +283,44 @@ class Engine {
 
  private:
   EngineConfig config_;
+  CapacityControl capacity_;
+};
+
+/// The rt engine's single control::CapacityTarget implementation. The rt
+/// pipeline processes ONE generated stream, so the flow dimension reduces
+/// to the capacity dimension: a degree-d retarget asks for d active
+/// workers. Capacity requests post to the engine's CapacityControl and
+/// are applied by the generator at the next micro-flow boundary via the
+/// epoch rescale protocol — no veto needed, the epoch machinery IS the
+/// drain ordering (old-epoch batches finish under the old mapping).
+/// Requests may be posted before run() starts (applied at the first
+/// boundary, deterministically) or from any thread mid-run.
+class EngineCapacityAdapter final : public control::CapacityTarget {
+ public:
+  explicit EngineCapacityAdapter(Engine& engine) : engine_(engine) {}
+
+  void set_flow_degree(net::FlowId, std::uint32_t degree) override {
+    set_active_workers(std::max<std::uint32_t>(degree, 1));
+  }
+  std::uint32_t max_degree() const override { return active_workers(); }
+  std::uint32_t worker_limit() const override {
+    return static_cast<std::uint32_t>(
+        std::max<std::size_t>(engine_.config().workers, 1));
+  }
+  std::uint32_t active_workers() const override {
+    const std::uint32_t a =
+        engine_.capacity().active.load(std::memory_order_acquire);
+    return a != 0 ? a : worker_limit();
+  }
+  bool set_active_workers(std::uint32_t workers) override {
+    engine_.capacity().requested.store(
+        std::clamp<std::uint32_t>(workers, 1, worker_limit()),
+        std::memory_order_release);
+    return true;
+  }
+
+ private:
+  Engine& engine_;
 };
 
 }  // namespace mflow::rt

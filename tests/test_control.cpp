@@ -164,7 +164,7 @@ TEST(ScalingPolicy, ShrinkDeadbandHoldsDegreeNearBoundary) {
 
 namespace {
 
-struct FakeTarget final : control::ScalingTarget {
+struct FakeTarget final : control::CapacityTarget {
   std::vector<std::pair<net::FlowId, std::uint32_t>> calls;
   void set_flow_degree(net::FlowId flow, std::uint32_t degree) override {
     calls.emplace_back(flow, degree);
@@ -503,32 +503,28 @@ TEST(ScenarioValidate, RejectsUsageSplitOutsideMeasurement) {
 namespace {
 
 exp::ScenarioConfig live_rescale_config() {
-  exp::ScenarioConfig cfg;
-  cfg.mode = exp::Mode::kMflow;
-  cfg.protocol = net::Ipv4Header::kProtoTcp;
-  cfg.message_size = 65536;
-  cfg.num_flows = 3;
-  cfg.server_cores = 8;
-  cfg.app_cores = 1;
-  cfg.first_kernel_core = 1;
-  cfg.kernel_cores = 7;
-  cfg.warmup = sim::ms(2);
-  cfg.measure = sim::ms(10);
   core::MflowConfig mcfg = core::udp_device_scaling_config();
   mcfg.tcp_in_reader = true;
   mcfg.splitting_cores = {2, 3, 4, 5};
-  cfg.mflow = mcfg;
-  cfg.control.enabled = true;
-  cfg.control.interval = sim::us(100);
-  cfg.control.params.monitor.window = sim::ms(1);
-  cfg.control.params.classifier.promote_pps = 200'000.0;
-  cfg.control.params.classifier.demote_pps = 100'000.0;
-  cfg.control.params.classifier.dwell = sim::us(300);
-  // Flow 0 throttles to mouse rates mid-measurement and surges back: one
-  // full elephant -> mouse -> elephant round trip while traffic flows.
-  cfg.rate_changes.push_back({0, sim::ms(5), sim::ms(2)});
-  cfg.rate_changes.push_back({0, sim::ms(9), 0});
-  return cfg;
+  return exp::ScenarioBuilder(exp::Mode::kMflow)
+      .tcp(3)
+      .message_size(65536)
+      .layout(/*server_cores=*/8, /*app_cores=*/1, /*first_kernel_core=*/1,
+              /*kernel_cores=*/7)
+      .windows(sim::ms(2), sim::ms(10))
+      .mflow(mcfg)
+      .control([](exp::ScenarioConfig::ControlPlane& cp) {
+        cp.interval = sim::us(100);
+        cp.params.monitor.window = sim::ms(1);
+        cp.params.classifier.promote_pps = 200'000.0;
+        cp.params.classifier.demote_pps = 100'000.0;
+        cp.params.classifier.dwell = sim::us(300);
+      })
+      // Flow 0 throttles to mouse rates mid-measurement and surges back: one
+      // full elephant -> mouse -> elephant round trip while traffic flows.
+      .rate_change(0, sim::ms(5), sim::ms(2))
+      .rate_change(0, sim::ms(9), 0)
+      .build();
 }
 
 }  // namespace
@@ -539,9 +535,9 @@ TEST(ControlScenario, LiveRescaleConservesAndOrders) {
   EXPECT_GT(r.messages, 0u);
   // The round trip committed: at least one promotion, one demotion, one
   // re-promotion somewhere in the history.
-  EXPECT_GE(r.control_rescales, 3u);
+  EXPECT_GE(r.control.rescales, 3u);
   bool saw_demote = false, saw_promote = false;
-  for (const auto& ev : r.control_history) {
+  for (const auto& ev : r.control.history) {
     if (ev.new_degree == 0 && ev.old_degree > 0) saw_demote = true;
     if (ev.new_degree > 0 && ev.old_degree == 0) saw_promote = true;
   }
@@ -562,13 +558,13 @@ TEST(ControlScenario, LiveRescaleDeterministic) {
   EXPECT_DOUBLE_EQ(a.goodput_gbps, b.goodput_gbps);
   EXPECT_EQ(a.messages, b.messages);
   EXPECT_EQ(a.events, b.events);
-  EXPECT_EQ(a.control_rescales, b.control_rescales);
-  ASSERT_EQ(a.control_history.size(), b.control_history.size());
-  for (std::size_t i = 0; i < a.control_history.size(); ++i) {
-    EXPECT_EQ(a.control_history[i].at, b.control_history[i].at);
-    EXPECT_EQ(a.control_history[i].flow, b.control_history[i].flow);
-    EXPECT_EQ(a.control_history[i].new_degree,
-              b.control_history[i].new_degree);
+  EXPECT_EQ(a.control.rescales, b.control.rescales);
+  ASSERT_EQ(a.control.history.size(), b.control.history.size());
+  for (std::size_t i = 0; i < a.control.history.size(); ++i) {
+    EXPECT_EQ(a.control.history[i].at, b.control.history[i].at);
+    EXPECT_EQ(a.control.history[i].flow, b.control.history[i].flow);
+    EXPECT_EQ(a.control.history[i].new_degree,
+              b.control.history[i].new_degree);
   }
 }
 
@@ -673,7 +669,7 @@ TEST(Controller, ChurnStormKeepsStateAndGaugesBounded) {
 namespace {
 
 /// Records release_flow calls and vetoes the first `veto_count`.
-struct ReleasingTarget final : control::ScalingTarget {
+struct ReleasingTarget final : control::CapacityTarget {
   std::vector<std::pair<net::FlowId, std::uint32_t>> degree_calls;
   std::vector<net::FlowId> releases;
   int veto_count = 0;
@@ -824,8 +820,8 @@ exp::ScenarioConfig expiring_rescale_config() {
 TEST(ControlScenario, ExpiryDuringLiveRescaleDrainsLosslessly) {
   const auto r = exp::run_scenario(expiring_rescale_config());
   EXPECT_GT(r.goodput_gbps, 1.0);
-  EXPECT_GE(r.control_expired, 1u);
-  EXPECT_LE(r.control_tracked_flows, 3u);
+  EXPECT_GE(r.control.expired, 1u);
+  EXPECT_LE(r.control.tracked, 3u);
   // Expiry must not cost a single packet: nothing written off, no forced
   // merge-head advance, nothing late.
   EXPECT_EQ(r.drops_recovered, 0u);
@@ -840,9 +836,9 @@ TEST(ControlScenario, ExpiryDuringLiveRescaleDeterministic) {
   EXPECT_DOUBLE_EQ(a.goodput_gbps, b.goodput_gbps);
   EXPECT_EQ(a.messages, b.messages);
   EXPECT_EQ(a.events, b.events);
-  EXPECT_EQ(a.control_expired, b.control_expired);
-  EXPECT_EQ(a.control_peak_tracked, b.control_peak_tracked);
-  EXPECT_EQ(a.control_rescales, b.control_rescales);
+  EXPECT_EQ(a.control.expired, b.control.expired);
+  EXPECT_EQ(a.control.peak, b.control.peak);
+  EXPECT_EQ(a.control.rescales, b.control.rescales);
 }
 
 // Synthetic churn merged into the engine's totals: cumulative flows far
@@ -860,9 +856,9 @@ TEST(ControlScenario, ChurnFlowsExpireAndStayBounded) {
   const auto r = exp::run_scenario(cfg);
   // 12ms at 100k flows/s, two directions: ~2400 cumulative synthetic
   // flows, but live window is ~(1ms + 1ms) * 100k * 2 = ~400.
-  EXPECT_GE(r.control_expired, 1000u);
-  EXPECT_LE(r.control_peak_tracked, 800u);
-  EXPECT_LE(r.control_tracked_flows, 800u);
+  EXPECT_GE(r.control.expired, 1000u);
+  EXPECT_LE(r.control.peak, 800u);
+  EXPECT_LE(r.control.tracked, 800u);
   EXPECT_GT(r.goodput_gbps, 1.0);
   EXPECT_EQ(r.drops_recovered, 0u);
   EXPECT_EQ(r.late_deliveries, 0u);

@@ -289,7 +289,7 @@ exp::ScenarioConfig rescale_with_cache_config() {
 TEST(FlowCacheScenario, LiveRescaleInvalidatesAndStaysLossless) {
   const auto r = exp::run_scenario(rescale_with_cache_config());
   EXPECT_GT(r.goodput_gbps, 1.0);
-  EXPECT_GE(r.control_rescales, 3u);
+  EXPECT_GE(r.control.rescales, 3u);
   // Each rescale erased the flow's entry...
   EXPECT_GT(r.cache_invalidations, 0u);
   // ...and the flow re-resolved afterwards, so the cache kept working.

@@ -367,13 +367,13 @@ TEST(RtEngine, FlowTableChurnBoundedAndDeterministic) {
   const auto a = Engine(cfg).run(kTotal);
   EXPECT_TRUE(a.in_order);
   EXPECT_EQ(a.packets, kTotal);
-  EXPECT_GT(a.flow_table_expired, 1000u);
-  EXPECT_LE(a.flow_table_peak, 64u);  // live window ~ ttl/lifetime + 1 = 17
-  EXPECT_LE(a.flow_table_live, a.flow_table_peak);
+  EXPECT_GT(a.flow_table.expired, 1000u);
+  EXPECT_LE(a.flow_table.peak, 64u);  // live window ~ ttl/lifetime + 1 = 17
+  EXPECT_LE(a.flow_table.live, a.flow_table.peak);
   const auto b = Engine(cfg).run(kTotal);
-  EXPECT_EQ(b.flow_table_peak, a.flow_table_peak);
-  EXPECT_EQ(b.flow_table_expired, a.flow_table_expired);
-  EXPECT_EQ(b.flow_table_live, a.flow_table_live);
+  EXPECT_EQ(b.flow_table.peak, a.flow_table.peak);
+  EXPECT_EQ(b.flow_table.expired, a.flow_table.expired);
+  EXPECT_EQ(b.flow_table.live, a.flow_table.live);
 }
 
 // Overlay mode keeps its batch % flows identity: every flow is re-touched
@@ -393,7 +393,7 @@ TEST(RtEngine, FlowTableOverlayHotSetNeverExpires) {
   const auto res = Engine(cfg).run(20000);
   EXPECT_TRUE(res.in_order);
   EXPECT_EQ(res.packets, 20000u);
-  EXPECT_EQ(res.flow_table_peak, 8u);
-  EXPECT_EQ(res.flow_table_live, 8u);
-  EXPECT_EQ(res.flow_table_expired, 0u);
+  EXPECT_EQ(res.flow_table.peak, 8u);
+  EXPECT_EQ(res.flow_table.live, 8u);
+  EXPECT_EQ(res.flow_table.expired, 0u);
 }
